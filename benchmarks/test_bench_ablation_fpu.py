@@ -1,0 +1,68 @@
+"""A2 — FPU-mode ablation (Section II's FPU modification).
+
+Paper: "we changed the FPU so that during the analysis phase, both
+operations [FDIV/FSQRT] exhibit a fixed latency that matches their
+highest latency.  The net result is that their jitterless timing
+behavior at analysis time upperbounds that during operation."
+
+The bench runs an FDIV/FSQRT-heavy kernel with random operand values in
+both modes and checks: analysis-mode time is constant across operand
+sets, and upper-bounds every operation-mode time.
+"""
+
+import statistics
+
+from repro.platform import FpuMode, SplitMix64, leon3_rand
+from repro.programs.compiler import generate_trace
+from repro.programs.layout import link
+from repro.workloads.kernels import fpu_stress_kernel
+
+from conftest import emit
+
+RUNS = 60
+DIVIDES = 64
+
+
+def measure(fpu_mode: FpuMode):
+    prog = fpu_stress_kernel(divides=DIVIDES)
+    image = link(prog)
+    platform = leon3_rand(num_cores=1, fpu_mode=fpu_mode)
+    values = []
+    for run in range(RUNS):
+        rng = SplitMix64(1000 + run)
+        env = {"op_classes": [rng.random() for _ in range(DIVIDES)]}
+        trace, _ = generate_trace(prog, image, env)
+        # Fixed platform seed: only the FPU operand values vary.
+        values.append(platform.run(trace, seed=7).cycles)
+    return values
+
+
+def test_bench_fpu_modes(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "analysis": measure(FpuMode.ANALYSIS),
+            "operation": measure(FpuMode.OPERATION),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    analysis = results["analysis"]
+    operation = results["operation"]
+
+    lines = [
+        "A2: FPU mode ablation (FDIV/FSQRT kernel, random operands)",
+        f"  analysis : min={min(analysis)} max={max(analysis)} "
+        f"unique={len(set(analysis))}  (paper: jitterless at worst latency)",
+        f"  operation: min={min(operation)} max={max(operation)} "
+        f"mean={statistics.mean(operation):.0f} unique={len(set(operation))}",
+        f"  analysis-mode bound / operation max = "
+        f"{min(analysis) / max(operation):.3f}",
+    ]
+    emit("A2_fpu_ablation", "\n".join(lines))
+
+    # Analysis mode: value-independent (jitterless).
+    assert len(set(analysis)) == 1
+    # ... and it upper-bounds every operation-mode execution.
+    assert min(analysis) >= max(operation)
+    # Operation mode genuinely varies with operand values.
+    assert len(set(operation)) > 1

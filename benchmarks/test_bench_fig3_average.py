@@ -1,0 +1,27 @@
+"""F3b — Figure 3, first two bars: average performance DET vs RAND.
+
+Paper: "The observed average execution times for DET and RAND
+architectures (first two bars) show that there is not noticeable
+difference.  Hence, our hardware changes did not affect the average
+performance of TVCA."
+"""
+
+from conftest import emit
+
+
+def test_bench_average_performance(benchmark, det_campaign, rand_campaign):
+    det = det_campaign.merged
+    rand = rand_campaign.merged
+
+    ratio = benchmark(lambda: rand.mean / det.mean)
+
+    lines = [
+        "F3b: average performance, DET vs RAND (paper: 'not noticeable difference')",
+        f"  DET : mean = {det.mean:>12.0f}  std = {det.std:>8.1f}  n = {len(det)}",
+        f"  RAND: mean = {rand.mean:>12.0f}  std = {rand.std:>8.1f}  n = {len(rand)}",
+        f"  RAND/DET mean ratio = {ratio:.4f}",
+    ]
+    emit("F3b_average_performance", "\n".join(lines))
+
+    # "Not noticeable": within a few percent.
+    assert 0.95 < ratio < 1.05

@@ -1,0 +1,67 @@
+"""F3 — Figure 3: MBPTA pWCET estimates vs industrial MBTA practice.
+
+Paper: the DET platform's high-watermark inflated by a 50% engineering
+factor (industrial MBTA) is compared against MBPTA pWCET estimates at
+cutoffs 1e-6 .. 1e-15.  The findings to reproduce:
+
+* pWCET estimates are *within the same order of magnitude* as the
+  observed execution times at every cutoff down to 1e-15,
+* the pWCET estimate grows monotonically (slowly) as the cutoff drops,
+* MBPTA is *competitive* with MBTA: the pWCET at the certification-
+  relevant cutoffs does not blow past the HWM+50% bound while carrying
+  an actual probabilistic argument.
+
+The paper's observed anchor (pWCET@1e-6 ~ 1.5x DET HWM on their board)
+depends on the board's jitter magnitude; our substrate's relative jitter
+is smaller, so the measured ratio is reported rather than asserted (see
+EXPERIMENTS.md).
+"""
+
+from repro.core import STANDARD_CUTOFFS, mbta_bound
+from repro.viz import figure3_csv, figure3_panel
+
+from conftest import emit
+
+
+def test_bench_fig3_mbpta_vs_mbta(benchmark, det_campaign, rand_campaign, mbpta_result):
+    det = det_campaign.merged
+    rand = rand_campaign.merged
+
+    mbta = mbta_bound(det.values, engineering_factor=0.50)
+    pwcet_rows = benchmark(mbpta_result.pwcet_table)
+
+    panel = figure3_panel(
+        det_mean=det.mean,
+        rand_mean=rand.mean,
+        det_hwm=mbta.hwm,
+        mbta_bound=mbta.bound,
+        pwcet_by_cutoff=pwcet_rows,
+    )
+    ratio_rows = "\n".join(
+        f"  pWCET@{p:.0e} = {q:>12.0f}  ({q / mbta.hwm:.3f}x DET HWM)"
+        for p, q in pwcet_rows
+    )
+    lines = [
+        "F3: MBPTA vs DET/MBTA comparison (cf. paper Figure 3)",
+        f"  DET  mean = {det.mean:.0f}   RAND mean = {rand.mean:.0f} "
+        f"(ratio {rand.mean / det.mean:.3f})",
+        f"  DET  HWM  = {mbta.hwm:.0f}   MBTA bound (HWM+50%) = {mbta.bound:.0f}",
+        ratio_rows,
+        "",
+        panel,
+    ]
+    emit("F3_mbpta_vs_mbta", "\n".join(lines))
+    emit(
+        "F3_mbpta_vs_mbta_csv",
+        figure3_csv(det.mean, rand.mean, mbta.hwm, mbta.bound, pwcet_rows),
+    )
+
+    estimates = [q for _, q in pwcet_rows]
+    # Monotone growth with decreasing cutoff.
+    assert estimates == sorted(estimates)
+    # Same order of magnitude down to 1e-15.
+    assert estimates[-1] < 10.0 * mbta.hwm
+    # Upper-bounds the randomized platform's observations.
+    assert estimates[0] >= rand.hwm
+    # Competitive with industrial MBTA at the shallow cutoffs.
+    assert estimates[0] <= mbta.bound

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Cache-placement study: why the paper randomizes placement.
+
+Demonstrates, on a placement-sensitive strided kernel, the three
+set-index functions of the platform:
+
+* deterministic modulo — a pathological stride conflicts on every run
+  identically (and the *memory layout* silently decides the timing),
+* hash random placement (DATE 2013) — randomized per run, but
+  consecutive lines can conflict,
+* random modulo (DAC 2016, the paper's design) — randomized per run,
+  no intra-segment conflicts.
+
+Also sweeps the link-time ``layout_offset`` on the DET platform to show
+the layout sensitivity MBTA must control by hand, and that random
+placement removes it.
+
+Run:  python examples/placement_study.py
+"""
+
+import statistics
+
+from repro.harness import CampaignConfig, MeasurementCampaign
+from repro.platform import leon3_det, leon3_rand
+from repro.programs.layout import LayoutConfig, link
+from repro.programs.compiler import generate_trace
+from repro.workloads.kernels import strided_access_kernel
+
+RUNS = 80
+
+
+def policy_comparison() -> None:
+    prog = strided_access_kernel(stride_elements=16, accesses=256,
+                                 elements=8192, passes=4)
+    image = link(prog)
+    platforms = {
+        "modulo (DET)": leon3_det(num_cores=1, cache_kb=4),
+        "hash_random": leon3_rand(num_cores=1, cache_kb=4, placement="hash_random"),
+        "random_modulo": leon3_rand(num_cores=1, cache_kb=4, placement="random_modulo"),
+    }
+    print(f"{'policy':>16} {'mean':>8} {'std':>8} {'max':>8} {'distinct':>9}")
+    for name, platform in platforms.items():
+        campaign = MeasurementCampaign(CampaignConfig(runs=RUNS, base_seed=5))
+        values = campaign.run_program(platform, prog, image).merged.values
+        print(
+            f"{name:>16} {statistics.mean(values):>8.0f} "
+            f"{statistics.stdev(values):>8.1f} {max(values):>8.0f} "
+            f"{len(set(values)):>9}"
+        )
+
+
+def _alignment_program(pad_elements: int):
+    """Six small hot arrays with configurable padding between them.
+
+    Under deterministic modulo placement the padding decides whether the
+    arrays' lines land on the same sets: with 112 pad elements (896 B)
+    each 128 B array starts exactly one 1 KB cache-window apart, all six
+    collide on the same four sets (6 lines per 4-way set -> thrash);
+    with no padding they pack into distinct sets (all hits after warm-up).
+    """
+    from repro.programs.dsl import ArrayDecl, Block, Loop, Program, alu, load
+
+    names = [f"m{i}" for i in range(6)]
+    arrays = []
+    for i, name in enumerate(names):
+        arrays.append(ArrayDecl(name, 16, element_bytes=8))
+        if pad_elements and i < len(names) - 1:
+            arrays.append(ArrayDecl(f"pad{i}", pad_elements, element_bytes=8))
+    inner = [
+        Block(
+            [op for name in names for op in (load(name, lambda env: env["k"]), alu(1))]
+        )
+    ]
+    body = [
+        Loop(
+            name="pass", count=30, var="p",
+            body=[Loop(name="k", count=16, var="k", body=inner)],
+        )
+    ]
+    return Program(name=f"align_{pad_elements}", body=body, arrays=arrays)
+
+
+def layout_sensitivity() -> None:
+    print("\nDET layout sensitivity (same code, different inter-array padding):")
+    det = leon3_det(num_cores=1, cache_kb=4)
+    rand = leon3_rand(num_cores=1, cache_kb=4)
+    print(f"{'padding':>9} {'DET cycles':>12} {'RAND mean':>12} {'RAND std':>9}")
+    for pad in (0, 16, 48, 112):
+        prog = _alignment_program(pad)
+        image = link(prog, LayoutConfig(data_align=32))
+        trace, _ = generate_trace(prog, image, {})
+        det_cycles = det.run(trace, seed=0).cycles
+        rand_values = [rand.run(trace, seed=s).cycles for s in range(12)]
+        print(
+            f"{pad * 8:>8}B {det_cycles:>12} "
+            f"{statistics.mean(rand_values):>12.0f} "
+            f"{statistics.stdev(rand_values):>9.1f}"
+        )
+    print(
+        "\nDET timing jumps when the padding aligns the arrays onto the same"
+        "\nsets (the memory layout silently decides the WCET); the randomized"
+        "\nplatform's distribution barely moves — the control burden MBPTA"
+        "\nremoves from the user."
+    )
+
+
+def main() -> None:
+    policy_comparison()
+    layout_sensitivity()
+
+
+if __name__ == "__main__":
+    main()

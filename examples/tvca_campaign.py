@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The paper's case study end to end, at reduced scale.
+
+Runs the Thrust Vector Control Application on the MBPTA-compliant
+(time-randomized) LEON3 model under the measurement protocol of the
+paper — flush caches, reset the platform, new PRNG seed per run — then
+applies the full MBPTA pipeline and prints the analysis report plus a
+Figure-2-style pWCET panel.
+
+Run:  python examples/tvca_campaign.py [runs]
+
+The default (300 runs, scaled-pressure configuration) takes ~15 s; the
+paper's setup is 3,000 runs on the full configuration (see
+benchmarks/ with REPRO_BENCH_RUNS=3000 REPRO_BENCH_FULL=1).
+"""
+
+import sys
+
+from repro.core import MBPTAAnalysis, MBPTAConfig
+from repro.harness import CampaignConfig, MeasurementCampaign
+from repro.platform import leon3_rand
+from repro.viz import figure2_panel
+from repro.workloads.tvca import TvcaApplication, TvcaConfig
+
+
+def main() -> None:
+    runs = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+
+    app = TvcaApplication(TvcaConfig(estimator_dim=20, aero_window=32))
+    platform = leon3_rand(num_cores=1, cache_kb=4, check_prng_health=True)
+
+    campaign = MeasurementCampaign(CampaignConfig(runs=runs, base_seed=2017))
+    print(f"collecting {runs} measured executions of TVCA on {platform.name} ...")
+
+    def progress(done: int, total: int) -> None:
+        if done % max(total // 10, 1) == 0:
+            print(f"  {done}/{total} runs")
+
+    result = campaign.run_tvca(platform, app, progress=progress)
+
+    sample = result.merged
+    print(
+        f"\nsample: n={len(sample)} min={sample.minimum:.0f} "
+        f"mean={sample.mean:.0f} hwm={sample.hwm:.0f} (CoV {sample.cov:.4f})"
+    )
+
+    analysis = MBPTAAnalysis(
+        MBPTAConfig(min_path_samples=max(120, runs // 3), check_convergence=runs >= 400)
+    ).analyse(result.samples)
+    print()
+    print(analysis.report())
+
+    dominant = analysis.dominant_path()
+    if dominant in analysis.paths:
+        curve = analysis.paths[dominant].curve
+        print("\nFigure-2-style pWCET curve:")
+        print(
+            figure2_panel(
+                curve.curve_points(min_probability=1e-15, points_per_decade=1),
+                curve.observed_points(),
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` on environments
+without the `wheel` package (configuration lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — MBPTA on time-randomized platforms (DATE 2017 reproduction).
+
+A complete reimplementation of the system behind Fernandez et al.,
+"Probabilistic Timing Analysis on Time-Randomized Platforms for the
+Space Domain" (DATE 2017):
+
+* :mod:`repro.platform` — trace-driven timing model of the MBPTA-
+  compliant LEON3 (time-randomized caches/TLBs, analysis-mode FPU,
+  shared bus, DRAM) and its deterministic baseline,
+* :mod:`repro.programs` — program DSL, linker and trace compiler,
+* :mod:`repro.workloads` — the TVCA case study (plant, controller,
+  tasks, scheduler) plus ablation kernels and synthetic generators,
+* :mod:`repro.harness` — the measurement protocol (flush/reset/reseed
+  per run) and sample containers,
+* :mod:`repro.core` — the MBPTA analysis itself: i.i.d. testing, EVT
+  fitting, convergence, per-path pWCET curves, and the industrial MBTA
+  baseline,
+* :mod:`repro.viz` — text/CSV renderings of the paper's figures.
+
+Quickstart::
+
+    from repro.platform import leon3_rand
+    from repro.harness import CampaignConfig, MeasurementCampaign
+    from repro.core import MBPTAAnalysis
+
+    campaign = MeasurementCampaign(CampaignConfig(runs=300))
+    result = campaign.run_tvca(leon3_rand())
+    analysis = MBPTAAnalysis().analyse(result.samples)
+    print(analysis.report())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Three subcommands mirror the paper's workflow:
+
+* ``campaign`` — run the TVCA measurement campaign on a platform and
+  write the collected sample to JSON,
+* ``analyse`` — run the MBPTA pipeline on a sample file (or fresh
+  campaign) and print the report,
+* ``compare`` — the Figure-3 comparison (DET/MBTA vs RAND/MBPTA).
+
+Examples::
+
+    python -m repro.cli campaign --runs 300 --out sample.json
+    python -m repro.cli analyse --sample sample.json
+    python -m repro.cli analyse --runs 300 --cutoff 1e-12
+    python -m repro.cli compare --runs 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import MBPTAAnalysis, MBPTAConfig, mbta_bound
+from .harness import CampaignConfig, MeasurementCampaign, compare_det_rand
+from .harness.measurements import ExecutionTimeSample
+from .platform import leon3_det, leon3_rand
+from .viz import figure3_panel
+from .workloads.tvca import TvcaApplication, TvcaConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _app_config(args: argparse.Namespace) -> TvcaConfig:
+    return TvcaConfig(estimator_dim=args.estimator_dim, aero_window=32)
+
+
+def _platform(args: argparse.Namespace, kind: str):
+    if kind == "rand":
+        return leon3_rand(num_cores=1, cache_kb=args.cache_kb)
+    return leon3_det(num_cores=1, cache_kb=args.cache_kb)
+
+
+def _run_campaign(args: argparse.Namespace, kind: str):
+    app = TvcaApplication(_app_config(args))
+    campaign = MeasurementCampaign(
+        CampaignConfig(runs=args.runs, base_seed=args.seed)
+    )
+    return campaign.run_tvca(_platform(args, kind), app)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    result = _run_campaign(args, args.platform)
+    sample = result.merged
+    print(
+        f"{result.label}: n={len(sample)} min={sample.minimum:.0f} "
+        f"mean={sample.mean:.0f} hwm={sample.hwm:.0f}"
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(sample.to_json())
+        print(f"sample written to {args.out}")
+    return 0
+
+
+def cmd_analyse(args: argparse.Namespace) -> int:
+    if args.sample:
+        with open(args.sample) as handle:
+            sample = ExecutionTimeSample.from_json(handle.read())
+        data = sample
+        min_path = max(120, len(sample) // 3)
+    else:
+        result = _run_campaign(args, "rand")
+        data = result.samples
+        min_path = max(120, args.runs // 3)
+    analysis = MBPTAAnalysis(
+        MBPTAConfig(min_path_samples=min_path, check_convergence=False)
+    ).analyse(data)
+    print(analysis.report())
+    if args.cutoff:
+        print(f"\npWCET@{args.cutoff:g} = {analysis.quantile(args.cutoff):.0f}")
+    return 0 if analysis.iid_ok else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    comparison = compare_det_rand(
+        runs=args.runs,
+        base_seed=args.seed,
+        app_config=_app_config(args),
+        det_platform=_platform(args, "det"),
+        rand_platform=_platform(args, "rand"),
+    )
+    det = comparison.det_sample
+    rand = comparison.rand_sample
+    mbta = mbta_bound(det.values, engineering_factor=args.factor)
+    analysis = MBPTAAnalysis(
+        MBPTAConfig(
+            min_path_samples=max(120, args.runs // 2), check_convergence=False
+        )
+    ).analyse(comparison.rand.samples)
+    print(
+        figure3_panel(
+            det_mean=det.mean,
+            rand_mean=rand.mean,
+            det_hwm=mbta.hwm,
+            mbta_bound=mbta.bound,
+            pwcet_by_cutoff=analysis.pwcet_table(),
+        )
+    )
+    print(f"\nRAND/DET average ratio: {comparison.average_ratio():.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MBPTA on time-randomized platforms (DATE 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--runs", type=int, default=300, help="measured executions")
+        p.add_argument("--seed", type=int, default=2017, help="campaign base seed")
+        p.add_argument(
+            "--cache-kb", type=int, default=4,
+            help="L1 size in KB (16 = the paper's board; 4 = scaled pressure)",
+        )
+        p.add_argument(
+            "--estimator-dim", type=int, default=20,
+            help="TVCA estimator dimension (44 = full configuration)",
+        )
+
+    p_campaign = sub.add_parser("campaign", help="collect execution times")
+    common(p_campaign)
+    p_campaign.add_argument(
+        "--platform", choices=("rand", "det"), default="rand"
+    )
+    p_campaign.add_argument("--out", help="write the sample to this JSON file")
+    p_campaign.set_defaults(func=cmd_campaign)
+
+    p_analyse = sub.add_parser("analyse", help="run the MBPTA pipeline")
+    common(p_analyse)
+    p_analyse.add_argument("--sample", help="analyse a saved JSON sample instead")
+    p_analyse.add_argument(
+        "--cutoff", type=float, help="also print the pWCET at this probability"
+    )
+    p_analyse.set_defaults(func=cmd_analyse)
+
+    p_compare = sub.add_parser("compare", help="Figure-3 DET/RAND comparison")
+    common(p_compare)
+    p_compare.add_argument(
+        "--factor", type=float, default=0.5, help="MBTA engineering factor"
+    )
+    p_compare.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

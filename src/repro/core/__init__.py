@@ -1,0 +1,35 @@
+"""MBPTA analysis (the paper's primary contribution).
+
+Pipeline: i.i.d. gate (Ljung-Box + two-sample KS at 5%), convergence
+check, EVT tail fit (block maxima + Gumbel by default; POT/GPD
+alternative), per-path pWCET curves, max envelope across paths, and the
+industrial MBTA baseline for comparison.
+"""
+
+from . import evt, stats
+from .convergence import ConvergenceMonitor, ConvergenceReport, assess_convergence
+from .mbpta import MBPTAAnalysis, MBPTAConfig, MBPTAResult, PathAnalysis
+from .mbta import MbtaEstimate, mbta_bound
+from .multipath import PWCETEnvelope, RarePathFloor
+from .pwcet import PWCETCurve, STANDARD_CUTOFFS
+from .report import render_pwcet_table, render_report
+
+__all__ = [
+    "ConvergenceMonitor",
+    "ConvergenceReport",
+    "MBPTAAnalysis",
+    "MBPTAConfig",
+    "MBPTAResult",
+    "MbtaEstimate",
+    "PWCETCurve",
+    "PWCETEnvelope",
+    "PathAnalysis",
+    "RarePathFloor",
+    "STANDARD_CUTOFFS",
+    "assess_convergence",
+    "evt",
+    "mbta_bound",
+    "render_pwcet_table",
+    "render_report",
+    "stats",
+]

@@ -1,0 +1,172 @@
+"""MBPTA convergence criterion.
+
+The paper: "We execute TVCA 3,000 times to collect execution times which
+satisfied the convergence criteria defined in the MBPTA process."  The
+criterion (Cucu-Grosjean et al., ECRTS 2012 lineage): re-estimate the
+pWCET at a reference cutoff on growing prefixes of the sample; once the
+estimate moves less than a tolerance across consecutive increments, more
+runs no longer change the answer and collection may stop.
+
+:func:`assess_convergence` replays that procedure on a collected sample;
+:class:`ConvergenceMonitor` supports online use (feed observations as
+they arrive, ask "converged?" after each batch).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .evt.block_maxima import MIN_MAXIMA, block_maxima
+from .evt.gumbel import fit_pwm
+from .evt.tail import BlockMaximaTail
+
+__all__ = ["ConvergenceReport", "assess_convergence", "ConvergenceMonitor"]
+
+
+def _prefix_quantile(
+    values: Sequence[float], probability: float, block_size: int
+) -> Optional[float]:
+    """pWCET estimate on a sample prefix (None when not yet fittable)."""
+    if len(values) < block_size * MIN_MAXIMA:
+        return None
+    maxima = block_maxima(values, block_size).maxima
+    if len(set(maxima)) < 3:
+        return None
+    try:
+        fit = fit_pwm(maxima)
+    except ValueError:
+        return None
+    tail = BlockMaximaTail(distribution=fit, block_size=block_size)
+    return tail.quantile(probability)
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Outcome of the convergence assessment."""
+
+    converged: bool
+    runs_needed: Optional[int]
+    probability: float
+    tolerance: float
+    step: int
+    history: Tuple[Tuple[int, float], ...]  #: (prefix length, estimate)
+
+    def final_estimate(self) -> Optional[float]:
+        """The last pWCET estimate in the history."""
+        if not self.history:
+            return None
+        return self.history[-1][1]
+
+
+def assess_convergence(
+    values: Sequence[float],
+    probability: float = 1e-9,
+    tolerance: float = 0.01,
+    step: int = 100,
+    block_size: int = 20,
+    stable_steps: int = 2,
+) -> ConvergenceReport:
+    """Replay the MBPTA stopping rule on a collected sample.
+
+    The estimate at cutoff ``probability`` is recomputed every ``step``
+    observations; convergence is declared at the first prefix where the
+    relative change stays below ``tolerance`` for ``stable_steps``
+    consecutive increments.
+    """
+    if step < 10:
+        raise ValueError("step must be >= 10")
+    if not 0 < tolerance < 1:
+        raise ValueError("tolerance must be in (0, 1)")
+    history: List[Tuple[int, float]] = []
+    stable = 0
+    runs_needed: Optional[int] = None
+    n = len(values)
+    for end in range(step, n + 1, step):
+        estimate = _prefix_quantile(values[:end], probability, block_size)
+        if estimate is None:
+            continue
+        if history:
+            previous = history[-1][1]
+            change = abs(estimate - previous) / max(abs(previous), 1e-12)
+            if change < tolerance:
+                stable += 1
+                if stable >= stable_steps and runs_needed is None:
+                    runs_needed = end
+            else:
+                stable = 0
+                runs_needed = None
+        history.append((end, estimate))
+    return ConvergenceReport(
+        converged=runs_needed is not None,
+        runs_needed=runs_needed,
+        probability=probability,
+        tolerance=tolerance,
+        step=step,
+        history=tuple(history),
+    )
+
+
+class ConvergenceMonitor:
+    """Online convergence tracking for a running campaign.
+
+    Feed observations with :meth:`add`; :attr:`converged` flips once the
+    rolling pWCET estimate stabilizes.  The campaign can then stop, as
+    the paper's protocol did at 3,000 runs.
+    """
+
+    def __init__(
+        self,
+        probability: float = 1e-9,
+        tolerance: float = 0.01,
+        step: int = 100,
+        block_size: int = 20,
+        stable_steps: int = 2,
+    ) -> None:
+        if step < 10:
+            raise ValueError("step must be >= 10")
+        self.probability = probability
+        self.tolerance = tolerance
+        self.step = step
+        self.block_size = block_size
+        self.stable_steps = stable_steps
+        self._values: List[float] = []
+        self._history: List[Tuple[int, float]] = []
+        self._stable = 0
+        self.converged = False
+
+    @property
+    def n(self) -> int:
+        """Observations seen so far."""
+        return len(self._values)
+
+    @property
+    def history(self) -> List[Tuple[int, float]]:
+        """(n, estimate) checkpoints so far."""
+        return list(self._history)
+
+    def add(self, value: float) -> bool:
+        """Feed one observation; returns the current converged flag."""
+        self._values.append(float(value))
+        if len(self._values) % self.step == 0:
+            self._checkpoint()
+        return self.converged
+
+    def _checkpoint(self) -> None:
+        estimate = _prefix_quantile(
+            self._values, self.probability, self.block_size
+        )
+        if estimate is None:
+            return
+        if self._history:
+            previous = self._history[-1][1]
+            change = abs(estimate - previous) / max(abs(previous), 1e-12)
+            if change < self.tolerance:
+                self._stable += 1
+                if self._stable >= self.stable_steps:
+                    self.converged = True
+            else:
+                self._stable = 0
+                self.converged = False
+        self._history.append((len(self._values), estimate))

@@ -1,0 +1,68 @@
+"""Extreme value theory: distributions, fitting and tail projection."""
+
+from .block_maxima import (
+    BlockMaxima,
+    best_block_size,
+    block_maxima,
+    suggest_block_sizes,
+)
+from .diagnostics import (
+    FitQuality,
+    fit_quality,
+    qq_correlation,
+    qq_points,
+    return_levels,
+)
+from .gev import (
+    GevDistribution,
+    fit_lmoments,
+    shape_likelihood_ratio_test,
+)
+from .gev import fit_mle as gev_fit_mle
+from .gpd import GpdDistribution, mean_excess
+from .gpd import fit_mle as gpd_fit_mle
+from .gpd import fit_pwm as gpd_fit_pwm
+from .gumbel import GumbelDistribution
+from .gumbel import fit_mle as gumbel_fit_mle
+from .gumbel import fit_moments as gumbel_fit_moments
+from .gumbel import fit_pwm as gumbel_fit_pwm
+from .pot import (
+    PotFit,
+    fit_pot,
+    mean_residual_life,
+    parameter_stability,
+    select_threshold,
+)
+from .tail import BlockMaximaTail, FittedTail, PotTail
+
+__all__ = [
+    "BlockMaxima",
+    "BlockMaximaTail",
+    "FitQuality",
+    "FittedTail",
+    "GevDistribution",
+    "GpdDistribution",
+    "GumbelDistribution",
+    "PotFit",
+    "PotTail",
+    "best_block_size",
+    "block_maxima",
+    "fit_lmoments",
+    "fit_pot",
+    "fit_quality",
+    "qq_correlation",
+    "qq_points",
+    "return_levels",
+    "gev_fit_mle",
+    "gpd_fit_mle",
+    "gpd_fit_pwm",
+    "gumbel_fit_mle",
+    "gumbel_fit_moments",
+    "gumbel_fit_pwm",
+    "mean_excess",
+    "mean_residual_life",
+    "parameter_stability",
+    "select_threshold",
+    "shape_likelihood_ratio_test",
+    "suggest_block_sizes",
+]

@@ -1,0 +1,193 @@
+"""Gumbel (type-I extreme value) distribution and fitting.
+
+The classical MBPTA pipeline (Cucu-Grosjean et al., ECRTS 2012 — the
+method behind the paper's tool) fits a **Gumbel** distribution to block
+maxima of the execution-time sample.  The Gumbel max-domain covers
+light-tailed execution-time mechanisms (sums of bounded random penalties
+such as cache misses), and its CCDF is a straight line in log-probability
+space — the "straight line" prediction of the paper's Figure 2.
+
+Parameterization: location ``mu``, scale ``beta > 0``::
+
+    CDF(x)  = exp(-exp(-(x - mu) / beta))
+    SF(x)   = 1 - CDF(x)
+    PPF(q)  = mu - beta * log(-log(q))
+
+Fitting: method-of-moments, probability-weighted moments (PWM — robust
+default for the small block-maxima samples MBPTA produces), and maximum
+likelihood (Newton iterations on the profile equation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["GumbelDistribution", "fit_moments", "fit_pwm", "fit_mle"]
+
+#: Euler-Mascheroni constant.
+EULER_GAMMA = 0.5772156649015329
+
+
+@dataclass(frozen=True)
+class GumbelDistribution:
+    """A fitted (or specified) Gumbel distribution for maxima."""
+
+    location: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    # -- distribution functions ----------------------------------------
+    def cdf(self, x: float) -> float:
+        """P(X <= x)."""
+        z = (x - self.location) / self.scale
+        if z < -700.0:  # exp(-z) would overflow; CDF is exactly 0 here
+            return 0.0
+        return math.exp(-math.exp(-z))
+
+    def sf(self, x: float) -> float:
+        """P(X > x), computed stably for deep tails."""
+        z = (x - self.location) / self.scale
+        if z < -700.0:
+            return 1.0
+        inner = math.exp(-z)
+        # For small inner, 1 - exp(-inner) ~= inner: use expm1.
+        return -math.expm1(-inner)
+
+    def pdf(self, x: float) -> float:
+        """Density."""
+        z = (x - self.location) / self.scale
+        if z < -690.0:
+            return 0.0
+        return math.exp(-z - math.exp(-z)) / self.scale
+
+    def logpdf(self, x: float) -> float:
+        """Log density."""
+        z = (x - self.location) / self.scale
+        if z < -690.0:
+            return -math.inf
+        return -z - math.exp(-z) - math.log(self.scale)
+
+    def ppf(self, q: float) -> float:
+        """Quantile: inf{x : CDF(x) >= q}."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        return self.location - self.scale * math.log(-math.log(q))
+
+    def isf(self, p: float) -> float:
+        """Inverse survival: x with P(X > x) = p (stable for small p)."""
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        # SF(x) = p  =>  x = mu - beta * log(-log(1 - p));
+        # log1p keeps precision for the tiny p of pWCET cutoffs.
+        return self.location - self.scale * math.log(-math.log1p(-p))
+
+    @property
+    def mean(self) -> float:
+        """Distribution mean."""
+        return self.location + EULER_GAMMA * self.scale
+
+    @property
+    def std(self) -> float:
+        """Distribution standard deviation."""
+        return math.pi * self.scale / math.sqrt(6.0)
+
+    def sample(self, n: int, seed: int) -> List[float]:
+        """Draw ``n`` deviates (inverse-CDF on a SplitMix64 stream)."""
+        from ...platform.prng import SplitMix64
+
+        rng = SplitMix64(seed)
+        out: List[float] = []
+        for _ in range(n):
+            u = rng.random()
+            while u <= 0.0 or u >= 1.0:
+                u = rng.random()
+            out.append(self.ppf(u))
+        return out
+
+
+def fit_moments(values: Sequence[float]) -> GumbelDistribution:
+    """Method-of-moments fit (closed form)."""
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least 2 observations")
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    if variance <= 0:
+        raise ValueError("degenerate sample (zero variance)")
+    scale = math.sqrt(6.0 * variance) / math.pi
+    location = mean - EULER_GAMMA * scale
+    return GumbelDistribution(location=location, scale=scale)
+
+
+def fit_pwm(values: Sequence[float]) -> GumbelDistribution:
+    """Probability-weighted-moments fit (Hosking; robust for small n).
+
+    ``b0`` is the sample mean, ``b1 = sum (i-1)/(n-1) x_(i) / n`` over
+    the order statistics; then ``beta = (2 b1 - b0) / log 2`` and
+    ``mu = b0 - gamma * beta``.
+    """
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least 2 observations")
+    ordered = sorted(values)
+    b0 = sum(ordered) / n
+    b1 = sum((i / (n - 1.0)) * v for i, v in enumerate(ordered)) / n
+    scale = (2.0 * b1 - b0) / math.log(2.0)
+    if scale <= 0:
+        raise ValueError("PWM produced non-positive scale (degenerate sample)")
+    location = b0 - EULER_GAMMA * scale
+    return GumbelDistribution(location=location, scale=scale)
+
+
+def fit_mle(
+    values: Sequence[float], tolerance: float = 1e-10, max_iterations: int = 200
+) -> GumbelDistribution:
+    """Maximum-likelihood fit.
+
+    The MLE reduces to a one-dimensional root-find for ``beta``::
+
+        beta = mean(x) - sum(x exp(-x/beta)) / sum(exp(-x/beta))
+
+    solved by damped Newton iterations seeded from the moments fit;
+    ``mu`` then follows in closed form.
+    """
+    n = len(values)
+    if n < 2:
+        raise ValueError("need at least 2 observations")
+    xs = [float(v) for v in values]
+    mean = sum(xs) / n
+    beta = max(fit_moments(xs).scale, 1e-12)
+
+    def g(b: float) -> float:
+        # Shift by max for numerical stability of the exponentials.
+        m = max(xs)
+        weights = [math.exp(-(x - m) / b) for x in xs]
+        s0 = sum(weights)
+        s1 = sum(x * w for x, w in zip(xs, weights))
+        return b - mean + s1 / s0
+
+    # Derivative via finite difference (robust; g is smooth).
+    for _ in range(max_iterations):
+        value = g(beta)
+        if abs(value) < tolerance * max(1.0, beta):
+            break
+        h = max(beta * 1e-6, 1e-12)
+        slope = (g(beta + h) - value) / h
+        if slope == 0.0:
+            break
+        step = value / slope
+        updated = beta - step
+        # Damp into the positive half-line.
+        while updated <= 0:
+            step *= 0.5
+            updated = beta - step
+        beta = updated
+    m = max(xs)
+    s0 = sum(math.exp(-(x - m) / beta) for x in xs)
+    location = m - beta * math.log(s0 / n)
+    return GumbelDistribution(location=location, scale=beta)

@@ -1,0 +1,170 @@
+"""Peaks-over-threshold (POT) analysis.
+
+The alternative EVT route: excesses over a high threshold are GPD-
+distributed (Pickands-Balkema-de Haan).  MBPTA pipelines use POT as a
+cross-check on the block-maxima fit — both must give consistent
+exceedance probabilities in the observable range.
+
+Threshold selection diagnostics implemented:
+
+* :func:`mean_residual_life` — the mean-excess function, approximately
+  linear above a valid threshold,
+* :func:`parameter_stability` — GPD shape estimates across candidate
+  thresholds, which should plateau where the model holds,
+* :func:`select_threshold` — a quantile-based rule (default: the 90th
+  percentile) with a minimum-excess-count guard, the pragmatic choice
+  of production tools.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .gpd import GpdDistribution, fit_pwm, mean_excess
+
+__all__ = [
+    "PotFit",
+    "fit_pot",
+    "mean_residual_life",
+    "parameter_stability",
+    "select_threshold",
+]
+
+#: Fewest excesses a GPD fit is allowed to see.
+MIN_EXCESSES = 20
+
+
+@dataclass(frozen=True)
+class PotFit:
+    """A fitted POT tail: threshold + GPD + empirical exceedance rate."""
+
+    threshold: float
+    gpd: GpdDistribution
+    exceedance_rate: float  #: fraction of observations above the threshold
+    num_excesses: int
+    sample_size: int
+
+    def exceedance_probability(self, x: float) -> float:
+        """P(X > x) for one observation, for x at or above the threshold."""
+        if x < self.threshold:
+            raise ValueError(
+                f"x={x} below threshold {self.threshold}; "
+                "the POT tail is only valid above it"
+            )
+        return self.exceedance_rate * self.gpd.sf(x - self.threshold)
+
+    def quantile(self, p: float) -> float:
+        """Execution time with exceedance probability ``p``.
+
+        Only meaningful for ``p <= exceedance_rate`` (deeper than the
+        threshold); shallower probabilities belong to the empirical body.
+        """
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        if p >= self.exceedance_rate:
+            return self.threshold
+        return self.threshold + self.gpd.isf(p / self.exceedance_rate)
+
+
+def select_threshold(
+    values: Sequence[float],
+    quantile: float = 0.90,
+    min_excesses: int = MIN_EXCESSES,
+) -> float:
+    """Quantile threshold with a minimum-excess-count guard."""
+    n = len(values)
+    if n < 2 * min_excesses:
+        raise ValueError(f"need at least {2 * min_excesses} observations")
+    ordered = sorted(values)
+    index = min(int(quantile * n), n - min_excesses - 1)
+    index = max(index, 0)
+    return ordered[index]
+
+
+def fit_pot(
+    values: Sequence[float],
+    threshold: float = None,
+    quantile: float = 0.90,
+) -> PotFit:
+    """Fit a POT/GPD tail to an execution-time sample.
+
+    ``threshold=None`` applies :func:`select_threshold`.  The GPD is
+    fitted by PWM (robust at the excess counts MBPTA produces).
+    """
+    xs = [float(v) for v in values]
+    if threshold is None:
+        threshold = select_threshold(xs, quantile=quantile)
+    excesses = [x - threshold for x in xs if x > threshold]
+    if len(excesses) < 3:
+        raise ValueError(
+            f"only {len(excesses)} excesses above {threshold}; need >= 3"
+        )
+    if len(set(excesses)) < 2:
+        # Discrete plateau at the threshold — model as a point mass via
+        # a tiny-scale exponential (upper bound preserved).
+        gpd = GpdDistribution(scale=max(max(excesses), 1e-9), shape=0.0)
+    else:
+        gpd = fit_pwm(excesses)
+    return PotFit(
+        threshold=threshold,
+        gpd=gpd,
+        exceedance_rate=len(excesses) / len(xs),
+        num_excesses=len(excesses),
+        sample_size=len(xs),
+    )
+
+
+def mean_residual_life(
+    values: Sequence[float], num_points: int = 20
+) -> List[Tuple[float, float]]:
+    """Mean-excess function over a sweep of thresholds.
+
+    Returns ``(threshold, mean_excess)`` pairs between the 50th and the
+    ~95th percentile — the range a threshold plot inspects.
+    """
+    xs = sorted(float(v) for v in values)
+    n = len(xs)
+    if n < 20:
+        raise ValueError("need at least 20 observations")
+    lo = xs[n // 2]
+    hi = xs[int(0.95 * (n - 1))]
+    if hi <= lo:
+        return [(lo, mean_excess(xs, lo))]
+    out: List[Tuple[float, float]] = []
+    for i in range(num_points):
+        u = lo + (hi - lo) * i / (num_points - 1)
+        try:
+            out.append((u, mean_excess(xs, u)))
+        except ValueError:
+            break
+    return out
+
+
+def parameter_stability(
+    values: Sequence[float], num_points: int = 15
+) -> List[Tuple[float, float]]:
+    """GPD shape estimates across candidate thresholds.
+
+    Returns ``(threshold, shape)`` pairs; a plateau indicates the region
+    where the GPD approximation is stable.
+    """
+    xs = sorted(float(v) for v in values)
+    n = len(xs)
+    if n < 3 * MIN_EXCESSES:
+        raise ValueError(f"need at least {3 * MIN_EXCESSES} observations")
+    out: List[Tuple[float, float]] = []
+    for i in range(num_points):
+        quantile = 0.5 + 0.45 * i / (num_points - 1)
+        index = min(int(quantile * n), n - MIN_EXCESSES - 1)
+        threshold = xs[max(index, 0)]
+        excesses = [x - threshold for x in xs if x > threshold]
+        if len(set(excesses)) < 3:
+            continue
+        try:
+            gpd = fit_pwm(excesses)
+        except ValueError:
+            continue
+        out.append((threshold, gpd.shape))
+    return out

@@ -1,0 +1,57 @@
+"""Industrial MBTA baseline: high-watermark plus engineering factor.
+
+The comparison point of the paper: "an industrial practice based on MBTA
+applied to the baseline non-randomized ... platform.  This approach
+consists in increasing by an engineering factor (e.g. 50%) the highest
+value observed".  Its weakness — the reason MBPTA exists — is that the
+margin covers unquantified uncertainty (e.g. cache placements never
+exercised at analysis), so the bound carries no probabilistic guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["MbtaEstimate", "mbta_bound"]
+
+#: The engineering factor named in the paper's comparison.
+DEFAULT_ENGINEERING_FACTOR = 0.50
+
+
+@dataclass(frozen=True)
+class MbtaEstimate:
+    """High-watermark MBTA bound."""
+
+    hwm: float
+    engineering_factor: float
+    sample_size: int
+
+    @property
+    def bound(self) -> float:
+        """HWM * (1 + engineering factor)."""
+        return self.hwm * (1.0 + self.engineering_factor)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"MBTA: HWM={self.hwm:.0f} x (1 + {self.engineering_factor:.0%}) "
+            f"= {self.bound:.0f}  (n={self.sample_size}, no probabilistic "
+            f"guarantee attached)"
+        )
+
+
+def mbta_bound(
+    values: Sequence[float],
+    engineering_factor: float = DEFAULT_ENGINEERING_FACTOR,
+) -> MbtaEstimate:
+    """Compute the MBTA bound over an execution-time sample."""
+    if not values:
+        raise ValueError("empty sample")
+    if engineering_factor < 0:
+        raise ValueError("engineering_factor must be >= 0")
+    return MbtaEstimate(
+        hwm=max(float(v) for v in values),
+        engineering_factor=engineering_factor,
+        sample_size=len(values),
+    )

@@ -1,0 +1,111 @@
+"""Per-path analysis and the cross-path pWCET envelope.
+
+The paper: "Further we make per-path analysis taking the maximum across
+paths."  Execution times are grouped by the executed path identifier;
+each sufficiently-observed path gets its own EVT fit and pWCET curve;
+the reported pWCET at any exceedance probability is the pointwise
+**maximum** across paths.
+
+Rarely-observed paths (fewer than ``min_samples`` runs) cannot support
+an EVT fit.  They still must not be dropped silently: the envelope
+carries them as high-watermark-plus-margin floor contributions and the
+result flags them, so the analyst knows input coverage — not the
+statistics — is the weak point (MBPTA randomizes the *platform*, path
+coverage remains the user's obligation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .pwcet import PWCETCurve, STANDARD_CUTOFFS
+
+__all__ = ["RarePathFloor", "PWCETEnvelope"]
+
+
+@dataclass(frozen=True)
+class RarePathFloor:
+    """Fallback contribution of a path too rare to fit.
+
+    The floor is the path's high-watermark inflated by ``margin`` —
+    an MBTA-style stopgap, clearly flagged as such.
+    """
+
+    path: str
+    observations: int
+    hwm: float
+    margin: float
+
+    @property
+    def floor(self) -> float:
+        """The constant execution-time floor this path contributes."""
+        return self.hwm * (1.0 + self.margin)
+
+
+@dataclass
+class PWCETEnvelope:
+    """Pointwise maximum of per-path pWCET curves (plus rare-path floors)."""
+
+    curves: Dict[str, PWCETCurve] = field(default_factory=dict)
+    rare_paths: List[RarePathFloor] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.curves and not self.rare_paths:
+            raise ValueError("envelope needs at least one path")
+
+    @property
+    def num_fitted_paths(self) -> int:
+        """Paths with a full EVT fit."""
+        return len(self.curves)
+
+    @property
+    def has_rare_paths(self) -> bool:
+        """Whether any path fell back to a floor contribution."""
+        return bool(self.rare_paths)
+
+    def quantile(self, p: float) -> float:
+        """pWCET at exceedance ``p``: max across paths (and floors)."""
+        candidates: List[float] = [c.quantile(p) for c in self.curves.values()]
+        candidates.extend(r.floor for r in self.rare_paths)
+        return max(candidates)
+
+    def exceedance(self, x: float) -> float:
+        """Envelope exceedance: the max across path curves.
+
+        The max (not a mixture weighted by path frequency) is the
+        conservative choice matching "taking the maximum across paths":
+        the bound holds whichever path operation happens to take.
+        """
+        candidates: List[float] = [c.exceedance(x) for c in self.curves.values()]
+        for rare in self.rare_paths:
+            candidates.append(1.0 if x < rare.floor else 0.0)
+        return max(candidates) if candidates else 0.0
+
+    def dominating_path(self, p: float) -> str:
+        """Which path's curve defines the envelope at cutoff ``p``."""
+        best_path = ""
+        best_value = -math.inf
+        for path, curve in self.curves.items():
+            value = curve.quantile(p)
+            if value > best_value:
+                best_value = value
+                best_path = path
+        for rare in self.rare_paths:
+            if rare.floor > best_value:
+                best_value = rare.floor
+                best_path = f"{rare.path} (rare-path floor)"
+        return best_path
+
+    def pwcet_table(
+        self, cutoffs: Sequence[float] = STANDARD_CUTOFFS
+    ) -> List[Tuple[float, float]]:
+        """(cutoff, envelope pWCET) rows."""
+        return [(p, self.quantile(p)) for p in cutoffs]
+
+    def hwm(self) -> float:
+        """Max observation across all paths (fitted and rare)."""
+        values = [c.hwm for c in self.curves.values()]
+        values.extend(r.hwm for r in self.rare_paths)
+        return max(values)

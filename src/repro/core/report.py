@@ -1,0 +1,109 @@
+"""Textual analysis reports.
+
+Renders an :class:`~repro.core.mbpta.MBPTAResult` into the sectioned
+text report a timing-analysis tool would emit: sample summaries, i.i.d.
+gate values (the paper reports 0.83 / 0.45), EVT fit parameters and
+diagnostics, the pWCET table at the Figure 3 cutoffs, and warnings
+(rare paths, GoF alarms, non-converged estimates).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .mbpta import MBPTAResult
+
+__all__ = ["render_report", "render_pwcet_table"]
+
+
+def _hrule(char: str = "-", width: int = 72) -> str:
+    return char * width
+
+
+def render_pwcet_table(result: "MBPTAResult") -> str:
+    """The (cutoff, pWCET, pWCET/HWM) table as aligned text."""
+    hwm = result.envelope.hwm()
+    lines = [
+        f"{'cutoff':>10}  {'pWCET':>14}  {'pWCET/HWM':>10}  dominated by",
+    ]
+    for p, estimate in result.pwcet_table():
+        dominating = result.envelope.dominating_path(p)
+        lines.append(
+            f"{p:>10.0e}  {estimate:>14.0f}  {estimate / hwm:>10.3f}  {dominating}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(result: "MBPTAResult") -> str:
+    """Full multi-section report."""
+    lines: List[str] = []
+    title = f"MBPTA analysis report{': ' + result.label if result.label else ''}"
+    lines.append(_hrule("="))
+    lines.append(title)
+    lines.append(_hrule("="))
+
+    # -- sample overview -------------------------------------------------
+    total = sum(len(a.sample) for a in result.paths.values())
+    total += sum(r.observations for r in result.rare_paths)
+    lines.append(
+        f"observations: {total} across {len(result.paths)} fitted path(s)"
+        + (f" + {len(result.rare_paths)} rare path(s)" if result.rare_paths else "")
+    )
+    lines.append(f"high-watermark (all paths): {result.envelope.hwm():.0f}")
+    lines.append("")
+
+    # -- per-path sections -------------------------------------------------
+    for path, analysis in sorted(result.paths.items()):
+        sample = analysis.sample
+        lines.append(_hrule())
+        lines.append(f"path: {path}  (n={len(sample)})")
+        lines.append(
+            f"  exec time: min={sample.minimum:.0f} mean={sample.mean:.0f} "
+            f"hwm={sample.hwm:.0f} std={sample.std:.1f}"
+        )
+        iid = analysis.iid
+        lines.append(
+            f"  i.i.d. gate (alpha={iid.alpha}): "
+            f"Ljung-Box p={iid.independence.p_value:.3f}, "
+            f"KS-2samp p={iid.identical_distribution.p_value:.3f} "
+            f"-> {'PASS' if iid.passed else 'FAIL'}"
+        )
+        if iid.runs is not None:
+            lines.append(f"  runs test (supporting): p={iid.runs.p_value:.3f}")
+        lines.append(f"  tail: {analysis.tail.description}")
+        lines.append(f"  tail GoF (Anderson-Darling): p={analysis.gof_p_value:.3f}")
+        if analysis.gev_shape is not None:
+            lines.append(
+                f"  GEV shape cross-check: xi={analysis.gev_shape:+.4f} "
+                f"(LR test of xi=0: p={analysis.gev_shape_p_value:.3f})"
+            )
+        if analysis.convergence is not None:
+            conv = analysis.convergence
+            if conv.converged:
+                lines.append(
+                    f"  convergence: stable after {conv.runs_needed} runs "
+                    f"(tol={conv.tolerance:.0%} at p={conv.probability:.0e})"
+                )
+            else:
+                lines.append(
+                    "  convergence: NOT yet stable -- collect more runs"
+                )
+
+    # -- rare paths ---------------------------------------------------------
+    if result.rare_paths:
+        lines.append(_hrule())
+        lines.append("rare paths (no EVT fit; HWM + margin floors):")
+        for rare in result.rare_paths:
+            lines.append(
+                f"  {rare.path}: n={rare.observations}, hwm={rare.hwm:.0f}, "
+                f"floor={rare.floor:.0f}  [path coverage is the user's "
+                f"obligation -- collect runs exercising this path]"
+            )
+
+    # -- pWCET table ---------------------------------------------------------
+    lines.append(_hrule())
+    lines.append("pWCET estimates (per-run exceedance probability):")
+    lines.append(render_pwcet_table(result))
+    lines.append(_hrule("="))
+    return "\n".join(lines)

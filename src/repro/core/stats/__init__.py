@@ -1,0 +1,40 @@
+"""Statistical tests of the MBPTA pipeline (i.i.d. gate and diagnostics)."""
+
+from .anderson_darling import AndersonDarlingResult, anderson_darling_test
+from .autocorrelation import acf, acf_standard_error, significant_lags
+from .iid import IidVerdict, iid_gate
+from .ks import (
+    KsResult,
+    kolmogorov_sf,
+    ks_one_sample,
+    ks_two_sample,
+    split_half,
+)
+from .ljung_box import (
+    PortmanteauResult,
+    box_pierce_test,
+    default_lags,
+    ljung_box_test,
+)
+from .runs_test import RunsTestResult, runs_test
+
+__all__ = [
+    "AndersonDarlingResult",
+    "IidVerdict",
+    "KsResult",
+    "PortmanteauResult",
+    "RunsTestResult",
+    "acf",
+    "acf_standard_error",
+    "anderson_darling_test",
+    "box_pierce_test",
+    "default_lags",
+    "iid_gate",
+    "kolmogorov_sf",
+    "ks_one_sample",
+    "ks_two_sample",
+    "ljung_box_test",
+    "runs_test",
+    "significant_lags",
+    "split_half",
+]

@@ -1,0 +1,15 @@
+"""Measurement harness: run protocol, sample containers, experiments."""
+
+from .campaign import CampaignConfig, CampaignResult, MeasurementCampaign
+from .experiment import DetRandComparison, compare_det_rand
+from .measurements import ExecutionTimeSample, PathSamples
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "DetRandComparison",
+    "ExecutionTimeSample",
+    "MeasurementCampaign",
+    "PathSamples",
+    "compare_det_rand",
+]

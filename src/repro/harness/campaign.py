@@ -1,0 +1,163 @@
+"""MBPTA measurement campaigns.
+
+Implements the paper's experimental protocol:
+
+    "We execute TVCA 3,000 times to collect execution times ...  We
+    flush caches, reset the FPGA and reload the executable across
+    executions to have the same conditions for each execution.  We also
+    set a new seed for each experiment after the binary has been
+    reloaded."
+
+:class:`MeasurementCampaign` owns the per-run seeding discipline — every
+run ``r`` derives a fresh platform seed and an independent workload
+input seed from the campaign's base seed — and collects execution times
+into :class:`~repro.harness.measurements.PathSamples` keyed by the
+executed path (the paper performs per-path analysis).
+
+Two drivers are provided: :meth:`run_tvca` for the case study and
+:meth:`run_program` for arbitrary DSL programs (kernels/ablations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..platform.prng import derive_seed
+from ..platform.soc import Platform
+from ..programs.compiler import generate_trace
+from ..programs.layout import LinkedImage
+from ..programs.dsl import Env, Program
+from ..workloads.tvca.app import TvcaApplication, TvcaRunResult
+from .measurements import ExecutionTimeSample, PathSamples
+
+__all__ = ["CampaignConfig", "CampaignResult", "MeasurementCampaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign-level parameters.
+
+    Attributes
+    ----------
+    runs:
+        Number of measured executions (the paper uses 3,000).
+    base_seed:
+        Root of the per-run seed derivations.
+    vary_inputs:
+        When False every run replays identical workload inputs, leaving
+        platform randomization as the only variation source (useful for
+        isolating hardware effects in ablations).
+    """
+
+    runs: int = 1000
+    base_seed: int = 2017
+    vary_inputs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+
+    def platform_seed(self, run_index: int) -> int:
+        """Per-run platform randomization seed."""
+        return derive_seed(self.base_seed, 1, run_index)
+
+    def input_seed(self, run_index: int) -> int:
+        """Per-run workload input seed (constant when vary_inputs=False)."""
+        if not self.vary_inputs:
+            return derive_seed(self.base_seed, 2, 0)
+        return derive_seed(self.base_seed, 2, run_index)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    label: str
+    samples: PathSamples
+    run_details: List[object] = field(default_factory=list)
+
+    @property
+    def merged(self) -> ExecutionTimeSample:
+        """All execution times pooled across paths (collection order)."""
+        ordered = ExecutionTimeSample(label=self.label)
+        for value, _ in self._ordered_observations():
+            ordered.add(value)
+        return ordered
+
+    def _ordered_observations(self) -> List[Tuple[float, str]]:
+        observations: List[Tuple[float, str]] = []
+        for detail in self.run_details:
+            observations.append((detail[0], detail[1]))
+        return observations
+
+    @property
+    def num_runs(self) -> int:
+        """Number of measured executions."""
+        return len(self.run_details)
+
+
+class MeasurementCampaign:
+    """Collects execution-time samples under the MBPTA run protocol."""
+
+    def __init__(self, config: CampaignConfig = CampaignConfig()) -> None:
+        self.config = config
+
+    def run_tvca(
+        self,
+        platform: Platform,
+        app: Optional[TvcaApplication] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> CampaignResult:
+        """Measure the TVCA ``config.runs`` times on ``platform``.
+
+        Each run resets/reseeds the platform (done inside
+        :meth:`TvcaApplication.run_once`) and draws fresh workload
+        inputs.  Observations are grouped by the run's coarse path class.
+        """
+        cfg = self.config
+        if app is None:
+            app = TvcaApplication()
+        label = f"TVCA@{platform.name}"
+        samples = PathSamples(label=label)
+        details: List[Tuple[float, str, TvcaRunResult]] = []
+        for run_index in range(cfg.runs):
+            result = app.run_once(
+                platform,
+                run_seed=cfg.platform_seed(run_index),
+                input_seed=cfg.input_seed(run_index),
+            )
+            samples.add(result.path_class, result.cycles)
+            details.append((float(result.cycles), result.path_class, result))
+            if progress is not None:
+                progress(run_index + 1, cfg.runs)
+        return CampaignResult(label=label, samples=samples, run_details=details)
+
+    def run_program(
+        self,
+        platform: Platform,
+        program: Program,
+        image: LinkedImage,
+        env_fn: Optional[Callable[[int], Env]] = None,
+        core_id: int = 0,
+    ) -> CampaignResult:
+        """Measure a DSL ``program`` ``config.runs`` times on ``platform``.
+
+        ``env_fn(run_index)`` supplies the input environment per run
+        (default: empty).  Observations are grouped by the executed DSL
+        path signature.
+        """
+        cfg = self.config
+        label = f"{program.name}@{platform.name}"
+        samples = PathSamples(label=label)
+        details: List[Tuple[float, str]] = []
+        for run_index in range(cfg.runs):
+            env = env_fn(run_index) if env_fn is not None else {}
+            trace, signature = generate_trace(program, image, env)
+            result = platform.run(
+                trace, seed=cfg.platform_seed(run_index), core_id=core_id
+            )
+            key = signature.as_key()
+            samples.add(key, result.cycles)
+            details.append((float(result.cycles), key))
+        return CampaignResult(label=label, samples=samples, run_details=details)

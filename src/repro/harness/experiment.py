@@ -1,0 +1,95 @@
+"""End-to-end experiment drivers (DET vs RAND comparisons).
+
+Figure 3 of the paper puts side by side, for the same application:
+
+* the average execution time on the DET and RAND platforms (first two
+  bars — showing randomization does not hurt average performance),
+* the industrial-practice MBTA bound: DET high-watermark inflated by an
+  engineering factor (e.g. 50%),
+* MBPTA pWCET estimates at cutoff probabilities from 1e-6 down to 1e-15.
+
+:func:`compare_det_rand` runs the same workload campaign on both
+platforms with **identical workload-input seeds** (so only the platform
+differs) and returns the raw material for that comparison; the analysis
+layer (:mod:`repro.core`) turns the RAND sample into pWCET estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..platform.soc import Platform, leon3_det, leon3_rand
+from ..workloads.tvca.app import TvcaApplication, TvcaConfig
+from .campaign import CampaignConfig, CampaignResult, MeasurementCampaign
+from .measurements import ExecutionTimeSample
+
+__all__ = ["DetRandComparison", "compare_det_rand"]
+
+
+@dataclass
+class DetRandComparison:
+    """Raw measurements of one workload on both platforms."""
+
+    det: CampaignResult
+    rand: CampaignResult
+
+    @property
+    def det_sample(self) -> ExecutionTimeSample:
+        """Pooled DET execution times."""
+        return self.det.merged
+
+    @property
+    def rand_sample(self) -> ExecutionTimeSample:
+        """Pooled RAND execution times."""
+        return self.rand.merged
+
+    def average_ratio(self) -> float:
+        """mean(RAND) / mean(DET) — the paper reports ~1.0."""
+        return self.rand_sample.mean / self.det_sample.mean
+
+    def hwm_ratio(self) -> float:
+        """hwm(RAND) / hwm(DET)."""
+        return self.rand_sample.hwm / self.det_sample.hwm
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers of the comparison."""
+        det = self.det_sample
+        rand = self.rand_sample
+        return {
+            "det_mean": det.mean,
+            "rand_mean": rand.mean,
+            "det_hwm": det.hwm,
+            "rand_hwm": rand.hwm,
+            "average_ratio": self.average_ratio(),
+            "hwm_ratio": self.hwm_ratio(),
+        }
+
+
+def compare_det_rand(
+    runs: int = 500,
+    base_seed: int = 2017,
+    app_config: Optional[TvcaConfig] = None,
+    det_platform: Optional[Platform] = None,
+    rand_platform: Optional[Platform] = None,
+    progress: Optional[Callable[[str, int, int], None]] = None,
+) -> DetRandComparison:
+    """Run the TVCA campaign on the DET and RAND platforms.
+
+    Both campaigns use the same base seed, hence identical per-run
+    *workload inputs*; only the platform (and its randomization) differs
+    — the controlled comparison behind Figure 3.
+    """
+    app = TvcaApplication(app_config or TvcaConfig())
+    campaign = MeasurementCampaign(CampaignConfig(runs=runs, base_seed=base_seed))
+    det = det_platform or leon3_det()
+    rand = rand_platform or leon3_rand()
+
+    def wrap(name: str):
+        if progress is None:
+            return None
+        return lambda done, total: progress(name, done, total)
+
+    det_result = campaign.run_tvca(det, app, progress=wrap("DET"))
+    rand_result = campaign.run_tvca(rand, app, progress=wrap("RAND"))
+    return DetRandComparison(det=det_result, rand=rand_result)

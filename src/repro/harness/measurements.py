@@ -1,0 +1,176 @@
+"""Execution-time sample containers.
+
+The unit of exchange between the measurement harness and the MBPTA
+analysis: an ordered sample of end-to-end execution times (order matters
+— the independence tests operate on the collection sequence), optionally
+grouped by executed path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["ExecutionTimeSample", "PathSamples"]
+
+
+@dataclass
+class ExecutionTimeSample:
+    """An ordered execution-time sample with summary helpers.
+
+    Attributes
+    ----------
+    values:
+        Execution times in collection order (cycles; floats accepted so
+        synthetic generators can feed the same pipeline).
+    label:
+        Human-readable origin ("TVCA@RAND", "matmul@DET", ...).
+    """
+
+    values: List[float] = field(default_factory=list)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.values = [float(v) for v in self.values]
+
+    # -- collection ----------------------------------------------------
+    def add(self, value: float) -> None:
+        """Append one observation."""
+        self.values.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Append many observations (ordered)."""
+        for value in values:
+            self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    # -- summaries -------------------------------------------------------
+    @property
+    def hwm(self) -> float:
+        """High-watermark: the maximum observed execution time."""
+        if not self.values:
+            raise ValueError("empty sample has no high-watermark")
+        return max(self.values)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation."""
+        if not self.values:
+            raise ValueError("empty sample has no minimum")
+        return min(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        if not self.values:
+            raise ValueError("empty sample has no mean")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0.0 for singletons)."""
+        n = len(self.values)
+        if n == 0:
+            raise ValueError("empty sample has no standard deviation")
+        if n == 1:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (n - 1))
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (std/mean)."""
+        mu = self.mean
+        if mu == 0:
+            return 0.0
+        return self.std / mu
+
+    def percentile(self, q: float) -> float:
+        """Empirical quantile with linear interpolation, ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.values:
+            raise ValueError("empty sample has no percentiles")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return ordered[low]
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def sorted_values(self) -> List[float]:
+        """Ascending copy of the observations."""
+        return sorted(self.values)
+
+    def summary(self) -> Dict[str, float]:
+        """Dictionary of the standard summary statistics."""
+        return {
+            "n": float(len(self.values)),
+            "min": self.minimum,
+            "mean": self.mean,
+            "std": self.std,
+            "hwm": self.hwm,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    # -- persistence -------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps({"label": self.label, "values": self.values})
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExecutionTimeSample":
+        """Deserialize from :meth:`to_json` output."""
+        data = json.loads(payload)
+        return cls(values=data["values"], label=data.get("label", ""))
+
+
+@dataclass
+class PathSamples:
+    """Execution times grouped by executed path identifier."""
+
+    label: str = ""
+    paths: Dict[str, ExecutionTimeSample] = field(default_factory=dict)
+
+    def add(self, path_key: str, value: float) -> None:
+        """Record one observation for ``path_key`` (creates the path)."""
+        if path_key not in self.paths:
+            self.paths[path_key] = ExecutionTimeSample(
+                label=f"{self.label}/{path_key}" if self.label else path_key
+            )
+        self.paths[path_key].add(value)
+
+    def merged(self) -> ExecutionTimeSample:
+        """All observations pooled (collection order within paths)."""
+        merged = ExecutionTimeSample(label=self.label)
+        for sample in self.paths.values():
+            merged.extend(sample.values)
+        return merged
+
+    @property
+    def num_paths(self) -> int:
+        """Number of distinct observed paths."""
+        return len(self.paths)
+
+    def dominant_path(self) -> str:
+        """The path with the most observations."""
+        if not self.paths:
+            raise ValueError("no paths recorded")
+        return max(self.paths.items(), key=lambda kv: len(kv[1]))[0]
+
+    def counts(self) -> Dict[str, int]:
+        """Observation count per path."""
+        return {key: len(sample) for key, sample in self.paths.items()}

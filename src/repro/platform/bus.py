@@ -1,0 +1,140 @@
+"""Shared AMBA-like bus model.
+
+The paper's platform "propagates DL1 and IL1 misses to the DRAM shared
+memory controller" over a bus shared by the 4 cores (Figure 1).  The bus
+is modelled at the transaction level: each miss or write-through store
+issues a transaction that pays
+
+* an **arbitration** delay — a function of how many other masters hold or
+  contend for the bus at that moment (round-robin arbiter: the worst case
+  is waiting for every other master once), and
+* a **transfer** delay — address + data beats for one cache line or one
+  store word.
+
+For the single-active-core experiments of the paper (TVCA runs on one
+core of the 4-core SoC, bare metal), contention is zero and the bus adds
+a constant per-transaction cost — a *jitterless* resource, hence MBPTA
+compliant without modification.  The model still implements multi-master
+round-robin contention so that multicore experiments (and the contention
+ablation) exercise a real arbiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["BusConfig", "BusStats", "Bus"]
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Bus timing parameters.
+
+    Attributes
+    ----------
+    num_masters:
+        Number of cores that can own the bus (paper platform: 4).
+    arbitration_cycles:
+        Cycles for one arbitration decision.
+    line_transfer_cycles:
+        Data beats to move one cache line (e.g. 32-byte line over a
+        32-bit bus = 8 beats).
+    word_transfer_cycles:
+        Beats for a single write-through store word.
+    """
+
+    num_masters: int = 4
+    arbitration_cycles: int = 1
+    line_transfer_cycles: int = 8
+    word_transfer_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_masters < 1:
+            raise ValueError("num_masters must be >= 1")
+
+
+@dataclass
+class BusStats:
+    """Per-run bus activity counters."""
+
+    transactions: int = 0
+    contention_cycles: int = 0
+    transfer_cycles: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.transactions = 0
+        self.contention_cycles = 0
+        self.transfer_cycles = 0
+
+
+class Bus:
+    """Round-robin shared bus.
+
+    Masters call :meth:`request` with their id, the transaction kind and
+    the current time; the bus returns the number of cycles the master
+    stalls (arbitration + waiting for the bus to free + transfer).  The
+    model keeps a single ``busy_until`` horizon plus a round-robin grant
+    pointer; with one active master it degenerates to a constant cost.
+    """
+
+    def __init__(self, config: BusConfig) -> None:
+        self.config = config
+        self.stats = BusStats()
+        self._busy_until = 0
+        self._grant_pointer = 0
+
+    def reset(self) -> None:
+        """Clear bus state between runs."""
+        self._busy_until = 0
+        self._grant_pointer = 0
+
+    def reset_stats(self) -> None:
+        """Zero activity counters."""
+        self.stats.reset()
+
+    def _grant_delay(self, master_id: int) -> int:
+        """Round-robin arbitration: masters between the grant pointer and
+        the requester (cyclically) would be served first if they were
+        requesting; in the single-master case this is zero."""
+        if self.config.num_masters == 1:
+            return 0
+        distance = (master_id - self._grant_pointer) % self.config.num_masters
+        # Only already-queued masters matter; the simple horizon model
+        # folds that into busy_until, so the residual grant delay is the
+        # arbiter's decision latency scaled by the cyclic distance of the
+        # requester from the pointer (0 when it is its turn).
+        return 0 if distance == 0 else self.config.arbitration_cycles
+
+    def request(self, master_id: int, now: int, is_line: bool) -> int:
+        """Issue one transaction; return stall cycles seen by the master.
+
+        Parameters
+        ----------
+        master_id:
+            Requesting core id in ``[0, num_masters)``.
+        now:
+            Current core-local cycle count (used to model overlap with
+            previous transactions).
+        is_line:
+            True for a cache-line refill, False for a single store word.
+        """
+        if not 0 <= master_id < self.config.num_masters:
+            raise ValueError(
+                f"master_id {master_id} out of range [0, {self.config.num_masters})"
+            )
+        wait = max(0, self._busy_until - now)
+        wait += self._grant_delay(master_id)
+        transfer = (
+            self.config.line_transfer_cycles
+            if is_line
+            else self.config.word_transfer_cycles
+        )
+        transfer += self.config.arbitration_cycles
+        self._busy_until = now + wait + transfer
+        self._grant_pointer = (master_id + 1) % self.config.num_masters
+        self.stats.transactions += 1
+        self.stats.contention_cycles += wait
+        self.stats.transfer_cycles += transfer
+        return wait + transfer

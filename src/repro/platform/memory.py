@@ -1,0 +1,173 @@
+"""DRAM memory controller timing model.
+
+L1 misses and write-through stores propagate over the bus to a shared
+DRAM controller.  Two page policies are modelled:
+
+* **closed page** — every access pays the full activate + CAS cost; the
+  latency is a *constant*, making the controller a jitterless resource
+  (naturally MBPTA-compliant, the configuration used for the paper's
+  experiments on both DET and RAND platforms).
+* **open page** — the controller keeps rows open per bank; a row-buffer
+  hit is cheap, a conflict pays precharge + activate.  This makes memory
+  latency a function of the access history and row mapping — a
+  deterministic jitter source that the open-page ablation uses to show
+  why analysis-friendly platforms bound it.
+
+Refresh is modelled as an optional periodic stall with a configurable
+phase; the measurement protocol resets the platform per run, so with a
+fixed phase refresh adds the same bounded cost to every run (jitterless
+across runs), while a randomized phase turns it into probabilistic
+jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["MemoryConfig", "MemoryStats", "MemoryController"]
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """DRAM controller timing parameters (cycles at core frequency).
+
+    Attributes
+    ----------
+    page_policy:
+        ``"closed"`` (constant latency, default) or ``"open"``.
+    num_banks:
+        Interleaved DRAM banks (open-page policy only).
+    row_bytes:
+        Row-buffer size per bank.
+    cas_cycles:
+        Column access latency (paid by every access).
+    activate_cycles:
+        Row activation (RAS) latency.
+    precharge_cycles:
+        Row precharge latency (row-buffer conflict, open page).
+    write_cycles:
+        Additional cost of a write access at the device.
+    refresh_interval_cycles:
+        Period between refresh stalls; 0 disables refresh.
+    refresh_stall_cycles:
+        Stall length when an access collides with a refresh window.
+    """
+
+    page_policy: str = "closed"
+    num_banks: int = 4
+    row_bytes: int = 2048
+    cas_cycles: int = 12
+    activate_cycles: int = 12
+    precharge_cycles: int = 8
+    write_cycles: int = 2
+    refresh_interval_cycles: int = 0
+    refresh_stall_cycles: int = 12
+
+    def __post_init__(self) -> None:
+        if self.page_policy not in ("closed", "open"):
+            raise ValueError("page_policy must be 'closed' or 'open'")
+        if self.num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        if self.row_bytes & (self.row_bytes - 1):
+            raise ValueError("row_bytes must be a power of two")
+
+
+@dataclass
+class MemoryStats:
+    """Per-run DRAM activity counters."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    refresh_stalls: int = 0
+    total_cycles: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_conflicts = 0
+        self.refresh_stalls = 0
+        self.total_cycles = 0
+
+
+class MemoryController:
+    """Timing oracle for DRAM accesses behind the shared bus."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.stats = MemoryStats()
+        self._open_rows: Dict[int, Optional[int]] = {}
+        self._refresh_phase = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Close all rows and restart the refresh counter (platform reset)."""
+        self._open_rows = {bank: None for bank in range(self.config.num_banks)}
+        self._refresh_phase = 0
+
+    def reset_stats(self) -> None:
+        """Zero activity counters."""
+        self.stats.reset()
+
+    def set_refresh_phase(self, phase: int) -> None:
+        """Set the refresh counter phase (used by the refresh ablation)."""
+        if self.config.refresh_interval_cycles > 0:
+            self._refresh_phase = phase % self.config.refresh_interval_cycles
+        else:
+            self._refresh_phase = 0
+
+    def _bank_and_row(self, byte_address: int) -> tuple:
+        row_index = byte_address // self.config.row_bytes
+        bank = row_index % self.config.num_banks
+        row = row_index // self.config.num_banks
+        return bank, row
+
+    def _refresh_penalty(self, now: int) -> int:
+        interval = self.config.refresh_interval_cycles
+        if interval <= 0:
+            return 0
+        position = (now + self._refresh_phase) % interval
+        if position < self.config.refresh_stall_cycles:
+            self.stats.refresh_stalls += 1
+            return self.config.refresh_stall_cycles - position
+        return 0
+
+    def access(self, byte_address: int, is_write: bool, now: int) -> int:
+        """Return the device latency of one access issued at cycle ``now``."""
+        cfg = self.config
+        cycles = cfg.cas_cycles
+        if cfg.page_policy == "closed":
+            cycles += cfg.activate_cycles
+        else:
+            bank, row = self._bank_and_row(byte_address)
+            open_row = self._open_rows[bank]
+            if open_row == row:
+                self.stats.row_hits += 1
+            elif open_row is None:
+                cycles += cfg.activate_cycles
+            else:
+                self.stats.row_conflicts += 1
+                cycles += cfg.precharge_cycles + cfg.activate_cycles
+            self._open_rows[bank] = row
+        if is_write:
+            cycles += cfg.write_cycles
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        cycles += self._refresh_penalty(now)
+        self.stats.total_cycles += cycles
+        return cycles
+
+    def worst_case_latency(self, is_write: bool) -> int:
+        """Static bound on a single access latency (excluding refresh)."""
+        cfg = self.config
+        cycles = cfg.cas_cycles + cfg.activate_cycles
+        if cfg.page_policy == "open":
+            cycles += cfg.precharge_cycles
+        if is_write:
+            cycles += cfg.write_cycles
+        return cycles

@@ -1,0 +1,140 @@
+"""Seven-stage in-order pipeline timing model.
+
+The LEON3 integer pipeline has seven stages (fetch, decode, register
+access, execute, memory, exception, write-back).  For an in-order
+single-issue pipeline the steady-state cost of an instruction is one
+cycle; all timing variation comes from *stalls*:
+
+* **fetch stalls** — IL1 miss / ITLB miss (charged by the core model),
+* **load-use hazards** — an instruction consuming the result of a load
+  one or two slots earlier stalls until the memory stage delivers,
+* **branch bubbles** — LEON3 has no branch prediction; a taken branch
+  refetches through the delay slot and pays a small fixed bubble,
+* **long-latency execute** — integer mul/div and FP operations occupy
+  the execute stage for their full latency (the model charges latency
+  minus the one base cycle as stall),
+* **memory stalls** — DL1 miss / DTLB miss / store-buffer-full (charged
+  by the core model).
+
+The pipeline model is deliberately *jitterless given its inputs*: it is a
+deterministic function of the instruction stream, matching the paper's
+observation that fixed-latency resources are naturally MBPTA-compliant.
+The randomized resources (caches, TLBs) and the mode-switched FPU inject
+all the per-run variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .trace import InstrKind
+
+__all__ = ["PipelineConfig", "PipelineStats", "PipelineModel"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Fixed pipeline timing parameters.
+
+    Attributes
+    ----------
+    base_cpi_cycles:
+        Steady-state cycles per instruction (1 for single issue).
+    taken_branch_bubble_cycles:
+        Refetch bubble after a taken branch (beyond the delay slot).
+    load_use_stall_cycles:
+        Stall when a dependent instruction immediately follows a load.
+    imul_latency / idiv_latency:
+        Integer multiply/divide execute-stage occupancy.  LEON3's integer
+        divider is fixed-latency — a jitterless resource.
+    """
+
+    base_cpi_cycles: int = 1
+    taken_branch_bubble_cycles: int = 2
+    load_use_stall_cycles: int = 1
+    imul_latency: int = 4
+    idiv_latency: int = 35
+
+
+@dataclass
+class PipelineStats:
+    """Per-run stall accounting."""
+
+    instructions: int = 0
+    base_cycles: int = 0
+    branch_bubbles: int = 0
+    load_use_stalls: int = 0
+    long_op_stalls: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.instructions = 0
+        self.base_cycles = 0
+        self.branch_bubbles = 0
+        self.load_use_stalls = 0
+        self.long_op_stalls = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles attributable to the pipeline itself (no memory)."""
+        return (
+            self.base_cycles
+            + self.branch_bubbles
+            + self.load_use_stalls
+            + self.long_op_stalls
+        )
+
+
+class PipelineModel:
+    """Per-instruction pipeline cost oracle.
+
+    The core model calls :meth:`issue` once per instruction with the
+    decoded fields and adds the returned cycles to the run total.  FP
+    latencies are charged by the FPU model; this class charges integer
+    long ops, hazards and branch bubbles.
+    """
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+        self.stats = PipelineStats()
+
+    def reset_stats(self) -> None:
+        """Zero stall accounting."""
+        self.stats.reset()
+
+    def issue(self, kind: int, dep_distance: int, taken: bool) -> int:
+        """Cycles consumed by one instruction in the pipeline proper.
+
+        Parameters
+        ----------
+        kind:
+            ``InstrKind`` integer code.
+        dep_distance:
+            Distance (in instructions) to a producing load; 1 or 2 incur
+            a load-use stall on this 7-stage pipeline, 0 or >2 do not.
+        taken:
+            Whether a branch instruction is taken.
+        """
+        cfg = self.config
+        cycles = cfg.base_cpi_cycles
+        self.stats.instructions += 1
+        self.stats.base_cycles += cfg.base_cpi_cycles
+        if dep_distance in (1, 2):
+            # The memory stage is two stages after register access: a
+            # consumer one or two slots behind a load must wait.
+            stall = cfg.load_use_stall_cycles * (3 - dep_distance) // 2
+            if stall:
+                cycles += stall
+                self.stats.load_use_stalls += stall
+        if kind == InstrKind.BRANCH and taken:
+            cycles += cfg.taken_branch_bubble_cycles
+            self.stats.branch_bubbles += cfg.taken_branch_bubble_cycles
+        elif kind == InstrKind.IMUL:
+            stall = cfg.imul_latency - cfg.base_cpi_cycles
+            cycles += stall
+            self.stats.long_op_stalls += stall
+        elif kind == InstrKind.IDIV:
+            stall = cfg.idiv_latency - cfg.base_cpi_cycles
+            cycles += stall
+            self.stats.long_op_stalls += stall
+        return cycles

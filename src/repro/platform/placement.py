@@ -1,0 +1,158 @@
+"""Cache placement policies (set-index functions).
+
+The memory layout of code/data determines the cache sets where they land,
+with a large impact on execution time.  The paper's platform replaces the
+conventional *modulo* placement with *random modulo* placement (Hernandez
+et al., DAC 2016) in IL1 and DL1, so that program data/code map to random
+sets in each run regardless of where the linker put them.  This module
+implements:
+
+* :class:`ModuloPlacement` — the deterministic baseline: the set index is
+  the low-order line-address bits.  Execution time then depends on the
+  memory layout, which is exactly what industrial MBTA has to control.
+* :class:`RandomModuloPlacement` — DAC 2016 random modulo: the set index
+  is ``(index_bits + h(tag, seed)) mod S``.  Because the per-run rotation
+  ``h(tag, seed)`` depends only on the *tag*, any ``S`` consecutive lines
+  (same tag, consecutive index bits) still map to ``S`` distinct sets:
+  random modulo randomizes *inter-object* conflicts without introducing
+  *intra-object* conflicts that plain hash placement can create.
+* :class:`HashRandomPlacement` — the earlier parametric-hash random
+  placement (Kosmidis et al., DATE 2013): the whole line address is hashed
+  with the seed, so even consecutive lines can conflict (with small
+  probability).  Provided as an ablation comparator.
+
+All policies are pure functions of ``(line_address, seed)`` once
+constructed, which the cache model exploits for reseeding between runs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .prng import SplitMix64
+
+__all__ = [
+    "PlacementPolicy",
+    "ModuloPlacement",
+    "RandomModuloPlacement",
+    "HashRandomPlacement",
+    "make_placement",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int, seed: int) -> int:
+    """Stateless 64-bit mix of ``value`` with ``seed`` (SplitMix64 finalizer).
+
+    Cheap enough to be evaluated per access and statistically strong
+    enough that distinct tags receive effectively independent rotations.
+    """
+    z = (value * 0x9E3779B97F4A7C15 + seed) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+class PlacementPolicy(ABC):
+    """Maps a cache-line address to a set index, possibly seed-dependent."""
+
+    #: True when the mapping changes with the per-run seed.
+    randomized: bool = False
+
+    def __init__(self, num_sets: int) -> None:
+        if num_sets < 1:
+            raise ValueError("num_sets must be >= 1")
+        self.num_sets = num_sets
+
+    @abstractmethod
+    def set_index(self, line_address: int, seed: int) -> int:
+        """Return the set index in ``[0, num_sets)`` for ``line_address``."""
+
+    def reseed_required(self) -> bool:
+        """Whether a fresh seed per run changes behaviour."""
+        return self.randomized
+
+    @property
+    def name(self) -> str:
+        """Short policy identifier used in reports."""
+        return type(self).__name__
+
+
+class ModuloPlacement(PlacementPolicy):
+    """Deterministic modulo placement: ``set = line_address mod S``.
+
+    This is the conventional cache indexing whose layout sensitivity
+    motivates the paper's hardware changes.
+    """
+
+    randomized = False
+
+    def set_index(self, line_address: int, seed: int) -> int:
+        return line_address % self.num_sets
+
+
+class RandomModuloPlacement(PlacementPolicy):
+    """Random modulo placement (Hernandez et al., DAC 2016).
+
+    ``set = (index_bits + h(tag, seed)) mod S`` where ``tag`` is
+    ``line_address // S`` and ``index_bits`` is ``line_address mod S``.
+
+    Properties (both verified by the test suite):
+
+    * For a fixed seed, any ``S`` consecutive lines map to ``S`` distinct
+      sets (no intra-segment conflicts), because they share one tag and
+      their index bits are a permutation of ``0..S-1`` shifted by a
+      constant rotation.
+    * Across seeds, the rotation of each tag is (pseudo-)uniform on
+      ``[0, S)``, so inter-object conflict patterns are randomized per
+      run, which is what gives MBPTA its probabilistic layout coverage.
+    """
+
+    randomized = True
+
+    def set_index(self, line_address: int, seed: int) -> int:
+        tag = line_address // self.num_sets
+        index = line_address % self.num_sets
+        rotation = _mix(tag, seed) % self.num_sets
+        return (index + rotation) % self.num_sets
+
+
+class HashRandomPlacement(PlacementPolicy):
+    """Parametric-hash random placement (Kosmidis et al., DATE 2013).
+
+    The full line address is hashed with the seed: consecutive lines can
+    collide in one run (and not in another).  Kept as a comparator for the
+    placement ablation: random modulo was introduced precisely to remove
+    the residual intra-object conflict probability of this scheme.
+    """
+
+    randomized = True
+
+    def set_index(self, line_address: int, seed: int) -> int:
+        return _mix(line_address, seed) % self.num_sets
+
+
+_POLICIES = {
+    "modulo": ModuloPlacement,
+    "random_modulo": RandomModuloPlacement,
+    "hash_random": HashRandomPlacement,
+}
+
+
+def make_placement(name: str, num_sets: int) -> PlacementPolicy:
+    """Construct a placement policy by configuration name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"modulo"``, ``"random_modulo"``, ``"hash_random"``.
+    num_sets:
+        Number of cache sets.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; known: {sorted(_POLICIES)}"
+        ) from None
+    return cls(num_sets)

@@ -1,0 +1,76 @@
+"""Structured-program DSL, linker and trace compiler.
+
+Workloads (the TVCA tasks, kernels) are written against this DSL; the
+linker assigns code/data addresses (making memory layout an explicit,
+controllable input — the DET platform's key sensitivity), and the
+compiler expands one execution under a given input environment into the
+instruction trace the platform executes, together with the executed path
+identifier used by per-path MBPTA.
+"""
+
+from .compiler import (
+    CompiledProgram,
+    PathSignature,
+    compile_program,
+    generate_trace,
+)
+from .dsl import (
+    AluOp,
+    ArrayDecl,
+    Block,
+    Call,
+    FpuOp,
+    If,
+    IntLongOp,
+    LoadOp,
+    Loop,
+    Program,
+    StoreOp,
+    alu,
+    fadd,
+    fcmp,
+    fconv,
+    fdiv,
+    fmul,
+    fsqrt,
+    fsub,
+    idiv,
+    imul,
+    load,
+    store,
+)
+from .layout import LayoutConfig, LinkedImage, code_size_instructions, link
+
+__all__ = [
+    "AluOp",
+    "ArrayDecl",
+    "Block",
+    "Call",
+    "CompiledProgram",
+    "FpuOp",
+    "If",
+    "IntLongOp",
+    "LayoutConfig",
+    "LinkedImage",
+    "LoadOp",
+    "Loop",
+    "PathSignature",
+    "Program",
+    "StoreOp",
+    "alu",
+    "code_size_instructions",
+    "compile_program",
+    "fadd",
+    "fcmp",
+    "fconv",
+    "fdiv",
+    "fmul",
+    "fsqrt",
+    "fsub",
+    "generate_trace",
+    "idiv",
+    "imul",
+    "link",
+    "load",
+    "store",
+]

@@ -1,0 +1,256 @@
+"""DSL-to-trace compiler.
+
+Expands a linked :class:`~repro.programs.dsl.Program` and one input
+environment into the instruction :class:`~repro.platform.trace.Trace`
+the platform executes, while recording the **executed path identifier**.
+
+Code addresses follow the static layout computed by the linker: loop
+iterations re-fetch the same body addresses (so the instruction cache
+sees real temporal locality), taken branches redirect the pc, and calls
+jump to the callee's own link address and back.
+
+The path identifier collects, in execution order, the outcome of every
+:class:`~repro.programs.dsl.If` and the trip count of every
+input-dependent :class:`~repro.programs.dsl.Loop`.  Two runs with equal
+identifiers executed the same instruction sequence shape — the grouping
+key of the paper's per-path MBPTA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..platform.trace import InstrKind, Trace, TraceBuilder
+from .dsl import (
+    AluOp,
+    Block,
+    Call,
+    Env,
+    FpuOp,
+    If,
+    IntLongOp,
+    LoadOp,
+    Loop,
+    Node,
+    Program,
+    StoreOp,
+    resolve_cond,
+    resolve_count,
+    resolve_index,
+    resolve_value,
+)
+from .layout import LayoutConfig, LinkedImage, code_size_instructions, link
+
+__all__ = ["PathSignature", "CompiledProgram", "compile_program", "generate_trace"]
+
+_INSTRUCTION_BYTES = 4
+
+
+@dataclass(frozen=True)
+class PathSignature:
+    """Canonical identifier of one executed path."""
+
+    components: Tuple[Tuple[str, str], ...] = ()
+
+    def as_key(self) -> str:
+        """Stable string key (used to group samples per path)."""
+        if not self.components:
+            return "<straight>"
+        return ";".join(f"{name}={value}" for name, value in self.components)
+
+    def __str__(self) -> str:
+        return self.as_key()
+
+
+class _PathRecorder:
+    """Accumulates path components during one expansion."""
+
+    def __init__(self) -> None:
+        self.components: List[Tuple[str, str]] = []
+
+    def record(self, name: str, value: str) -> None:
+        self.components.append((name, value))
+
+    def signature(self) -> PathSignature:
+        return PathSignature(components=tuple(self.components))
+
+
+@dataclass
+class CompiledProgram:
+    """A program linked into an image, ready for trace generation."""
+
+    program: Program
+    image: LinkedImage
+
+    def trace(self, env: Optional[Env] = None) -> Tuple[Trace, PathSignature]:
+        """Expand one execution with inputs ``env``."""
+        return generate_trace(self.program, self.image, env or {})
+
+    def static_instruction_count(self) -> int:
+        """Instruction count of the root body (loops counted once)."""
+        return code_size_instructions(self.program.body) + 1
+
+
+def compile_program(
+    program: Program, layout: LayoutConfig = LayoutConfig()
+) -> CompiledProgram:
+    """Link ``program`` (and callees) and wrap it for trace generation."""
+    return CompiledProgram(program=program, image=link(program, layout))
+
+
+class _Emitter:
+    """Tree-walking trace emitter with static pc tracking."""
+
+    def __init__(self, image: LinkedImage, env: Env) -> None:
+        self.image = image
+        self.env = dict(env)
+        self.builder = TraceBuilder(start_pc=image.code_base(image.root))
+        self.path = _PathRecorder()
+        # Distance (in emitted instructions) since the last load, used to
+        # attach load-use dependency distances to consumers.
+        self._since_load = 1 << 20
+        self._size_cache: Dict[int, int] = {}
+
+    # -- helpers --------------------------------------------------------
+    def _size(self, nodes: Sequence[Node]) -> int:
+        key = id(nodes)
+        if key not in self._size_cache:
+            self._size_cache[key] = code_size_instructions(nodes)
+        return self._size_cache[key]
+
+    def _data_address(self, program: Program, array: str, index_expr) -> int:
+        index = resolve_index(index_expr, self.env)
+        decl = self.image.array_decl(program.name, array)
+        if not 0 <= index < decl.elements:
+            raise IndexError(
+                f"index {index} out of bounds for array "
+                f"{program.name}.{array}[{decl.elements}]"
+            )
+        base = self.image.array_base(program.name, array)
+        return base + index * decl.element_bytes
+
+    def _emit(self, kind: InstrKind, **kwargs) -> None:
+        self.builder.emit(kind, **kwargs)
+        if kind == InstrKind.LOAD:
+            self._since_load = 0
+        else:
+            self._since_load += 1
+
+    def _dep_distance(self, wants_dep: bool) -> int:
+        if not wants_dep:
+            return 0
+        distance = self._since_load + 1
+        return distance if distance <= 2 else 0
+
+    # -- node emission ----------------------------------------------------
+    def emit_program(self, program: Program) -> None:
+        """Emit the body of ``program`` at its link address, plus return."""
+        self.builder.jump_to(self.image.code_base(program.name))
+        self.emit_nodes(program.body, program)
+        # Return instruction (jump back handled by the caller).
+        self._emit(InstrKind.BRANCH, taken=True)
+
+    def emit_nodes(self, nodes: Sequence[Node], program: Program) -> None:
+        for node in nodes:
+            if isinstance(node, Block):
+                self._emit_block(node, program)
+            elif isinstance(node, Loop):
+                self._emit_loop(node, program)
+            elif isinstance(node, If):
+                self._emit_if(node, program)
+            elif isinstance(node, Call):
+                self._emit_call(node)
+            else:
+                raise TypeError(f"unknown DSL node {type(node).__name__}")
+
+    def _emit_block(self, block: Block, program: Program) -> None:
+        for op in block.ops:
+            if isinstance(op, AluOp):
+                for i in range(op.count):
+                    dep = self._dep_distance(op.dep_on_load and i == 0)
+                    self._emit(InstrKind.ALU, dep_distance=dep)
+            elif isinstance(op, LoadOp):
+                addr = self._data_address(program, op.array, op.index)
+                self._emit(InstrKind.LOAD, addr=addr)
+            elif isinstance(op, StoreOp):
+                addr = self._data_address(program, op.array, op.index)
+                self._emit(InstrKind.STORE, addr=addr)
+            elif isinstance(op, FpuOp):
+                operand_class = 0.0
+                if op.kind in (InstrKind.FDIV, InstrKind.FSQRT):
+                    operand_class = resolve_value(op.operand_class, self.env)
+                dep = self._dep_distance(op.dep_on_load)
+                self._emit(op.kind, operand_class=operand_class, dep_distance=dep)
+            elif isinstance(op, IntLongOp):
+                self._emit(op.kind)
+            else:
+                raise TypeError(f"unknown op {type(op).__name__}")
+
+    def _emit_loop(self, loop: Loop, program: Program) -> None:
+        count = resolve_count(loop.count, self.env)
+        if not loop.static_count:
+            self.path.record(loop.name, str(count))
+        # Loop init (counter setup).
+        self._emit(InstrKind.ALU)
+        body_start = self.builder.pc
+        body_size = self._size(loop.body)
+        end_pc = body_start + (body_size + 1) * _INSTRUCTION_BYTES
+        if count == 0:
+            # Top-test fails immediately: jump over body + backward branch.
+            self.builder.jump_to(end_pc)
+            return
+        saved = self.env.get(loop.var) if loop.var else None
+        for iteration in range(count):
+            if loop.var:
+                self.env[loop.var] = iteration
+            self.builder.jump_to(body_start)
+            self.emit_nodes(loop.body, program)
+            taken = iteration != count - 1
+            self._emit(InstrKind.BRANCH, taken=taken)
+        if loop.var:
+            if saved is None:
+                self.env.pop(loop.var, None)
+            else:
+                self.env[loop.var] = saved
+        self.builder.jump_to(end_pc)
+
+    def _emit_if(self, node: If, program: Program) -> None:
+        outcome = resolve_cond(node.cond, self.env)
+        self.path.record(node.name, "T" if outcome else "F")
+        # Compare + conditional branch (branch taken when going to else).
+        self._emit(InstrKind.ALU)
+        self._emit(InstrKind.BRANCH, taken=not outcome)
+        then_start = self.builder.pc
+        then_size = self._size(node.then_body)
+        else_start = then_start + (then_size + 1) * _INSTRUCTION_BYTES
+        else_size = self._size(node.else_body)
+        join_pc = else_start + else_size * _INSTRUCTION_BYTES
+        if outcome:
+            self.emit_nodes(node.then_body, program)
+            # Jump over the else body to the join point.
+            self._emit(InstrKind.BRANCH, taken=True)
+            self.builder.jump_to(join_pc)
+        else:
+            self.builder.jump_to(else_start)
+            self.emit_nodes(node.else_body, program)
+            self.builder.jump_to(join_pc)
+
+    def _emit_call(self, node: Call) -> None:
+        # Call instruction at the site.
+        self._emit(InstrKind.BRANCH, taken=True)
+        return_pc = self.builder.pc
+        self.emit_program(node.callee)
+        self.builder.jump_to(return_pc)
+
+
+def generate_trace(
+    program: Program, image: LinkedImage, env: Env
+) -> Tuple[Trace, PathSignature]:
+    """Expand one execution of ``program`` under inputs ``env``.
+
+    Returns the instruction trace and the executed path signature.
+    """
+    emitter = _Emitter(image, env)
+    emitter.emit_program(program)
+    return emitter.builder.trace, emitter.path.signature()

@@ -1,0 +1,371 @@
+"""A small structured-program DSL.
+
+The TVCA of the paper is C code auto-generated from a control model; what
+the timing analysis sees is its *structure*: straight-line blocks of
+arithmetic, loops over coefficient arrays, data-dependent conditionals
+(saturation, fault handling) and calls.  This DSL expresses exactly that
+structure.  A program is a tree of
+
+* :class:`Block` — straight-line operations (:func:`alu`, :func:`load`,
+  :func:`store`, FP ops),
+* :class:`Loop` — a counted loop (constant or input-dependent trip
+  count) with an optional loop variable exposed to index expressions,
+* :class:`If` — a data-dependent conditional; its decisions form the
+  executed **path identifier** used by per-path MBPTA,
+* :class:`Call` — invocation of another :class:`Program` (its code lives
+  at its own link address, so calls exercise the instruction cache the
+  way real cross-function control flow does).
+
+Operands reference named **arrays** declared on the program; indices and
+conditions are either constants or callables evaluated against the run's
+input environment (``env``), which is how sensor inputs reach the code
+paths.  The compiler (:mod:`repro.programs.compiler`) links programs to
+code/data addresses and expands a tree + env into an instruction
+:class:`~repro.platform.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..platform.trace import InstrKind
+
+__all__ = [
+    "IndexExpr",
+    "ValueExpr",
+    "CondExpr",
+    "CountExpr",
+    "Op",
+    "AluOp",
+    "LoadOp",
+    "StoreOp",
+    "FpuOp",
+    "Node",
+    "Block",
+    "Loop",
+    "If",
+    "Call",
+    "ArrayDecl",
+    "Program",
+    "alu",
+    "load",
+    "store",
+    "fadd",
+    "fsub",
+    "fmul",
+    "fdiv",
+    "fsqrt",
+    "fconv",
+    "fcmp",
+    "imul",
+    "idiv",
+]
+
+Env = Dict[str, object]
+IndexExpr = Union[int, Callable[[Env], int]]
+ValueExpr = Union[float, Callable[[Env], float]]
+CondExpr = Union[bool, Callable[[Env], bool]]
+CountExpr = Union[int, Callable[[Env], int]]
+
+
+def resolve_index(expr: IndexExpr, env: Env) -> int:
+    """Evaluate an index expression against the input environment."""
+    if callable(expr):
+        return int(expr(env))
+    return int(expr)
+
+
+def resolve_value(expr: ValueExpr, env: Env) -> float:
+    """Evaluate a value expression (e.g. an FDIV operand class)."""
+    if callable(expr):
+        return float(expr(env))
+    return float(expr)
+
+
+def resolve_cond(expr: CondExpr, env: Env) -> bool:
+    """Evaluate a condition expression."""
+    if callable(expr):
+        return bool(expr(env))
+    return bool(expr)
+
+
+def resolve_count(expr: CountExpr, env: Env) -> int:
+    """Evaluate a loop trip count expression."""
+    if callable(expr):
+        count = int(expr(env))
+    else:
+        count = int(expr)
+    if count < 0:
+        raise ValueError(f"loop count must be >= 0, got {count}")
+    return count
+
+
+# ----------------------------------------------------------------------
+# Straight-line operations
+# ----------------------------------------------------------------------
+class Op:
+    """Base class of straight-line operations (one or more instructions)."""
+
+    def instruction_count(self) -> int:
+        """Static number of instructions this op expands to."""
+        raise NotImplementedError
+
+
+@dataclass
+class AluOp(Op):
+    """``count`` integer ALU instructions; ``dep_on_load`` marks the first
+    one as consuming a just-loaded value (load-use hazard)."""
+
+    count: int = 1
+    dep_on_load: bool = False
+
+    def instruction_count(self) -> int:
+        return self.count
+
+
+@dataclass
+class LoadOp(Op):
+    """One load from ``array[index]``."""
+
+    array: str
+    index: IndexExpr = 0
+
+    def instruction_count(self) -> int:
+        return 1
+
+
+@dataclass
+class StoreOp(Op):
+    """One store to ``array[index]``."""
+
+    array: str
+    index: IndexExpr = 0
+
+    def instruction_count(self) -> int:
+        return 1
+
+
+@dataclass
+class FpuOp(Op):
+    """One floating-point instruction.
+
+    ``operand_class`` only matters for FDIV/FSQRT: it encodes how far the
+    iterative divide/sqrt runs for the actual operand values (0 = early
+    exit, 1 = full iteration count).
+    """
+
+    kind: InstrKind
+    operand_class: ValueExpr = 1.0
+    dep_on_load: bool = False
+
+    def instruction_count(self) -> int:
+        return 1
+
+
+@dataclass
+class IntLongOp(Op):
+    """One integer multiply or divide (fixed long latency)."""
+
+    kind: InstrKind
+
+    def instruction_count(self) -> int:
+        return 1
+
+
+# Convenience constructors ------------------------------------------------
+
+def alu(count: int = 1, dep_on_load: bool = False) -> AluOp:
+    """``count`` integer ALU instructions."""
+    return AluOp(count=count, dep_on_load=dep_on_load)
+
+
+def load(array: str, index: IndexExpr = 0) -> LoadOp:
+    """A load from ``array[index]``."""
+    return LoadOp(array=array, index=index)
+
+
+def store(array: str, index: IndexExpr = 0) -> StoreOp:
+    """A store to ``array[index]``."""
+    return StoreOp(array=array, index=index)
+
+
+def fadd(dep_on_load: bool = False) -> FpuOp:
+    """FP add."""
+    return FpuOp(kind=InstrKind.FADD, dep_on_load=dep_on_load)
+
+
+def fsub(dep_on_load: bool = False) -> FpuOp:
+    """FP subtract."""
+    return FpuOp(kind=InstrKind.FSUB, dep_on_load=dep_on_load)
+
+
+def fmul(dep_on_load: bool = False) -> FpuOp:
+    """FP multiply."""
+    return FpuOp(kind=InstrKind.FMUL, dep_on_load=dep_on_load)
+
+
+def fdiv(operand_class: ValueExpr = 1.0) -> FpuOp:
+    """FP divide with a value-dependent operand class."""
+    return FpuOp(kind=InstrKind.FDIV, operand_class=operand_class)
+
+
+def fsqrt(operand_class: ValueExpr = 1.0) -> FpuOp:
+    """FP square root with a value-dependent operand class."""
+    return FpuOp(kind=InstrKind.FSQRT, operand_class=operand_class)
+
+
+def fconv() -> FpuOp:
+    """FP conversion (int<->float)."""
+    return FpuOp(kind=InstrKind.FCONV)
+
+
+def fcmp() -> FpuOp:
+    """FP compare."""
+    return FpuOp(kind=InstrKind.FCMP)
+
+
+def imul() -> IntLongOp:
+    """Integer multiply."""
+    return IntLongOp(kind=InstrKind.IMUL)
+
+
+def idiv() -> IntLongOp:
+    """Integer divide (fixed latency on LEON3)."""
+    return IntLongOp(kind=InstrKind.IDIV)
+
+
+# ----------------------------------------------------------------------
+# Control-flow nodes
+# ----------------------------------------------------------------------
+class Node:
+    """Base class of control-flow tree nodes."""
+
+
+@dataclass
+class Block(Node):
+    """Straight-line sequence of operations."""
+
+    ops: Sequence[Op]
+
+    def __post_init__(self) -> None:
+        self.ops = list(self.ops)
+
+
+@dataclass
+class Loop(Node):
+    """Counted loop.
+
+    ``count`` may depend on the input environment; when it does, the trip
+    count becomes part of the executed path identifier (different counts
+    traverse different dynamic paths).  ``var`` exposes the iteration
+    index to nested index expressions via ``env[var]``.
+    """
+
+    name: str
+    count: CountExpr
+    body: Sequence[Node]
+    var: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.body = list(self.body)
+
+    @property
+    def static_count(self) -> bool:
+        """Whether the trip count is input-independent."""
+        return not callable(self.count)
+
+
+@dataclass
+class If(Node):
+    """Data-dependent conditional; its outcome is a path component."""
+
+    name: str
+    cond: CondExpr
+    then_body: Sequence[Node]
+    else_body: Sequence[Node] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.then_body = list(self.then_body)
+        self.else_body = list(self.else_body)
+
+
+@dataclass
+class Call(Node):
+    """Call another program (linked at its own code address)."""
+
+    callee: "Program"
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """A named data array.
+
+    Attributes
+    ----------
+    name:
+        Symbol name, unique within one linked image.
+    elements:
+        Number of elements.
+    element_bytes:
+        Element size (4 for float/int32, 8 for double).
+    """
+
+    name: str
+    elements: int
+    element_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.elements < 1:
+            raise ValueError("array needs at least one element")
+        if self.element_bytes not in (1, 2, 4, 8):
+            raise ValueError("element_bytes must be 1, 2, 4 or 8")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total array footprint."""
+        return self.elements * self.element_bytes
+
+
+@dataclass
+class Program:
+    """A named program: arrays + a control-flow tree.
+
+    Programs are closed over their callees (reachable through
+    :class:`Call` nodes); the linker lays out the full call graph.
+    """
+
+    name: str
+    body: Sequence[Node]
+    arrays: Sequence[ArrayDecl] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.body = list(self.body)
+        self.arrays = list(self.arrays)
+        names = [a.name for a in self.arrays]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate array names in program {self.name!r}")
+
+    def array(self, name: str) -> ArrayDecl:
+        """Look up an array declaration by name."""
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"program {self.name!r} has no array {name!r}")
+
+    def callees(self) -> List["Program"]:
+        """Directly called programs (no transitive closure, no dedup)."""
+        found: List[Program] = []
+
+        def walk(nodes: Sequence[Node]) -> None:
+            for node in nodes:
+                if isinstance(node, Call):
+                    found.append(node.callee)
+                elif isinstance(node, Loop):
+                    walk(node.body)
+                elif isinstance(node, If):
+                    walk(node.then_body)
+                    walk(node.else_body)
+
+        walk(self.body)
+        return found

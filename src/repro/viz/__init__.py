@@ -1,0 +1,17 @@
+"""Text/CSV figure emitters (headless environment)."""
+
+from .figures import (
+    ascii_bar,
+    figure2_csv,
+    figure2_panel,
+    figure3_csv,
+    figure3_panel,
+)
+
+__all__ = [
+    "ascii_bar",
+    "figure2_csv",
+    "figure2_panel",
+    "figure3_csv",
+    "figure3_panel",
+]

@@ -1,0 +1,144 @@
+"""Text/CSV renderings of the paper's figures.
+
+No plotting backend is assumed (the environment is headless); the
+benches emit the figures as
+
+* aligned ASCII panels (log-probability axis rendered as rows, one per
+  decade, execution time as a horizontal bar scale), and
+* CSV rows, so any external plotting tool can regenerate the graphical
+  figure from ``bench_output.txt``.
+
+``figure2_panel`` renders the pWCET curve against the observed
+execution times (Figure 2); ``figure3_panel`` renders the bar
+comparison of DET/RAND averages, the MBTA bound and the pWCET-vs-cutoff
+sweep (Figure 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_bar", "figure2_panel", "figure2_csv", "figure3_panel", "figure3_csv"]
+
+
+def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
+    """A left-aligned bar of '#' proportional to ``value / maximum``."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    filled = int(round(width * max(0.0, min(value / maximum, 1.0))))
+    return "#" * filled + "." * (width - filled)
+
+
+def figure2_panel(
+    curve_points: Sequence[Tuple[float, float]],
+    observed_points: Sequence[Tuple[float, float]],
+    width: int = 52,
+) -> str:
+    """Figure 2: exceedance probability (log rows) vs execution time.
+
+    ``curve_points`` — (execution time, probability) of the pWCET
+    projection; ``observed_points`` — empirical CCDF points.  Each row
+    is one probability decade; the column positions of the projection
+    ('*') and the deepest observation at or below that probability ('o')
+    are placed on a shared linear execution-time axis.
+    """
+    if not curve_points:
+        raise ValueError("no curve points")
+    times = [t for t, _ in curve_points] + [t for t, _ in observed_points]
+    t_min, t_max = min(times), max(times)
+    span = max(t_max - t_min, 1e-9)
+
+    def column(t: float) -> int:
+        return int(round((t - t_min) / span * (width - 1)))
+
+    # Deepest observed execution time per probability decade.
+    obs_by_decade: Dict[int, float] = {}
+    for t, p in observed_points:
+        if p <= 0:
+            continue
+        decade = int(math.floor(-math.log10(p)))
+        obs_by_decade[decade] = max(obs_by_decade.get(decade, -math.inf), t)
+
+    lines = [
+        f"{'P(exceed)':>10} |{'execution time ->':<{width}}|",
+        f"{'':>10} +{'-' * width}+",
+    ]
+    decades_done = set()
+    for t, p in curve_points:
+        if p <= 0:
+            continue
+        decade = int(round(-math.log10(p)))
+        if decade in decades_done or abs(-math.log10(p) - decade) > 1e-6:
+            continue
+        decades_done.add(decade)
+        row = [" "] * width
+        if decade in obs_by_decade:
+            row[column(obs_by_decade[decade])] = "o"
+        col = column(t)
+        row[col] = "*" if row[col] != "o" else "@"
+        label = f"1e-{decade:02d}" if decade else "1e+00"
+        lines.append(f"{label:>10} |{''.join(row)}|")
+    lines.append(f"{'':>10} +{'-' * width}+")
+    lines.append(
+        f"{'':>10}  {t_min:.0f}{'':>{max(width - 20, 1)}}{t_max:.0f}"
+    )
+    lines.append(f"{'':>10}  '*' pWCET projection   'o' observed   '@' both")
+    return "\n".join(lines)
+
+
+def figure2_csv(
+    curve_points: Sequence[Tuple[float, float]],
+    observed_points: Sequence[Tuple[float, float]],
+) -> str:
+    """CSV rows: series,execution_time,probability."""
+    lines = ["series,execution_time,exceedance_probability"]
+    for t, p in curve_points:
+        lines.append(f"pwcet,{t:.1f},{p:.3e}")
+    for t, p in observed_points:
+        lines.append(f"observed,{t:.1f},{p:.3e}")
+    return "\n".join(lines)
+
+
+def figure3_panel(
+    det_mean: float,
+    rand_mean: float,
+    det_hwm: float,
+    mbta_bound: float,
+    pwcet_by_cutoff: Sequence[Tuple[float, float]],
+    width: int = 40,
+) -> str:
+    """Figure 3: bars for averages, MBTA bound and the pWCET sweep."""
+    entries: List[Tuple[str, float]] = [
+        ("DET avg", det_mean),
+        ("RAND avg", rand_mean),
+        ("DET HWM", det_hwm),
+        ("MBTA (HWM+50%)", mbta_bound),
+    ]
+    for p, estimate in pwcet_by_cutoff:
+        entries.append((f"pWCET@{p:.0e}", estimate))
+    maximum = max(v for _, v in entries)
+    lines = []
+    for label, value in entries:
+        lines.append(
+            f"{label:>16} |{ascii_bar(value, maximum, width)}| {value:,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def figure3_csv(
+    det_mean: float,
+    rand_mean: float,
+    det_hwm: float,
+    mbta_bound: float,
+    pwcet_by_cutoff: Sequence[Tuple[float, float]],
+) -> str:
+    """CSV rows: series,cutoff,value."""
+    lines = ["series,cutoff,value"]
+    lines.append(f"det_mean,,{det_mean:.1f}")
+    lines.append(f"rand_mean,,{rand_mean:.1f}")
+    lines.append(f"det_hwm,,{det_hwm:.1f}")
+    lines.append(f"mbta_bound,,{mbta_bound:.1f}")
+    for p, estimate in pwcet_by_cutoff:
+        lines.append(f"pwcet,{p:.0e},{estimate:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Workloads: the TVCA case study, ablation kernels and synthetic samples."""
+
+from . import kernels, synthetic
+from .tvca import TvcaApplication, TvcaConfig, TvcaRunResult
+
+__all__ = [
+    "TvcaApplication",
+    "TvcaConfig",
+    "TvcaRunResult",
+    "kernels",
+    "synthetic",
+]

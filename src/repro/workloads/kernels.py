@@ -1,0 +1,189 @@
+"""Kernel workloads for ablations and extra experiments.
+
+Small, well-understood DSL programs whose cache/FPU behaviour is easy to
+reason about.  They drive the placement-policy and FPU-mode ablations
+(experiments A1/A2 in DESIGN.md) and give the test suite workloads with
+known footprints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..programs.dsl import (
+    ArrayDecl,
+    Block,
+    If,
+    Loop,
+    Program,
+    alu,
+    fadd,
+    fdiv,
+    fmul,
+    fsqrt,
+    load,
+    store,
+)
+
+__all__ = [
+    "fir_kernel",
+    "matmul_kernel",
+    "table_walk_kernel",
+    "fpu_stress_kernel",
+    "strided_access_kernel",
+]
+
+
+def fir_kernel(taps: int = 32, samples: int = 64) -> Program:
+    """FIR filter over a sample buffer: sequential loads, MAC loop."""
+    inner = [
+        Block(
+            [
+                load("taps", lambda env: env["k"]),
+                load("window", lambda env: (env["i"] + env["k"]) % (samples + taps)),
+                fmul(dep_on_load=True),
+                fadd(),
+            ]
+        )
+    ]
+    body = [
+        Loop(
+            name="sample",
+            count=samples,
+            var="i",
+            body=[
+                Loop(name="tap", count=taps, var="k", body=inner),
+                Block([store("output", lambda env: env["i"])]),
+            ],
+        )
+    ]
+    arrays = [
+        ArrayDecl("taps", taps, element_bytes=8),
+        ArrayDecl("window", samples + taps, element_bytes=8),
+        ArrayDecl("output", samples, element_bytes=8),
+    ]
+    return Program(name=f"fir_{taps}x{samples}", body=body, arrays=arrays)
+
+
+def matmul_kernel(dim: int = 12) -> Program:
+    """Dense ``dim x dim`` matrix multiply (triple loop)."""
+    inner = [
+        Block(
+            [
+                load("a", lambda env: env["i"] * dim + env["k"]),
+                load("b", lambda env: env["k"] * dim + env["j"]),
+                fmul(dep_on_load=True),
+                fadd(),
+            ]
+        )
+    ]
+    body = [
+        Loop(
+            name="row",
+            count=dim,
+            var="i",
+            body=[
+                Loop(
+                    name="col",
+                    count=dim,
+                    var="j",
+                    body=[
+                        Loop(name="dot", count=dim, var="k", body=inner),
+                        Block([store("c", lambda env: env["i"] * dim + env["j"])]),
+                    ],
+                )
+            ],
+        )
+    ]
+    arrays = [
+        ArrayDecl("a", dim * dim, element_bytes=8),
+        ArrayDecl("b", dim * dim, element_bytes=8),
+        ArrayDecl("c", dim * dim, element_bytes=8),
+    ]
+    return Program(name=f"matmul_{dim}", body=body, arrays=arrays)
+
+
+def table_walk_kernel(entries: int = 1024, lookups: int = 128) -> Program:
+    """Data-dependent table lookups: the index comes from the input env.
+
+    The caller provides ``env["indices"]`` (a sequence of at least
+    ``lookups`` ints) — with random indices this kernel produces the
+    scattered access pattern where placement policy matters most.
+    """
+    inner = [
+        Block(
+            [
+                load("table", lambda env: env["indices"][env["i"]] % entries),
+                alu(2, dep_on_load=True),
+            ]
+        )
+    ]
+    body = [Loop(name="lookup", count=lookups, var="i", body=inner)]
+    arrays = [ArrayDecl("table", entries, element_bytes=8)]
+    return Program(name=f"table_walk_{entries}", body=body, arrays=arrays)
+
+
+def fpu_stress_kernel(divides: int = 32) -> Program:
+    """FDIV/FSQRT-heavy kernel for the FPU-mode ablation.
+
+    The operand class of each divide comes from ``env["op_classes"]``
+    (sequence of floats in [0, 1]); in operation mode the execution time
+    depends on those values, in analysis mode it must not.
+    """
+    inner = [
+        Block(
+            [
+                load("operands", lambda env: env["i"] % 16),
+                fdiv(operand_class=lambda env: env["op_classes"][env["i"]]),
+                fsqrt(operand_class=lambda env: env["op_classes"][env["i"]]),
+                fadd(),
+            ]
+        )
+    ]
+    body = [Loop(name="div", count=divides, var="i", body=inner)]
+    arrays = [ArrayDecl("operands", 16, element_bytes=8)]
+    return Program(name=f"fpu_stress_{divides}", body=body, arrays=arrays)
+
+
+def strided_access_kernel(
+    stride_elements: int = 16,
+    accesses: int = 256,
+    elements: int = 8192,
+    passes: int = 4,
+) -> Program:
+    """Repeated constant-stride walks over a large array.
+
+    With modulo placement a power-of-two stride concentrates the touched
+    lines on few sets, so the working set cannot be retained and every
+    pass misses (a fixed pathological conflict pattern); random placement
+    spreads the same lines across all sets, retaining part of the
+    working set between passes — the canonical demonstration of why
+    placement randomization helps.  Multiple ``passes`` are essential:
+    a single pass only sees compulsory misses, where placement is
+    irrelevant.
+    """
+    if passes < 1:
+        raise ValueError("passes must be >= 1")
+    inner = [
+        Block(
+            [
+                load(
+                    "data",
+                    lambda env: (env["i"] * stride_elements) % elements,
+                ),
+                alu(1, dep_on_load=True),
+            ]
+        )
+    ]
+    body = [
+        Loop(
+            name="pass",
+            count=passes,
+            var="p",
+            body=[Loop(name="walk", count=accesses, var="i", body=inner)],
+        )
+    ]
+    arrays = [ArrayDecl("data", elements, element_bytes=8)]
+    return Program(
+        name=f"stride_{stride_elements}x{accesses}x{passes}", body=body, arrays=arrays
+    )

@@ -1,0 +1,301 @@
+"""The TVCA application driver: closed loop of plant, controller and code.
+
+One *measured execution* follows the paper's protocol: the platform is
+fully reset and reseeded, then the application runs a fixed number of
+control hyperperiods bare-metal.  Within one hyperperiod the fixed-
+priority schedule releases the sensor-acquisition task twice (it runs at
+twice the actuator rate) and each actuator task once; jobs execute back
+to back on the core (the task set is schedulable with large slack, so no
+preemption occurs — asserted via the timeline simulator).
+
+For every job the driver
+
+1. advances the *Python-level* controller against the plant to obtain
+   the real numbers of this control step,
+2. fills the DSL input environment (branch outcomes, loop trip counts,
+   table indices, FDIV/FSQRT operand classes) from those numbers,
+3. expands the task program into an instruction trace and executes it on
+   the platform core, accumulating cycles.
+
+The run's **path identifier** groups executions for per-path MBPTA.  Two
+granularities are produced: the exact concatenated DSL signature (which
+can be very fine) and a coarse *path class* — saturation/fault flags and
+the maximum gain-schedule depth per axis — matching the handful of
+program-level paths a tool would distinguish on the real TVCA.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...platform.soc import Platform
+from ...platform.prng import derive_seed
+from ...programs.compiler import generate_trace
+from ...programs.layout import LayoutConfig, LinkedImage, link
+from ...programs.dsl import Block, Call, Program, alu
+from .controller import (
+    AxisController,
+    PidConfig,
+    SensorProcessor,
+)
+from .plant import PlantConfig, TvcPlant
+from .scheduler import TaskSpec, build_jobs, simulate_timeline
+from .tasks import (
+    DEFAULT_AERO_ELEMENTS,
+    DEFAULT_AERO_WINDOW,
+    DEFAULT_ESTIMATOR_DIM,
+    build_actuator_task,
+    build_math_helper,
+    build_sensor_task,
+)
+
+__all__ = ["TvcaConfig", "TvcaRunResult", "TvcaApplication"]
+
+
+@dataclass(frozen=True)
+class TvcaConfig:
+    """Application-level configuration.
+
+    Attributes
+    ----------
+    clock_hz:
+        Platform clock (used to convert periods to cycles).
+    actuator_period_s:
+        Period of the two actuator tasks; the sensor task runs at twice
+        this rate.  One hyperperiod = one actuator period.
+    hyperperiods:
+        Control hyperperiods per measured execution.
+    layout:
+        Link layout; sweeping ``layout.layout_offset`` emulates the
+        memory-layout sensitivity of the DET platform.
+    plant / pid:
+        Physical model and controller gains.
+    estimator_dim / aero_elements / aero_window:
+        Working-set sizes of the generated code (defaults give the
+        measured configuration's cache pressure; tests shrink them).
+    """
+
+    clock_hz: float = 50e6
+    actuator_period_s: float = 0.020
+    hyperperiods: int = 2
+    layout: LayoutConfig = field(default_factory=LayoutConfig)
+    plant: PlantConfig = field(default_factory=PlantConfig)
+    pid: PidConfig = field(default_factory=PidConfig)
+    estimator_dim: int = DEFAULT_ESTIMATOR_DIM
+    aero_elements: int = DEFAULT_AERO_ELEMENTS
+    aero_window: int = DEFAULT_AERO_WINDOW
+
+    @property
+    def actuator_period_cycles(self) -> int:
+        """Actuator period in platform cycles."""
+        return int(self.actuator_period_s * self.clock_hz)
+
+    @property
+    def sensor_period_cycles(self) -> int:
+        """Sensor period in platform cycles (half the actuator period)."""
+        return self.actuator_period_cycles // 2
+
+
+@dataclass(frozen=True)
+class TvcaRunResult:
+    """Outcome of one measured TVCA execution.
+
+    ``path_class`` is the *structural* path identifier used for
+    per-path MBPTA grouping: it distinguishes executions whose code
+    shape differs materially (the sensor fault-handling path).  The
+    finer input-driven variation (saturation flags, gain-schedule
+    depths) changes only a handful of instructions; it is recorded in
+    ``input_profile`` and, exactly, in ``full_signature``.
+    """
+
+    cycles: int
+    path_class: str
+    input_profile: str
+    full_signature: str
+    per_task_cycles: Dict[str, int]
+    per_task_max_job_cycles: Dict[str, int]
+    max_response_cycles: int
+    deadlines_met: bool
+    instructions: int
+
+
+class TvcaApplication:
+    """The complete TVCA case study, ready to run on a platform."""
+
+    TASK_SENSOR = "sensor_acquisition"
+    TASK_ACT_X = "actuator_control_x"
+    TASK_ACT_Y = "actuator_control_y"
+
+    def __init__(self, config: TvcaConfig = TvcaConfig()) -> None:
+        self.config = config
+        self._math_helper = build_math_helper()
+        self._sensor_program = build_sensor_task(estimator_dim=config.estimator_dim)
+        self._act_x_program = build_actuator_task(
+            "x",
+            self._math_helper,
+            aero_elements=config.aero_elements,
+            aero_window=config.aero_window,
+        )
+        self._act_y_program = build_actuator_task(
+            "y",
+            self._math_helper,
+            aero_elements=config.aero_elements,
+            aero_window=config.aero_window,
+        )
+        # A synthetic main ties the three tasks into one linked image so
+        # code and data of all tasks share the address space, as in the
+        # real single binary.
+        self._main_program = Program(
+            name="tvca_main",
+            body=[
+                Block([alu(2)]),
+                Call(self._sensor_program),
+                Call(self._act_x_program),
+                Call(self._act_y_program),
+            ],
+        )
+        self.image: LinkedImage = link(self._main_program, config.layout)
+        period = config.actuator_period_cycles
+        self.tasks: List[TaskSpec] = [
+            TaskSpec(self.TASK_SENSOR, period=period // 2, priority=0),
+            TaskSpec(self.TASK_ACT_X, period=period, priority=1),
+            TaskSpec(self.TASK_ACT_Y, period=period, priority=2),
+        ]
+        self._programs: Dict[str, Program] = {
+            self.TASK_SENSOR: self._sensor_program,
+            self.TASK_ACT_X: self._act_x_program,
+            self.TASK_ACT_Y: self._act_y_program,
+        }
+
+    # ------------------------------------------------------------------
+    # Environment construction
+    # ------------------------------------------------------------------
+    def _aero_index(self, error: float) -> int:
+        """Map an attitude error to an aero-window base index."""
+        top = self.config.aero_elements - self.config.aero_window - 1
+        scale = abs(error) / self.config.plant.max_deflection
+        return min(int(scale * top), top)
+
+    # ------------------------------------------------------------------
+    # One measured execution
+    # ------------------------------------------------------------------
+    def run_once(
+        self, platform: Platform, run_seed: int, input_seed: Optional[int] = None
+    ) -> TvcaRunResult:
+        """Execute one full measurement run under the paper's protocol.
+
+        ``run_seed`` drives the *platform* randomization (cache seeds),
+        ``input_seed`` the *workload* inputs (initial attitude errors,
+        gusts, sensor noise); they default to independent derivations of
+        the same value so a single integer reproduces the run.
+        """
+        cfg = self.config
+        if input_seed is None:
+            input_seed = derive_seed(run_seed, 0xA11CE)
+        platform.reset(run_seed)
+        core = platform.cores[0]
+
+        plant = TvcPlant(cfg.plant, input_seed)
+        sensor_proc = SensorProcessor()
+        sensor_proc.prime(plant.sense_x(), plant.sense_y())
+        ctrl_x = AxisController(cfg.pid)
+        ctrl_y = AxisController(cfg.pid)
+
+        horizon = cfg.hyperperiods * cfg.actuator_period_cycles
+        jobs = build_jobs(self.tasks, horizon=horizon)
+
+        total_cycles = 0
+        total_instructions = 0
+        per_task_cycles: Dict[str, int] = {t.name: 0 for t in self.tasks}
+        per_task_max: Dict[str, int] = {t.name: 0 for t in self.tasks}
+        signatures: List[str] = []
+        any_fault = False
+        any_sat_x = False
+        any_sat_y = False
+        max_steps_x = 0
+        max_steps_y = 0
+        executions: Dict[object, int] = {}
+
+        dt = cfg.actuator_period_s / 2.0
+        command_x = 0.0
+        command_y = 0.0
+        filtered = (0.0, 0.0, 0.0, 0.0)
+        telemetry_slot = 0
+
+        for job in jobs:
+            name = job.task.name
+            if name == self.TASK_SENSOR:
+                decisions = sensor_proc.process(plant.sense_x(), plant.sense_y())
+                filtered = decisions.filtered
+                env = {"faults": decisions.faults, "telemetry_slot": telemetry_slot}
+                telemetry_slot += 4
+                any_fault = any_fault or any(decisions.faults)
+                # The plant advances between sensor samples (held commands).
+                plant.step(command_x, command_y, dt)
+            elif name == self.TASK_ACT_X:
+                d = ctrl_x.update(filtered[0], filtered[1], cfg.actuator_period_s)
+                command_x = d.command
+                any_sat_x = any_sat_x or d.saturated
+                max_steps_x = max(max_steps_x, d.schedule_steps)
+                env = {
+                    "steps_x": d.schedule_steps,
+                    "iclamp_x": d.integrator_clamped,
+                    "sat_x": d.saturated,
+                    "div_class_x": d.div_operand_class,
+                    "sqrt_class_x": d.sqrt_operand_class,
+                    "sqrt_class": d.sqrt_operand_class,
+                    "aero_idx_x": self._aero_index(filtered[0]),
+                }
+            else:
+                d = ctrl_y.update(filtered[2], filtered[3], cfg.actuator_period_s)
+                command_y = d.command
+                any_sat_y = any_sat_y or d.saturated
+                max_steps_y = max(max_steps_y, d.schedule_steps)
+                env = {
+                    "steps_y": d.schedule_steps,
+                    "iclamp_y": d.integrator_clamped,
+                    "sat_y": d.saturated,
+                    "div_class_y": d.div_operand_class,
+                    "sqrt_class_y": d.sqrt_operand_class,
+                    "sqrt_class": d.sqrt_operand_class,
+                    "aero_idx_y": self._aero_index(filtered[2]),
+                }
+
+            trace, signature = generate_trace(self._programs[name], self.image, env)
+            result = core.execute(trace)
+            total_cycles += result.cycles
+            total_instructions += result.instructions
+            per_task_cycles[name] += result.cycles
+            per_task_max[name] = max(per_task_max[name], result.cycles)
+            executions[job] = result.cycles
+            signatures.append(f"{name}[{job.index}]:{signature.as_key()}")
+
+        outcomes = simulate_timeline(jobs, executions)
+        deadlines_met = all(o.deadline_met for o in outcomes)
+        max_response = max(o.response for o in outcomes)
+        # The task set has huge slack at these rates; preemption-free
+        # execution is the modelled (and asserted) regime.
+        assert all(o.preemptions == 0 for o in outcomes), (
+            "unexpected preemption: job execution times exceed the "
+            "sensor inter-release gap"
+        )
+
+        path_class = f"fault={'T' if any_fault else 'F'}"
+        input_profile = (
+            f"sx={'T' if any_sat_x else 'F'};"
+            f"sy={'T' if any_sat_y else 'F'};"
+            f"gsx={max_steps_x};gsy={max_steps_y}"
+        )
+        return TvcaRunResult(
+            cycles=total_cycles,
+            path_class=path_class,
+            input_profile=input_profile,
+            full_signature="|".join(signatures),
+            per_task_cycles=per_task_cycles,
+            per_task_max_job_cycles=per_task_max,
+            max_response_cycles=max_response,
+            deadlines_met=deadlines_met,
+            instructions=total_instructions,
+        )

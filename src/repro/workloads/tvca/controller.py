@@ -1,0 +1,246 @@
+"""TVCA controller algorithms (the numerical half of the closed loop).
+
+The generated flight code of the paper computes: sensor validation and
+filtering, then a PID attitude controller per axis with gain scheduling
+and command saturation.  This module implements those computations *in
+Python over real numbers*; :mod:`repro.workloads.tvca.tasks` mirrors the
+same computations as DSL programs whose path decisions, loop counts and
+FDIV/FSQRT operand classes are driven by the numbers computed here.
+That pairing is what makes the generated traces faithful: the code shape
+executed on the platform is decided by actual control-law arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ...platform.fpu import operand_class_of
+from .plant import SensorReading
+
+__all__ = [
+    "FirFilter",
+    "PidConfig",
+    "PidState",
+    "AxisController",
+    "SensorProcessor",
+    "ControlDecisions",
+]
+
+#: FIR length used by the sensor-conditioning filters (one per channel).
+FIR_TAPS = 16
+
+#: Sensor validity limit: readings beyond this magnitude trip the
+#: fault-detection branch and are replaced by the last good value.
+SENSOR_FAULT_LIMIT = math.radians(4.0)
+
+
+def _lowpass_taps(n: int) -> List[float]:
+    """Simple normalized raised-cosine low-pass FIR taps."""
+    taps = [1.0 + math.cos(math.pi * (2.0 * k / (n - 1) - 1.0)) for k in range(n)]
+    total = sum(taps)
+    return [t / total for t in taps]
+
+
+class FirFilter:
+    """Fixed-coefficient FIR with an internal delay line."""
+
+    def __init__(self, taps: Sequence[float] = None) -> None:
+        self.taps: List[float] = list(taps) if taps is not None else _lowpass_taps(FIR_TAPS)
+        self.delay: List[float] = [0.0] * len(self.taps)
+
+    def reset(self, value: float = 0.0) -> None:
+        """Prime the delay line with ``value``."""
+        self.delay = [value] * len(self.taps)
+
+    def push(self, sample: float) -> float:
+        """Insert ``sample`` and return the filtered output."""
+        self.delay.insert(0, sample)
+        self.delay.pop()
+        return sum(t * d for t, d in zip(self.taps, self.delay))
+
+
+@dataclass(frozen=True)
+class PidConfig:
+    """PID gains and limits for one axis controller."""
+
+    kp: float = 4.2
+    ki: float = 0.6
+    kd: float = 2.8
+    integrator_limit: float = math.radians(2.0)
+    command_limit: float = math.radians(5.5)
+    #: error magnitude thresholds (rad) for the gain-scheduling table —
+    #: larger errors walk further down the table (more iterations).
+    schedule_thresholds: Tuple[float, ...] = (
+        math.radians(0.1),
+        math.radians(0.3),
+        math.radians(0.8),
+        math.radians(1.5),
+        math.radians(2.5),
+    )
+
+
+@dataclass
+class PidState:
+    """Mutable PID memory for one axis."""
+
+    integral: float = 0.0
+    previous_error: float = 0.0
+
+
+@dataclass(frozen=True)
+class ControlDecisions:
+    """Everything the DSL task needs to replay one control-law execution.
+
+    These fields parameterize the generated trace: branch outcomes become
+    :class:`~repro.programs.dsl.If` decisions, ``schedule_steps`` sets an
+    input-dependent loop trip count, and the operand classes set the
+    value-dependent FDIV/FSQRT latencies.
+    """
+
+    command: float
+    saturated: bool
+    integrator_clamped: bool
+    schedule_steps: int
+    div_operand_class: float
+    sqrt_operand_class: float
+
+
+class AxisController:
+    """PID with gain scheduling and saturation for one axis."""
+
+    def __init__(self, config: PidConfig = PidConfig()) -> None:
+        self.config = config
+        self.state = PidState()
+
+    def reset(self) -> None:
+        """Clear the PID memory (run start)."""
+        self.state = PidState()
+
+    def schedule_steps(self, error: float) -> int:
+        """Gain-scheduling iterations for ``error`` (1..len(thresholds)+1).
+
+        The generated code walks a gain table until it finds the bracket
+        containing the error magnitude; bigger errors take more steps —
+        an input-dependent loop in the timing-relevant sense.
+        """
+        magnitude = abs(error)
+        steps = 1
+        for threshold in self.config.schedule_thresholds:
+            if magnitude <= threshold:
+                break
+            steps += 1
+        return steps
+
+    def update(self, attitude: float, rate: float, dt: float) -> ControlDecisions:
+        """One PID update; returns the command and the path decisions."""
+        cfg = self.config
+        state = self.state
+        error = -attitude  # target attitude is zero
+        steps = self.schedule_steps(error)
+        # Gain scheduling: attenuate gains as the table walk deepens
+        # (mirrors a generated lookup/interpolation loop).
+        gain_scale = 1.0 / (1.0 + 0.15 * (steps - 1))
+
+        state.integral += error * dt
+        integrator_clamped = False
+        if state.integral > cfg.integrator_limit:
+            state.integral = cfg.integrator_limit
+            integrator_clamped = True
+        elif state.integral < -cfg.integrator_limit:
+            state.integral = -cfg.integrator_limit
+            integrator_clamped = True
+
+        derivative = -rate  # rate feedback (cleaner than finite difference)
+        raw = gain_scale * (
+            cfg.kp * error + cfg.ki * state.integral + cfg.kd * derivative
+        )
+        saturated = False
+        command = raw
+        if command > cfg.command_limit:
+            command = cfg.command_limit
+            saturated = True
+        elif command < -cfg.command_limit:
+            command = -cfg.command_limit
+            saturated = True
+        state.previous_error = error
+
+        # The generated code normalizes the command by the limit (FDIV)
+        # and computes the error norm (FSQRT); their operand classes set
+        # the value-dependent FPU latency on the DET platform.
+        div_class = operand_class_of(raw, cfg.command_limit)
+        norm = error * error + rate * rate
+        sqrt_class = operand_class_of(norm, 1.0)
+        return ControlDecisions(
+            command=command,
+            saturated=saturated,
+            integrator_clamped=integrator_clamped,
+            schedule_steps=steps,
+            div_operand_class=div_class,
+            sqrt_operand_class=sqrt_class,
+        )
+
+
+@dataclass(frozen=True)
+class SensorDecisions:
+    """Path-relevant outcomes of one sensor-acquisition execution."""
+
+    filtered: Tuple[float, ...]
+    faults: Tuple[bool, ...]
+
+
+class SensorProcessor:
+    """Sensor validation + FIR conditioning for the four channels.
+
+    Channels: x attitude, x rate, y attitude, y rate.  A reading beyond
+    :data:`SENSOR_FAULT_LIMIT` trips the per-channel fault branch and is
+    replaced by the previous good value (a limp-home strategy typical of
+    generated fault-detection code).
+    """
+
+    NUM_CHANNELS = 4
+
+    def __init__(self) -> None:
+        self.filters = [FirFilter() for _ in range(self.NUM_CHANNELS)]
+        self.last_good = [0.0] * self.NUM_CHANNELS
+
+    def reset(self) -> None:
+        """Clear filter delay lines and fault memory (run start)."""
+        for fir in self.filters:
+            fir.reset()
+        self.last_good = [0.0] * self.NUM_CHANNELS
+
+    def prime(self, x_reading: SensorReading, y_reading: SensorReading) -> None:
+        """Prime the delay lines with an initial sample.
+
+        A deployed control loop runs continuously; a measured run
+        observes a window of it.  Priming reproduces the steady-state
+        filter content at the window start, so the controller sees the
+        actual attitude errors from the first job on (and the error-
+        dependent paths are exercised).
+        """
+        raw = [x_reading.attitude, x_reading.rate, y_reading.attitude, y_reading.rate]
+        for channel, value in enumerate(raw):
+            clamped = value
+            if abs(clamped) > SENSOR_FAULT_LIMIT:
+                clamped = 0.0
+            self.filters[channel].reset(clamped)
+            self.last_good[channel] = clamped
+
+    def process(
+        self, x_reading: SensorReading, y_reading: SensorReading
+    ) -> SensorDecisions:
+        """Validate and filter one sample of all four channels."""
+        raw = [x_reading.attitude, x_reading.rate, y_reading.attitude, y_reading.rate]
+        filtered: List[float] = []
+        faults: List[bool] = []
+        for channel, value in enumerate(raw):
+            fault = abs(value) > SENSOR_FAULT_LIMIT
+            if fault:
+                value = self.last_good[channel]
+            else:
+                self.last_good[channel] = value
+            faults.append(fault)
+            filtered.append(self.filters[channel].push(value))
+        return SensorDecisions(filtered=tuple(filtered), faults=tuple(faults))

@@ -1,0 +1,170 @@
+"""Thrust-vector-control plant model.
+
+The paper's TVCA is "C code, automatically generated from a high-level
+model of the closed-loop control system".  This module is the *physical*
+half of that closed loop: a launcher upper stage whose attitude in two
+axes (x, y) is controlled by gimballing the engine nozzle.
+
+Model (per axis, small-angle):
+
+* rigid-body rotation: ``I * theta_ddot = T * L * delta + tau_dist``
+  where ``delta`` is the nozzle deflection, ``T`` the thrust, ``L`` the
+  moment arm and ``tau_dist`` a disturbance torque (wind gusts),
+* nozzle actuator: second-order servo
+  ``delta_ddot = wn^2 * (delta_cmd - delta) - 2*zeta*wn * delta_dot``
+  with deflection and rate limits,
+* sensors: rate gyro and attitude sensor, each with bias and Gaussian
+  noise drawn from the run's *input* random stream (independent from
+  the platform randomization stream, as in the paper's protocol).
+
+The numbers produced here matter to timing in three ways: they decide
+which conditional paths the generated code takes (saturation, fault
+detection), they set input-dependent loop trip counts (gain-scheduling
+iterations), and they determine the FDIV/FSQRT operand classes (the
+value-dependent FPU latency on the DET platform).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ...platform.prng import SplitMix64
+
+__all__ = ["PlantConfig", "AxisState", "SensorReading", "TvcPlant"]
+
+
+@dataclass(frozen=True)
+class PlantConfig:
+    """Physical and sensor parameters of the TVC plant.
+
+    Defaults are loosely patterned after a small upper stage: they only
+    need to produce well-scaled numbers (deflections of a few degrees,
+    rates of a few deg/s) for the controller arithmetic.
+    """
+
+    inertia: float = 1200.0  #: axis moment of inertia [kg m^2]
+    thrust: float = 27_000.0  #: engine thrust [N]
+    moment_arm: float = 1.8  #: nozzle-to-CoM distance [m]
+    actuator_wn: float = 35.0  #: nozzle servo natural frequency [rad/s]
+    actuator_zeta: float = 0.7  #: nozzle servo damping ratio
+    max_deflection: float = math.radians(6.0)  #: gimbal limit [rad]
+    max_deflection_rate: float = math.radians(30.0)  #: gimbal rate limit [rad/s]
+    gust_torque_std: float = 40.0  #: disturbance torque std [N m]
+    gyro_noise_std: float = math.radians(0.02)  #: rate noise std [rad/s]
+    attitude_noise_std: float = math.radians(0.05)  #: attitude noise std [rad]
+    gyro_bias_std: float = math.radians(0.01)  #: per-run gyro bias std [rad/s]
+    initial_attitude_std: float = math.radians(0.8)  #: per-run initial error [rad]
+    initial_rate_std: float = math.radians(0.3)  #: per-run initial rate [rad/s]
+
+
+@dataclass
+class AxisState:
+    """Dynamic state of one controlled axis."""
+
+    attitude: float = 0.0  #: theta [rad]
+    rate: float = 0.0  #: theta_dot [rad/s]
+    deflection: float = 0.0  #: nozzle delta [rad]
+    deflection_rate: float = 0.0  #: delta_dot [rad/s]
+    gyro_bias: float = 0.0  #: constant per-run gyro bias [rad/s]
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One noisy sensor sample of one axis."""
+
+    attitude: float
+    rate: float
+
+    @property
+    def magnitude(self) -> float:
+        """Combined normalized magnitude (used by fault detection)."""
+        return math.hypot(self.attitude, self.rate)
+
+
+class TvcPlant:
+    """Two-axis thrust-vector-control plant with noisy sensors.
+
+    All randomness (initial conditions, gusts, sensor noise) comes from
+    one :class:`~repro.platform.prng.SplitMix64` stream seeded with the
+    run's *input seed*, so a run is fully reproducible and the input
+    randomness is independent of the platform randomization.
+    """
+
+    def __init__(self, config: PlantConfig, input_seed: int) -> None:
+        self.config = config
+        self.rng = SplitMix64(input_seed)
+        self.x = self._initial_axis()
+        self.y = self._initial_axis()
+        self.time = 0.0
+
+    def _initial_axis(self) -> AxisState:
+        cfg = self.config
+        return AxisState(
+            attitude=self.rng.gauss(0.0, cfg.initial_attitude_std),
+            rate=self.rng.gauss(0.0, cfg.initial_rate_std),
+            deflection=0.0,
+            deflection_rate=0.0,
+            gyro_bias=self.rng.gauss(0.0, cfg.gyro_bias_std),
+        )
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    def sense(self, axis: AxisState) -> SensorReading:
+        """Sample the noisy sensors of one axis."""
+        cfg = self.config
+        return SensorReading(
+            attitude=axis.attitude + self.rng.gauss(0.0, cfg.attitude_noise_std),
+            rate=axis.rate + axis.gyro_bias + self.rng.gauss(0.0, cfg.gyro_noise_std),
+        )
+
+    def sense_x(self) -> SensorReading:
+        """Noisy x-axis sample."""
+        return self.sense(self.x)
+
+    def sense_y(self) -> SensorReading:
+        """Noisy y-axis sample."""
+        return self.sense(self.y)
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+    def _step_axis(self, axis: AxisState, command: float, dt: float) -> None:
+        cfg = self.config
+        # Nozzle servo (semi-implicit Euler), with rate and travel limits.
+        accel = (
+            cfg.actuator_wn * cfg.actuator_wn * (command - axis.deflection)
+            - 2.0 * cfg.actuator_zeta * cfg.actuator_wn * axis.deflection_rate
+        )
+        axis.deflection_rate += accel * dt
+        axis.deflection_rate = max(
+            -cfg.max_deflection_rate,
+            min(cfg.max_deflection_rate, axis.deflection_rate),
+        )
+        axis.deflection += axis.deflection_rate * dt
+        if axis.deflection > cfg.max_deflection:
+            axis.deflection = cfg.max_deflection
+            axis.deflection_rate = min(axis.deflection_rate, 0.0)
+        elif axis.deflection < -cfg.max_deflection:
+            axis.deflection = -cfg.max_deflection
+            axis.deflection_rate = max(axis.deflection_rate, 0.0)
+
+        # Rigid-body rotation under control + gust torque.
+        gust = self.rng.gauss(0.0, cfg.gust_torque_std)
+        torque = cfg.thrust * cfg.moment_arm * math.sin(axis.deflection) + gust
+        axis.rate += (torque / cfg.inertia) * dt
+        axis.attitude += axis.rate * dt
+
+    def step(self, command_x: float, command_y: float, dt: float) -> None:
+        """Advance both axes by ``dt`` under the given nozzle commands."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self._step_axis(self.x, command_x, dt)
+        self._step_axis(self.y, command_y, dt)
+        self.time += dt
+
+    def attitude_error(self) -> Tuple[float, float]:
+        """Current attitude errors (target attitude is zero)."""
+        return (self.x.attitude, self.y.attitude)

@@ -1,0 +1,246 @@
+"""Fixed-priority scheduling of the TVCA task set.
+
+TVCA "implements a fixed priority scheduler with 3 periodic tasks".
+This module provides:
+
+* :class:`TaskSpec` — period, deadline, priority of one periodic task,
+* :func:`build_jobs` — job releases over one hyperperiod,
+* :func:`simulate_timeline` — an exact preemptive fixed-priority
+  timeline simulation given per-job execution times (returns start,
+  finish, response time and preemption counts per job),
+* :func:`rta_response_times` — classic response-time analysis (the
+  iterative fixed point ``R = C + sum ceil(R/T_j) C_j`` over higher
+  priority tasks), used to check schedulability against pWCET-derived
+  budgets.
+
+The measurement campaign executes jobs back to back on the platform (the
+tasks comfortably fit their frames, so at the modelled utilizations no
+preemption occurs — verified by an assertion in the application driver),
+but the timeline simulator supports full preemption so budget/overload
+studies can use it directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+__all__ = [
+    "TaskSpec",
+    "Job",
+    "JobOutcome",
+    "hyperperiod",
+    "build_jobs",
+    "simulate_timeline",
+    "rta_response_times",
+    "utilization",
+]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One periodic task.
+
+    Attributes
+    ----------
+    name:
+        Task identifier (matches the DSL program name).
+    period:
+        Release period, in platform cycles.
+    priority:
+        Fixed priority; *lower number = higher priority*.
+    deadline:
+        Relative deadline; defaults to the period (implicit deadline).
+    offset:
+        Release offset of the first job.
+    """
+
+    name: str
+    period: int
+    priority: int
+    deadline: int = 0
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.offset < 0:
+            raise ValueError("offset must be >= 0")
+        if self.deadline == 0:
+            object.__setattr__(self, "deadline", self.period)
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One released job of a periodic task."""
+
+    task: TaskSpec
+    index: int
+    release: int
+
+    @property
+    def absolute_deadline(self) -> int:
+        """Release plus relative deadline."""
+        return self.release + self.task.deadline
+
+
+@dataclass
+class JobOutcome:
+    """Timeline result for one job."""
+
+    job: Job
+    execution: int
+    start: int = 0
+    finish: int = 0
+    preemptions: int = 0
+
+    @property
+    def response(self) -> int:
+        """Response time: finish minus release."""
+        return self.finish - self.job.release
+
+    @property
+    def deadline_met(self) -> bool:
+        """Whether the job finished by its absolute deadline."""
+        return self.finish <= self.job.absolute_deadline
+
+
+def hyperperiod(tasks: Sequence[TaskSpec]) -> int:
+    """Least common multiple of the task periods."""
+    if not tasks:
+        raise ValueError("empty task set")
+    value = tasks[0].period
+    for task in tasks[1:]:
+        value = value * task.period // math.gcd(value, task.period)
+    return value
+
+
+def utilization(tasks: Sequence[TaskSpec], wcets: Dict[str, int]) -> float:
+    """Total utilization ``sum C_i / T_i`` for the given budgets."""
+    return sum(wcets[t.name] / t.period for t in tasks)
+
+
+def build_jobs(tasks: Sequence[TaskSpec], horizon: int = 0) -> List[Job]:
+    """All job releases in ``[0, horizon)`` (default: one hyperperiod).
+
+    Jobs are ordered by (release, priority) — the order a tie-breaking
+    fixed-priority dispatcher would serve simultaneous releases.
+    """
+    if horizon <= 0:
+        horizon = hyperperiod(tasks)
+    names = [t.name for t in tasks]
+    if len(names) != len(set(names)):
+        raise ValueError("duplicate task names")
+    jobs: List[Job] = []
+    for task in tasks:
+        release = task.offset
+        index = 0
+        while release < horizon:
+            jobs.append(Job(task=task, index=index, release=release))
+            release += task.period
+            index += 1
+    jobs.sort(key=lambda j: (j.release, j.task.priority))
+    return jobs
+
+
+def simulate_timeline(
+    jobs: Sequence[Job], executions: Dict[Job, int]
+) -> List[JobOutcome]:
+    """Exact preemptive fixed-priority timeline over the given jobs.
+
+    Parameters
+    ----------
+    jobs:
+        Released jobs (any order).
+    executions:
+        Execution demand of each job in cycles.
+
+    Returns outcomes in job order, with start/finish/preemption counts.
+    The simulation advances between release events, always running the
+    highest-priority ready job; a release of a higher-priority job while
+    a lower-priority one runs preempts it.
+    """
+    pending = sorted(jobs, key=lambda j: j.release)
+    outcomes: Dict[Job, JobOutcome] = {
+        job: JobOutcome(job=job, execution=executions[job]) for job in jobs
+    }
+    remaining: Dict[Job, int] = {job: executions[job] for job in jobs}
+    started: Dict[Job, bool] = {job: False for job in jobs}
+    ready: List[Job] = []
+    now = 0
+    release_index = 0
+
+    def admit_releases(until: int) -> None:
+        nonlocal release_index
+        while release_index < len(pending) and pending[release_index].release <= until:
+            ready.append(pending[release_index])
+            release_index += 1
+
+    while release_index < len(pending) or ready:
+        if not ready:
+            now = max(now, pending[release_index].release)
+            admit_releases(now)
+            continue
+        admit_releases(now)
+        ready.sort(key=lambda j: (j.task.priority, j.release))
+        current = ready[0]
+        if not started[current]:
+            outcomes[current].start = now
+            started[current] = True
+        # Run until completion or the next release, whichever is first.
+        next_release = (
+            pending[release_index].release if release_index < len(pending) else None
+        )
+        finish_at = now + remaining[current]
+        if next_release is not None and next_release < finish_at:
+            ran = next_release - now
+            remaining[current] -= ran
+            now = next_release
+            admit_releases(now)
+            ready.sort(key=lambda j: (j.task.priority, j.release))
+            if ready[0] is not current:
+                outcomes[current].preemptions += 1
+        else:
+            now = finish_at
+            outcomes[current].finish = now
+            remaining[current] = 0
+            ready.remove(current)
+    return [outcomes[job] for job in jobs]
+
+
+def rta_response_times(
+    tasks: Sequence[TaskSpec], wcets: Dict[str, int], max_iterations: int = 1000
+) -> Dict[str, int]:
+    """Classic response-time analysis for fixed-priority scheduling.
+
+    Solves ``R_i = C_i + sum_{j in hp(i)} ceil(R_i / T_j) * C_j`` by
+    fixed-point iteration.  Returns the response-time bound per task;
+    raises :class:`RuntimeError` if a fixed point is not reached within
+    the deadline (unschedulable at the given budgets).
+    """
+    ordered = sorted(tasks, key=lambda t: t.priority)
+    responses: Dict[str, int] = {}
+    for i, task in enumerate(ordered):
+        higher = ordered[:i]
+        c_i = wcets[task.name]
+        response = c_i
+        for _ in range(max_iterations):
+            interference = sum(
+                math.ceil(response / h.period) * wcets[h.name] for h in higher
+            )
+            updated = c_i + interference
+            if updated == response:
+                break
+            response = updated
+            if response > task.deadline:
+                raise RuntimeError(
+                    f"task {task.name!r} unschedulable: R={response} > "
+                    f"D={task.deadline}"
+                )
+        else:
+            raise RuntimeError(f"RTA did not converge for task {task.name!r}")
+        responses[task.name] = response
+    return responses

@@ -1,0 +1,349 @@
+"""The three TVCA periodic tasks as DSL programs.
+
+The paper's TVCA "implements a fixed priority scheduler with 3 periodic
+tasks: sensor data acquisition, actuator control in x-axis and actuator
+control in y-axis".  Each task is expressed as a
+:class:`~repro.programs.dsl.Program` whose shape mirrors generated
+control code:
+
+* **sensor_acquisition** — per-channel validation (fault branch) and FIR
+  conditioning loops, a state-estimation matrix-vector product over a
+  ``estimator_dim x estimator_dim`` coefficient matrix (the dominant
+  data working set, sized so cache placement matters), and a telemetry
+  ring-buffer write-out.
+* **actuator_control_x / _y** — PID arithmetic, an input-dependent
+  gain-schedule table walk, an aero-coefficient interpolation over a
+  window of a large table (data-dependent position), command
+  normalization (FDIV), error-norm computation (FSQRT via a shared math
+  helper), integrator clamp and saturation branches.
+
+Path decisions, loop trip counts, table indices and FDIV/FSQRT operand
+classes all come from the run's input environment, which
+:mod:`repro.workloads.tvca.app` fills from the *actual numbers* computed
+by :mod:`repro.workloads.tvca.controller` against the plant.
+
+The x and y actuator tasks are distinct programs (own code addresses,
+own data arrays) exactly as two generated task functions would be.
+Working-set sizes are parameters: the defaults give the cache pressure
+of the measured configuration, while tests use smaller dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ...programs.dsl import (
+    ArrayDecl,
+    Block,
+    Call,
+    If,
+    Loop,
+    Program,
+    alu,
+    fadd,
+    fcmp,
+    fconv,
+    fdiv,
+    fmul,
+    fsqrt,
+    fsub,
+    load,
+    store,
+)
+from .controller import FIR_TAPS
+
+__all__ = [
+    "NUM_CHANNELS",
+    "DEFAULT_ESTIMATOR_DIM",
+    "DEFAULT_AERO_ELEMENTS",
+    "DEFAULT_AERO_WINDOW",
+    "SCHEDULE_ROWS",
+    "TELEMETRY_ENTRIES",
+    "build_math_helper",
+    "build_sensor_task",
+    "build_actuator_task",
+]
+
+#: Sensor channels (x attitude, x rate, y attitude, y rate).
+NUM_CHANNELS = 4
+
+#: Default state-estimator dimension (matrix-vector product size).
+#: 44x44 doubles = 15.1 KB — the dominant DL1 working set, sized so the
+#: hot data slightly exceeds the 16 KB DL1 and placement/replacement
+#: randomization produces measurable execution-time variation (as on
+#: the paper's platform) while the DET/RAND average stays within ~1%.
+DEFAULT_ESTIMATOR_DIM = 44
+
+#: Default aero-coefficient table entries per actuator task (4 KB).
+DEFAULT_AERO_ELEMENTS = 512
+
+#: Default aero interpolation window (entries touched per lookup).
+DEFAULT_AERO_WINDOW = 32
+
+#: Gain-schedule table rows.
+SCHEDULE_ROWS = 8
+
+#: Telemetry ring-buffer entries written by the sensor task.
+TELEMETRY_ENTRIES = 64
+
+
+def build_math_helper() -> Program:
+    """Shared math helper: 2-vector norm (fmul, fmul, fadd, fsqrt).
+
+    Called by both actuator tasks, so its code is shared in the
+    instruction cache across tasks — the kind of cross-task reuse real
+    generated code exhibits through its runtime library.
+    """
+    body = [
+        Block(
+            [
+                load("vec", 0),
+                load("vec", 1),
+                fmul(dep_on_load=True),
+                fmul(),
+                fadd(),
+                fsqrt(operand_class=lambda env: env.get("sqrt_class", 1.0)),
+                store("vec", 2),
+            ]
+        )
+    ]
+    return Program(
+        name="math_norm2",
+        body=body,
+        arrays=[ArrayDecl("vec", 4, element_bytes=8)],
+    )
+
+
+def build_sensor_task(estimator_dim: int = DEFAULT_ESTIMATOR_DIM) -> Program:
+    """Sensor data acquisition task (highest priority).
+
+    Environment keys consumed:
+
+    * ``faults`` — tuple of NUM_CHANNELS bools (per-channel validity
+      branch outcomes),
+    * ``telemetry_slot`` — ring-buffer write position for this job.
+    """
+    if estimator_dim < 2:
+        raise ValueError("estimator_dim must be >= 2")
+    fir_body = [
+        Block(
+            [
+                load("coeffs", lambda env: env["k"]),
+                load(
+                    "delay",
+                    lambda env: env["ch"] * FIR_TAPS + env["k"],
+                ),
+                fmul(dep_on_load=True),
+                fadd(),
+            ]
+        )
+    ]
+    shift_body = [
+        Block(
+            [
+                load(
+                    "delay",
+                    lambda env: env["ch"] * FIR_TAPS + (FIR_TAPS - 2 - env["j"]),
+                ),
+                store(
+                    "delay",
+                    lambda env: env["ch"] * FIR_TAPS + (FIR_TAPS - 1 - env["j"]),
+                ),
+            ]
+        )
+    ]
+    channel_body = [
+        Block([load("raw", lambda env: env["ch"]), fcmp(), alu(1)]),
+        If(
+            name="fault",
+            cond=lambda env: env["faults"][env["ch"]],
+            then_body=[
+                # Fault: discard the reading, reuse the last good value.
+                Block([load("last_good", lambda env: env["ch"]), alu(2)])
+            ],
+            else_body=[
+                Block([store("last_good", lambda env: env["ch"]), alu(1)])
+            ],
+        ),
+        # Delay-line shift then FIR accumulation.
+        Loop(name="shift", count=FIR_TAPS - 1, body=shift_body, var="j"),
+        Block([store("delay", lambda env: env["ch"] * FIR_TAPS), alu(1)]),
+        Loop(name="fir", count=FIR_TAPS, body=fir_body, var="k"),
+        Block([store("filtered", lambda env: env["ch"])]),
+    ]
+    estimator_row = [
+        Block(
+            [
+                load(
+                    "est_matrix",
+                    lambda env: env["row"] * estimator_dim + env["col"],
+                ),
+                load("est_state", lambda env: env["col"]),
+                fmul(dep_on_load=True),
+                fadd(),
+            ]
+        )
+    ]
+    estimator_body = [
+        Loop(name="est_col", count=estimator_dim, body=estimator_row, var="col"),
+        Block([store("est_state", lambda env: env["row"]), alu(1)]),
+    ]
+    telemetry_body = [
+        Block(
+            [
+                load("filtered", lambda env: env["t"] % NUM_CHANNELS),
+                store(
+                    "telemetry",
+                    lambda env: (env["telemetry_slot"] + env["t"]) % TELEMETRY_ENTRIES,
+                ),
+            ]
+        )
+    ]
+    body = [
+        Block([alu(4), fconv()]),  # prologue: read sensor DMA buffer status
+        Loop(name="channels", count=NUM_CHANNELS, body=channel_body, var="ch"),
+        Loop(name="est_row", count=estimator_dim, body=estimator_body, var="row"),
+        Loop(name="telemetry", count=NUM_CHANNELS, body=telemetry_body, var="t"),
+        Block([alu(3)]),  # epilogue: publish sample counter
+    ]
+    arrays = [
+        ArrayDecl("raw", NUM_CHANNELS, element_bytes=8),
+        ArrayDecl("last_good", NUM_CHANNELS, element_bytes=8),
+        ArrayDecl("coeffs", FIR_TAPS, element_bytes=8),
+        ArrayDecl("delay", NUM_CHANNELS * FIR_TAPS, element_bytes=8),
+        ArrayDecl("filtered", NUM_CHANNELS, element_bytes=8),
+        ArrayDecl("est_matrix", estimator_dim * estimator_dim, element_bytes=8),
+        ArrayDecl("est_state", estimator_dim, element_bytes=8),
+        ArrayDecl("telemetry", TELEMETRY_ENTRIES, element_bytes=8),
+    ]
+    return Program(name="sensor_acquisition", body=body, arrays=arrays)
+
+
+def build_actuator_task(
+    axis: str,
+    math_helper: Program,
+    aero_elements: int = DEFAULT_AERO_ELEMENTS,
+    aero_window: int = DEFAULT_AERO_WINDOW,
+) -> Program:
+    """Actuator control task for ``axis`` ("x" or "y").
+
+    Environment keys consumed (suffixed with the axis name, e.g.
+    ``steps_x``):
+
+    * ``steps_<axis>`` — gain-schedule iterations (input-dependent loop),
+    * ``iclamp_<axis>`` — integrator clamp branch outcome,
+    * ``sat_<axis>`` — command saturation branch outcome,
+    * ``div_class_<axis>`` / ``sqrt_class_<axis>`` — FDIV/FSQRT operand
+      classes from the actual control arithmetic,
+    * ``aero_idx_<axis>`` — data-dependent aero-window base index in
+      ``[0, aero_elements - aero_window)``.
+    """
+    if axis not in ("x", "y"):
+        raise ValueError("axis must be 'x' or 'y'")
+    if aero_window < 2 or aero_window > aero_elements:
+        raise ValueError("aero_window must be in [2, aero_elements]")
+    steps_key = f"steps_{axis}"
+    iclamp_key = f"iclamp_{axis}"
+    sat_key = f"sat_{axis}"
+    div_key = f"div_class_{axis}"
+    sqrt_key = f"sqrt_class_{axis}"
+    aero_key = f"aero_idx_{axis}"
+
+    schedule_body = [
+        Block(
+            [
+                load("gain_table", lambda env: env["s"] * 3),
+                load("gain_table", lambda env: env["s"] * 3 + 1),
+                fcmp(),
+                fmul(dep_on_load=True),
+                alu(1),
+            ]
+        )
+    ]
+    aero_body = [
+        Block(
+            [
+                load(
+                    "aero_table",
+                    lambda env: min(env[aero_key] + env["w"], aero_elements - 1),
+                ),
+                fmul(dep_on_load=True),
+                fadd(),
+            ]
+        )
+    ]
+    body = [
+        # Read filtered sensor state (produced by the sensor task).
+        Block(
+            [
+                load("state_in", 0),
+                load("state_in", 1),
+                fsub(dep_on_load=True),
+                fmul(),
+                fadd(),
+            ]
+        ),
+        # Gain schedule: walk the table until the error bracket is found.
+        Loop(
+            name="sched",
+            count=lambda env: env[steps_key],
+            body=schedule_body,
+            var="s",
+        ),
+        # Aero-coefficient interpolation over a data-dependent window.
+        Loop(name="aero", count=aero_window, body=aero_body, var="w"),
+        # PID: P + I + D arithmetic on the filtered state.
+        Block(
+            [
+                load("pid_mem", 0),
+                fadd(dep_on_load=True),
+                fmul(),
+                load("pid_mem", 1),
+                fmul(dep_on_load=True),
+                fadd(),
+                fsub(),
+                fmul(),
+                fadd(),
+            ]
+        ),
+        If(
+            name="iclamp",
+            cond=lambda env: env[iclamp_key],
+            then_body=[Block([alu(2), store("pid_mem", 0)])],
+            else_body=[Block([store("pid_mem", 0), alu(1)])],
+        ),
+        # Command normalization: FDIV with value-dependent operand class.
+        Block(
+            [
+                fdiv(operand_class=lambda env: env[div_key]),
+                fconv(),
+            ]
+        ),
+        # Error norm through the shared helper (FSQRT inside).
+        Block([store("vec_args", 0), store("vec_args", 1)]),
+        Call(math_helper),
+        If(
+            name="sat",
+            cond=lambda env: env[sat_key],
+            then_body=[Block([alu(3), fcmp()])],  # clamp to limit, set flag
+            else_body=[Block([alu(1)])],
+        ),
+        # Publish the actuator command and update PID memory.
+        Block(
+            [
+                store("cmd_out", 0),
+                store("pid_mem", 1),
+                store("pid_mem", 2),
+                alu(2),
+            ]
+        ),
+    ]
+    arrays = [
+        ArrayDecl("state_in", NUM_CHANNELS, element_bytes=8),
+        ArrayDecl("gain_table", SCHEDULE_ROWS * 3, element_bytes=8),
+        ArrayDecl("aero_table", aero_elements, element_bytes=8),
+        ArrayDecl("pid_mem", 4, element_bytes=8),
+        ArrayDecl("cmd_out", 2, element_bytes=8),
+        ArrayDecl("vec_args", 4, element_bytes=8),
+    ]
+    return Program(name=f"actuator_control_{axis}", body=body, arrays=arrays)

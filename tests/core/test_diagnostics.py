@@ -1,0 +1,94 @@
+"""Tests for the EVT fit diagnostics."""
+
+import math
+
+import pytest
+
+from repro.core.evt import GevDistribution, GumbelDistribution, gumbel_fit_pwm
+from repro.core.evt.diagnostics import (
+    FitQuality,
+    fit_quality,
+    qq_correlation,
+    qq_points,
+    return_levels,
+)
+from repro.workloads.synthetic import gumbel_samples, normal_samples
+
+
+class TestQq:
+    def test_points_count(self):
+        vals = gumbel_samples(200, seed=1)
+        d = gumbel_fit_pwm(vals)
+        assert len(qq_points(vals, d)) == 200
+
+    def test_good_fit_high_correlation(self):
+        vals = gumbel_samples(1000, seed=2, location=100, scale=5)
+        d = gumbel_fit_pwm(vals)
+        assert qq_correlation(vals, d) > 0.99
+
+    def test_wrong_family_lower_correlation(self):
+        """Normal data against a mislocated Gumbel: correlation drops
+        below the fitted case."""
+        vals = normal_samples(1000, seed=3, mu=100, sigma=5)
+        fitted = gumbel_fit_pwm(vals)
+        fitted_corr = qq_correlation(vals, fitted)
+        skewed = GumbelDistribution(location=0.0, scale=50.0)
+        assert qq_correlation(vals, skewed) <= fitted_corr + 1e-9
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            qq_points([1.0, 2.0], GumbelDistribution(0.0, 1.0))
+
+
+class TestReturnLevels:
+    def test_levels_monotone_in_period(self):
+        d = GumbelDistribution(location=100.0, scale=3.0)
+        rows = return_levels(d)
+        levels = [level for _, level, _ in rows]
+        assert levels == sorted(levels)
+
+    def test_level_is_quantile(self):
+        d = GumbelDistribution(location=100.0, scale=3.0)
+        rows = return_levels(d, periods=(100,))
+        assert rows[0][1] == pytest.approx(d.ppf(0.99))
+
+    def test_standard_errors_positive_for_gumbel(self):
+        d = GumbelDistribution(location=100.0, scale=3.0)
+        rows = return_levels(d, sample_size=500)
+        assert all(se > 0 for _, _, se in rows)
+
+    def test_errors_shrink_with_sample_size(self):
+        d = GumbelDistribution(location=100.0, scale=3.0)
+        small = return_levels(d, periods=(1000,), sample_size=100)[0][2]
+        large = return_levels(d, periods=(1000,), sample_size=10_000)[0][2]
+        assert large < small
+
+    def test_gev_nonzero_shape_gives_nan_errors(self):
+        d = GevDistribution(location=100.0, scale=3.0, shape=0.2)
+        rows = return_levels(d, periods=(100,), sample_size=500)
+        assert math.isnan(rows[0][2])
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            return_levels(GumbelDistribution(0.0, 1.0), periods=(1,))
+
+
+class TestFitQuality:
+    def test_good_fit_adequate(self):
+        vals = gumbel_samples(800, seed=4, location=50, scale=2)
+        d = gumbel_fit_pwm(vals)
+        quality = fit_quality(vals, d)
+        assert quality.adequate
+        assert quality.qq_correlation > 0.98
+
+    def test_bad_fit_flagged(self):
+        vals = gumbel_samples(800, seed=5, location=50, scale=2)
+        wrong = GumbelDistribution(location=500.0, scale=2.0)
+        quality = fit_quality(vals, wrong)
+        assert not quality.adequate
+
+    def test_dataclass_fields(self):
+        q = FitQuality(anderson_darling_p=0.5, ks_p=0.5, qq_correlation=0.999)
+        assert q.adequate
+        q2 = FitQuality(anderson_darling_p=0.001, ks_p=0.5, qq_correlation=0.999)
+        assert not q2.adequate

@@ -1,0 +1,316 @@
+"""Tests for the EVT distributions and fitting (validated against scipy)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.core.evt import (
+    BlockMaximaTail,
+    GevDistribution,
+    GpdDistribution,
+    GumbelDistribution,
+    PotTail,
+    best_block_size,
+    block_maxima,
+    fit_lmoments,
+    fit_pot,
+    gev_fit_mle,
+    gpd_fit_pwm,
+    gumbel_fit_mle,
+    gumbel_fit_moments,
+    gumbel_fit_pwm,
+    mean_excess,
+    mean_residual_life,
+    parameter_stability,
+    select_threshold,
+    shape_likelihood_ratio_test,
+    suggest_block_sizes,
+)
+from repro.workloads.synthetic import (
+    exponential_samples,
+    gev_samples,
+    gumbel_samples,
+)
+
+
+class TestGumbelDistribution:
+    def test_cdf_matches_scipy(self):
+        d = GumbelDistribution(location=10.0, scale=2.0)
+        ref = sps.gumbel_r(loc=10.0, scale=2.0)
+        for x in (5.0, 10.0, 15.0, 30.0):
+            assert d.cdf(x) == pytest.approx(ref.cdf(x), abs=1e-12)
+            assert d.pdf(x) == pytest.approx(ref.pdf(x), abs=1e-12)
+
+    def test_sf_stable_in_deep_tail(self):
+        d = GumbelDistribution(location=0.0, scale=1.0)
+        sf = d.sf(40.0)
+        assert 0.0 < sf < 1e-15
+
+    def test_ppf_isf_roundtrip(self):
+        d = GumbelDistribution(location=100.0, scale=5.0)
+        for q in (0.01, 0.5, 0.99):
+            assert d.cdf(d.ppf(q)) == pytest.approx(q, abs=1e-10)
+        for p in (1e-3, 1e-9, 1e-15):
+            assert d.sf(d.isf(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_moments(self):
+        d = GumbelDistribution(location=10.0, scale=2.0)
+        assert d.mean == pytest.approx(sps.gumbel_r.mean(loc=10, scale=2))
+        assert d.std == pytest.approx(sps.gumbel_r.std(loc=10, scale=2))
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            GumbelDistribution(location=0.0, scale=0.0)
+
+    def test_sample_matches_distribution(self):
+        d = GumbelDistribution(location=50.0, scale=4.0)
+        values = d.sample(4000, seed=1)
+        assert sum(values) / len(values) == pytest.approx(d.mean, rel=0.02)
+
+
+class TestGumbelFitting:
+    @pytest.mark.parametrize("fit", [gumbel_fit_moments, gumbel_fit_pwm, gumbel_fit_mle])
+    def test_recovers_parameters(self, fit):
+        vals = gumbel_samples(4000, seed=21, location=100.0, scale=7.0)
+        est = fit(vals)
+        assert est.location == pytest.approx(100.0, abs=1.0)
+        assert est.scale == pytest.approx(7.0, rel=0.08)
+
+    def test_mle_close_to_scipy(self):
+        vals = gumbel_samples(1500, seed=22, location=10.0, scale=2.0)
+        est = gumbel_fit_mle(vals)
+        loc, scale = sps.gumbel_r.fit(vals)
+        assert est.location == pytest.approx(loc, abs=0.05)
+        assert est.scale == pytest.approx(scale, rel=0.02)
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(ValueError):
+            gumbel_fit_moments([5.0, 5.0, 5.0])
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_pwm_scale_always_positive(self, seed):
+        vals = gumbel_samples(100, seed=seed, location=0.0, scale=1.0)
+        assert gumbel_fit_pwm(vals).scale > 0
+
+
+class TestGevDistribution:
+    @pytest.mark.parametrize("shape", [-0.3, 0.0, 0.3])
+    def test_cdf_matches_scipy(self, shape):
+        d = GevDistribution(location=5.0, scale=2.0, shape=shape)
+        # scipy's genextreme uses c = -xi.
+        ref = sps.genextreme(c=-shape, loc=5.0, scale=2.0)
+        for x in (2.0, 5.0, 9.0, 20.0):
+            assert d.cdf(x) == pytest.approx(ref.cdf(x), abs=1e-10)
+
+    def test_ppf_matches_scipy(self):
+        d = GevDistribution(location=0.0, scale=1.0, shape=0.2)
+        ref = sps.genextreme(c=-0.2)
+        for q in (0.1, 0.5, 0.99):
+            assert d.ppf(q) == pytest.approx(ref.ppf(q), rel=1e-9)
+
+    def test_negative_shape_bounded_support(self):
+        d = GevDistribution(location=0.0, scale=1.0, shape=-0.5)
+        assert d.upper_endpoint == pytest.approx(2.0)
+        assert d.cdf(3.0) == 1.0
+        assert d.sf(3.0) == 0.0
+
+    def test_positive_shape_heavy_tail(self):
+        gumbel = GevDistribution(location=0.0, scale=1.0, shape=0.0)
+        frechet = GevDistribution(location=0.0, scale=1.0, shape=0.3)
+        assert frechet.isf(1e-9) > gumbel.isf(1e-9)
+
+    def test_isf_deep_tail(self):
+        d = GevDistribution(location=100.0, scale=3.0, shape=0.0)
+        assert d.sf(d.isf(1e-12)) == pytest.approx(1e-12, rel=1e-5)
+
+
+class TestGevFitting:
+    def test_lmoments_recovers_gumbel(self):
+        vals = gumbel_samples(3000, seed=23, location=50.0, scale=5.0)
+        est = fit_lmoments(vals)
+        assert abs(est.shape) < 0.08
+        assert est.location == pytest.approx(50.0, abs=1.0)
+
+    def test_lmoments_recovers_frechet_shape(self):
+        vals = gev_samples(6000, seed=24, location=0.0, scale=1.0, shape=0.3)
+        est = fit_lmoments(vals)
+        assert est.shape == pytest.approx(0.3, abs=0.08)
+
+    def test_mle_recovers_parameters(self):
+        vals = gev_samples(3000, seed=25, location=10.0, scale=2.0, shape=-0.2)
+        est = gev_fit_mle(vals)
+        assert est.location == pytest.approx(10.0, abs=0.3)
+        assert est.scale == pytest.approx(2.0, rel=0.12)
+        assert est.shape == pytest.approx(-0.2, abs=0.08)
+
+    def test_shape_lr_test_accepts_gumbel_data(self):
+        vals = gumbel_samples(800, seed=56)
+        _, _, p = shape_likelihood_ratio_test(vals)
+        assert p > 0.05
+
+    def test_shape_lr_test_rejects_frechet_data(self):
+        vals = gev_samples(2000, seed=27, shape=0.4)
+        _, _, p = shape_likelihood_ratio_test(vals)
+        assert p < 0.01
+
+
+class TestGpd:
+    def test_sf_matches_scipy(self):
+        d = GpdDistribution(scale=2.0, shape=0.2)
+        ref = sps.genpareto(c=0.2, scale=2.0)
+        for y in (0.5, 2.0, 10.0):
+            assert d.sf(y) == pytest.approx(ref.sf(y), abs=1e-10)
+
+    def test_exponential_member(self):
+        d = GpdDistribution(scale=3.0, shape=0.0)
+        assert d.sf(3.0) == pytest.approx(math.exp(-1.0))
+
+    def test_isf_roundtrip(self):
+        d = GpdDistribution(scale=1.5, shape=-0.1)
+        for p in (0.1, 1e-6, 1e-12):
+            assert d.sf(d.isf(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_pwm_recovers_exponential(self):
+        vals = exponential_samples(5000, seed=28, rate=0.5)
+        est = gpd_fit_pwm(vals)
+        assert est.shape == pytest.approx(0.0, abs=0.06)
+        assert est.scale == pytest.approx(2.0, rel=0.1)
+
+    def test_mean(self):
+        assert GpdDistribution(scale=2.0, shape=0.5).mean == 4.0
+        assert GpdDistribution(scale=2.0, shape=1.5).mean == math.inf
+
+
+class TestBlockMaxima:
+    def test_extraction(self):
+        bm = block_maxima([1, 5, 2, 8, 3, 9, 4], block_size=2)
+        assert bm.maxima == [5, 8, 9]
+        assert bm.discarded == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_maxima([1, 2], block_size=5)
+        with pytest.raises(ValueError):
+            block_maxima([1, 2], block_size=0)
+
+    def test_suggest_block_sizes(self):
+        sizes = suggest_block_sizes(1000)
+        assert sizes[0] == 5
+        assert sizes[-1] == 50
+        assert all(b2 > b1 for b1, b2 in zip(sizes, sizes[1:]))
+
+    def test_suggest_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            suggest_block_sizes(50)
+
+    def test_best_block_size_reasonable(self):
+        vals = gumbel_samples(2000, seed=29, location=100, scale=5)
+        size = best_block_size(vals)
+        assert 5 <= size <= 100
+
+    def test_maxima_of_gumbel_are_gumbel_shifted(self):
+        """Max-stability: maxima of Gumbel(mu, beta) over b samples are
+        Gumbel(mu + beta ln b, beta)."""
+        vals = gumbel_samples(20000, seed=30, location=0.0, scale=2.0)
+        bm = block_maxima(vals, 20)
+        est = gumbel_fit_pwm(bm.maxima)
+        assert est.scale == pytest.approx(2.0, rel=0.15)
+        assert est.location == pytest.approx(2.0 * math.log(20), abs=0.5)
+
+
+class TestPot:
+    def test_fit_pot_threshold_selection(self):
+        vals = exponential_samples(2000, seed=31)
+        fit = fit_pot(vals)
+        assert fit.threshold > 0
+        assert fit.num_excesses >= 20
+        assert 0 < fit.exceedance_rate < 0.2
+
+    def test_pot_exceedance_monotone(self):
+        vals = exponential_samples(2000, seed=32)
+        fit = fit_pot(vals)
+        p1 = fit.exceedance_probability(fit.threshold + 0.5)
+        p2 = fit.exceedance_probability(fit.threshold + 2.0)
+        assert p1 > p2
+
+    def test_pot_quantile_roundtrip(self):
+        vals = exponential_samples(3000, seed=33)
+        fit = fit_pot(vals)
+        x = fit.quantile(1e-6)
+        assert fit.exceedance_probability(x) == pytest.approx(1e-6, rel=0.01)
+
+    def test_below_threshold_raises(self):
+        vals = exponential_samples(500, seed=34)
+        fit = fit_pot(vals)
+        with pytest.raises(ValueError):
+            fit.exceedance_probability(fit.threshold - 1.0)
+
+    def test_mean_excess(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert mean_excess(vals, 2.0) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            mean_excess(vals, 10.0)
+
+    def test_mean_residual_life_exponential_flat(self):
+        """For exponential data the mean-excess function is flat (= 1/rate)."""
+        vals = exponential_samples(20000, seed=35, rate=1.0)
+        points = mean_residual_life(vals)
+        excesses = [e for _, e in points]
+        assert all(abs(e - 1.0) < 0.35 for e in excesses)
+
+    def test_parameter_stability_near_zero_for_exponential(self):
+        vals = exponential_samples(5000, seed=36)
+        points = parameter_stability(vals)
+        assert points, "no stability points computed"
+        shapes = [s for _, s in points[:8]]
+        assert all(abs(s) < 0.25 for s in shapes)
+
+
+class TestTails:
+    def test_block_maxima_tail_consistency(self):
+        """Per-run exceedance from the tail matches the block CDF: the
+        probability that the max of b runs exceeds x is 1-(1-p)^b."""
+        dist = GumbelDistribution(location=100.0, scale=3.0)
+        tail = BlockMaximaTail(distribution=dist, block_size=50)
+        x = 120.0
+        p_run = tail.exceedance(x)
+        p_block = dist.sf(x)
+        assert 1.0 - (1.0 - p_run) ** 50 == pytest.approx(p_block, rel=1e-9)
+
+    def test_block_maxima_tail_quantile_roundtrip(self):
+        tail = BlockMaximaTail(
+            distribution=GumbelDistribution(location=100.0, scale=3.0),
+            block_size=20,
+        )
+        for p in (1e-3, 1e-9, 1e-15):
+            assert tail.exceedance(tail.quantile(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_tail_recovers_known_per_run_distribution(self):
+        """Fit block maxima of Gumbel data, then the projected per-run
+        quantile must match the true per-run quantile."""
+        true = GumbelDistribution(location=1000.0, scale=10.0)
+        vals = true.sample(20000, seed=37)
+        bm = block_maxima(vals, 40)
+        fitted = gumbel_fit_pwm(bm.maxima)
+        tail = BlockMaximaTail(distribution=fitted, block_size=40)
+        for p in (1e-4, 1e-6):
+            assert tail.quantile(p) == pytest.approx(true.isf(p), rel=0.01)
+
+    def test_pot_tail_interface(self):
+        vals = exponential_samples(2000, seed=38)
+        tail = PotTail(fit=fit_pot(vals))
+        assert tail.exceedance(0.0) == 1.0
+        assert 0 < tail.exceedance(tail.quantile(1e-8)) < 1e-7
+        assert "GPD" in tail.description
+
+    def test_gev_tail_quantile_roundtrip(self):
+        tail = BlockMaximaTail(
+            distribution=GevDistribution(location=50.0, scale=2.0, shape=-0.1),
+            block_size=10,
+        )
+        for p in (1e-3, 1e-9):
+            assert tail.exceedance(tail.quantile(p)) == pytest.approx(p, rel=1e-5)

@@ -1,0 +1,212 @@
+"""Tests for the statistical test suite (validated against scipy)."""
+
+import pytest
+from scipy import stats as sps
+
+from repro.core.stats import (
+    acf,
+    acf_standard_error,
+    anderson_darling_test,
+    box_pierce_test,
+    default_lags,
+    iid_gate,
+    kolmogorov_sf,
+    ks_one_sample,
+    ks_two_sample,
+    ljung_box_test,
+    runs_test,
+    significant_lags,
+    split_half,
+)
+from repro.workloads.synthetic import (
+    autocorrelated_samples,
+    gumbel_samples,
+    normal_samples,
+    trending_samples,
+    uniform_samples,
+)
+
+
+class TestAcf:
+    def test_white_noise_acf_small(self):
+        vals = normal_samples(2000, seed=1)
+        correlations = acf(vals, 10)
+        se = acf_standard_error(2000)
+        assert all(abs(r) < 4 * se for r in correlations)
+
+    def test_ar1_acf_matches_phi(self):
+        vals = autocorrelated_samples(5000, seed=2, phi=0.7)
+        correlations = acf(vals, 3)
+        assert correlations[0] == pytest.approx(0.7, abs=0.05)
+        assert correlations[1] == pytest.approx(0.49, abs=0.07)
+
+    def test_constant_series_zero_acf(self):
+        assert acf([5.0] * 100, 5) == [0.0] * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            acf([1.0], 1)
+        with pytest.raises(ValueError):
+            acf([1.0, 2.0, 3.0], 5)
+
+    def test_significant_lags_on_ar1(self):
+        vals = autocorrelated_samples(2000, seed=3, phi=0.6)
+        assert 1 in significant_lags(vals, 10)
+
+
+class TestLjungBox:
+    def test_matches_reference_behaviour(self):
+        """White noise: high p-value; AR(1): near-zero p-value."""
+        white = normal_samples(1000, seed=4)
+        ar = autocorrelated_samples(1000, seed=4, phi=0.5)
+        assert ljung_box_test(white).p_value > 0.05
+        assert ljung_box_test(ar).p_value < 1e-6
+
+    def test_statistic_positive(self):
+        result = ljung_box_test(normal_samples(500, seed=5))
+        assert result.statistic >= 0.0
+
+    def test_default_lags(self):
+        assert default_lags(1000) == 10
+        assert default_lags(30) == 6
+        assert default_lags(4) == 1
+
+    def test_explicit_lags(self):
+        result = ljung_box_test(normal_samples(500, seed=6), lags=5)
+        assert result.lags == 5
+
+    def test_needs_enough_observations(self):
+        with pytest.raises(ValueError):
+            ljung_box_test([1.0] * 5)
+
+    def test_box_pierce_close_to_ljung_box(self):
+        vals = normal_samples(2000, seed=7)
+        lb = ljung_box_test(vals)
+        bp = box_pierce_test(vals)
+        assert bp.statistic == pytest.approx(lb.statistic, rel=0.05)
+
+    def test_passed_helper(self):
+        result = ljung_box_test(normal_samples(500, seed=8))
+        assert result.passed(alpha=0.05) == (result.p_value >= 0.05)
+
+
+class TestKs:
+    def test_two_sample_matches_scipy(self):
+        a = normal_samples(400, seed=1)
+        b = normal_samples(400, seed=2)
+        mine = ks_two_sample(a, b)
+        ref = sps.ks_2samp(a, b)
+        assert mine.statistic == pytest.approx(ref.statistic, abs=1e-12)
+        assert mine.p_value == pytest.approx(ref.pvalue, abs=0.02)
+
+    def test_detects_shifted_distribution(self):
+        a = normal_samples(500, seed=3, mu=0.0)
+        b = normal_samples(500, seed=4, mu=1.0)
+        assert ks_two_sample(a, b).p_value < 1e-6
+
+    def test_handles_ties(self):
+        a = [1.0, 1.0, 2.0, 2.0, 3.0] * 50
+        b = [1.0, 2.0, 2.0, 3.0, 3.0] * 50
+        mine = ks_two_sample(a, b)
+        ref = sps.ks_2samp(a, b)
+        assert mine.statistic == pytest.approx(ref.statistic, abs=1e-12)
+
+    def test_one_sample_against_true_cdf(self):
+        vals = uniform_samples(500, seed=5)
+        result = ks_one_sample(vals, lambda x: min(max(x, 0.0), 1.0))
+        assert result.p_value > 0.01
+
+    def test_one_sample_against_wrong_cdf(self):
+        vals = uniform_samples(500, seed=6, low=0.5, high=1.5)
+        result = ks_one_sample(vals, lambda x: min(max(x, 0.0), 1.0))
+        assert result.p_value < 1e-6
+
+    def test_split_half(self):
+        first, second = split_half([1, 2, 3, 4, 5])
+        assert first == [1, 2]
+        assert second == [3, 4, 5]
+
+    def test_kolmogorov_sf_limits(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(10.0) < 1e-12
+        assert 0.0 < kolmogorov_sf(1.0) < 1.0
+
+
+class TestRunsTest:
+    def test_random_passes(self):
+        assert runs_test(normal_samples(500, seed=7)).passed()
+
+    def test_alternating_fails(self):
+        vals = [0.0, 1.0] * 200
+        assert not runs_test(vals).passed()
+
+    def test_clustered_fails(self):
+        vals = [0.0] * 200 + [1.0] * 200
+        assert not runs_test(vals).passed()
+
+    def test_constant_series_degenerate(self):
+        result = runs_test([3.0] * 50)
+        assert result.p_value == 1.0
+
+    def test_needs_enough(self):
+        with pytest.raises(ValueError):
+            runs_test([1.0] * 5)
+
+
+class TestAndersonDarling:
+    def test_accepts_true_model(self):
+        vals = uniform_samples(300, seed=8)
+        result = anderson_darling_test(vals, lambda x: min(max(x, 0.0), 1.0))
+        assert result.p_value > 0.01
+
+    def test_rejects_wrong_model(self):
+        vals = normal_samples(300, seed=9, mu=5.0)
+        result = anderson_darling_test(vals, lambda x: min(max(x / 10.0, 0.0), 1.0))
+        assert result.p_value < 0.01
+
+    def test_matches_scipy_normal_case(self):
+        """Cross-check the statistic (not p) against scipy.anderson."""
+        import math
+
+        vals = normal_samples(500, seed=10)
+        mu = sum(vals) / len(vals)
+        sd = (sum((v - mu) ** 2 for v in vals) / (len(vals) - 1)) ** 0.5
+        cdf = lambda x: sps.norm.cdf(x, loc=mu, scale=sd)
+        mine = anderson_darling_test(vals, cdf)
+        ref = sps.anderson(vals, dist="norm")
+        assert mine.statistic == pytest.approx(ref.statistic, rel=0.01)
+
+    def test_needs_enough(self):
+        with pytest.raises(ValueError):
+            anderson_darling_test([1.0, 2.0], lambda x: 0.5)
+
+
+class TestIidGate:
+    def test_paper_criterion_on_good_data(self):
+        verdict = iid_gate(gumbel_samples(1000, seed=12, location=100, scale=3))
+        assert verdict.passed
+        assert verdict.independence.p_value >= 0.05
+        assert verdict.identical_distribution.p_value >= 0.05
+
+    def test_rejects_autocorrelation(self):
+        verdict = iid_gate(autocorrelated_samples(1000, seed=12, phi=0.6))
+        assert not verdict.passed
+        assert verdict.independence.p_value < 0.05
+
+    def test_rejects_drift(self):
+        verdict = iid_gate(trending_samples(1000, seed=13, slope=0.05))
+        assert not verdict.passed
+
+    def test_constant_sample_passes_trivially(self):
+        verdict = iid_gate([7.0] * 100)
+        assert verdict.passed
+
+    def test_describe_mentions_tests(self):
+        verdict = iid_gate(normal_samples(200, seed=14))
+        text = verdict.describe()
+        assert "Ljung-Box" in text
+        assert "KS" in text
+
+    def test_needs_enough(self):
+        with pytest.raises(ValueError):
+            iid_gate([1.0] * 10)

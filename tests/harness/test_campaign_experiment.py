@@ -1,0 +1,104 @@
+"""Tests for measurement campaigns and the DET/RAND experiment driver."""
+
+import pytest
+
+from repro.harness.campaign import CampaignConfig, MeasurementCampaign
+from repro.harness.experiment import compare_det_rand
+from repro.platform.soc import leon3_det, leon3_rand
+from repro.programs.compiler import compile_program
+from repro.programs.layout import link
+from repro.workloads.kernels import matmul_kernel
+from repro.workloads.tvca.app import TvcaApplication, TvcaConfig
+
+SMALL_TVCA = TvcaConfig(
+    estimator_dim=8, aero_elements=64, aero_window=8, hyperperiods=1
+)
+
+
+class TestCampaignConfig:
+    def test_seed_derivations_distinct(self):
+        cfg = CampaignConfig(runs=10, base_seed=1)
+        platform_seeds = {cfg.platform_seed(i) for i in range(10)}
+        input_seeds = {cfg.input_seed(i) for i in range(10)}
+        assert len(platform_seeds) == 10
+        assert len(input_seeds) == 10
+        assert platform_seeds.isdisjoint(input_seeds)
+
+    def test_fixed_inputs_mode(self):
+        cfg = CampaignConfig(runs=5, vary_inputs=False)
+        assert cfg.input_seed(0) == cfg.input_seed(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(runs=0)
+
+
+class TestTvcaCampaign:
+    def test_collects_requested_runs(self):
+        campaign = MeasurementCampaign(CampaignConfig(runs=12, base_seed=3))
+        result = campaign.run_tvca(leon3_rand(num_cores=1), TvcaApplication(SMALL_TVCA))
+        assert result.num_runs == 12
+        assert len(result.merged) == 12
+
+    def test_reproducible_with_same_base_seed(self):
+        app = TvcaApplication(SMALL_TVCA)
+        c1 = MeasurementCampaign(CampaignConfig(runs=6, base_seed=9))
+        c2 = MeasurementCampaign(CampaignConfig(runs=6, base_seed=9))
+        r1 = c1.run_tvca(leon3_rand(num_cores=1), app)
+        r2 = c2.run_tvca(leon3_rand(num_cores=1), app)
+        assert r1.merged.values == r2.merged.values
+
+    def test_progress_callback(self):
+        seen = []
+        campaign = MeasurementCampaign(CampaignConfig(runs=4))
+        campaign.run_tvca(
+            leon3_rand(num_cores=1),
+            TvcaApplication(SMALL_TVCA),
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_paths_recorded(self):
+        campaign = MeasurementCampaign(CampaignConfig(runs=15, base_seed=5))
+        result = campaign.run_tvca(leon3_rand(num_cores=1), TvcaApplication(SMALL_TVCA))
+        assert result.samples.num_paths >= 1
+        assert sum(result.samples.counts().values()) == 15
+
+
+class TestProgramCampaign:
+    def test_kernel_campaign(self):
+        prog = matmul_kernel(dim=4)
+        image = link(prog)
+        campaign = MeasurementCampaign(CampaignConfig(runs=8))
+        result = campaign.run_program(leon3_rand(num_cores=1), prog, image)
+        assert result.num_runs == 8
+        assert result.samples.num_paths == 1  # matmul has a single path
+
+    def test_env_fn_drives_paths(self):
+        from repro.programs.dsl import Block, If, Program, alu
+
+        prog = Program(
+            name="p",
+            body=[If("c", lambda env: env["f"], [Block([alu(5)])], [Block([alu(1)])])],
+        )
+        image = link(prog)
+        campaign = MeasurementCampaign(CampaignConfig(runs=10))
+        result = campaign.run_program(
+            leon3_det(num_cores=1), prog, image,
+            env_fn=lambda i: {"f": i % 2 == 0},
+        )
+        assert result.samples.num_paths == 2
+
+
+class TestCompareDetRand:
+    def test_comparison_runs(self):
+        comparison = compare_det_rand(runs=10, app_config=SMALL_TVCA)
+        summary = comparison.summary()
+        assert summary["det_mean"] > 0
+        assert summary["rand_mean"] > 0
+        assert 0.8 < summary["average_ratio"] < 1.2
+
+    def test_identical_inputs_across_platforms(self):
+        comparison = compare_det_rand(runs=6, base_seed=11, app_config=SMALL_TVCA)
+        # Same number of observations on both platforms.
+        assert len(comparison.det_sample) == len(comparison.rand_sample) == 6

@@ -1,0 +1,95 @@
+"""Tests for the sample containers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.measurements import ExecutionTimeSample, PathSamples
+
+
+class TestExecutionTimeSample:
+    def test_collection(self):
+        s = ExecutionTimeSample(label="x")
+        s.add(10)
+        s.extend([20, 30])
+        assert len(s) == 3
+        assert list(s) == [10.0, 20.0, 30.0]
+
+    def test_summaries(self):
+        s = ExecutionTimeSample(values=[1, 2, 3, 4, 5])
+        assert s.hwm == 5.0
+        assert s.minimum == 1.0
+        assert s.mean == 3.0
+        assert s.std == pytest.approx(1.5811, abs=1e-3)
+        assert s.percentile(0.5) == 3.0
+        assert s.percentile(0.0) == 1.0
+        assert s.percentile(1.0) == 5.0
+
+    def test_percentile_interpolates(self):
+        s = ExecutionTimeSample(values=[0.0, 10.0])
+        assert s.percentile(0.25) == pytest.approx(2.5)
+
+    def test_empty_sample_errors(self):
+        s = ExecutionTimeSample()
+        for prop in ("hwm", "minimum", "mean", "std"):
+            with pytest.raises(ValueError):
+                getattr(s, prop)
+
+    def test_singleton_std_zero(self):
+        assert ExecutionTimeSample(values=[5]).std == 0.0
+
+    def test_cov(self):
+        s = ExecutionTimeSample(values=[90, 100, 110])
+        assert s.cov == pytest.approx(s.std / 100.0)
+
+    def test_summary_keys(self):
+        s = ExecutionTimeSample(values=list(range(100)))
+        summary = s.summary()
+        assert set(summary) == {"n", "min", "mean", "std", "hwm", "p50", "p95", "p99"}
+
+    def test_json_roundtrip(self):
+        s = ExecutionTimeSample(values=[1.5, 2.5], label="lbl")
+        restored = ExecutionTimeSample.from_json(s.to_json())
+        assert restored.values == s.values
+        assert restored.label == "lbl"
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionTimeSample(values=[1]).percentile(1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, values):
+        s = ExecutionTimeSample(values=values)
+        eps = 1e-6 * max(s.hwm, 1.0)  # float summation slack
+        assert s.minimum <= s.mean + eps
+        assert s.mean <= s.hwm + eps
+        assert s.percentile(0.0) <= s.percentile(0.5) <= s.percentile(1.0)
+        assert s.std >= 0
+
+
+class TestPathSamples:
+    def test_grouping(self):
+        ps = PathSamples(label="w")
+        ps.add("a", 10)
+        ps.add("a", 20)
+        ps.add("b", 30)
+        assert ps.num_paths == 2
+        assert ps.counts() == {"a": 2, "b": 1}
+        assert ps.dominant_path() == "a"
+
+    def test_merged_pools_everything(self):
+        ps = PathSamples()
+        ps.add("a", 1)
+        ps.add("b", 2)
+        merged = ps.merged()
+        assert sorted(merged.values) == [1.0, 2.0]
+
+    def test_dominant_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            PathSamples().dominant_path()
+
+    def test_labels_propagate(self):
+        ps = PathSamples(label="tvca")
+        ps.add("p1", 5)
+        assert ps.paths["p1"].label == "tvca/p1"

@@ -1,0 +1,135 @@
+"""Tests for the shared bus and DRAM controller models."""
+
+import pytest
+
+from repro.platform.bus import Bus, BusConfig
+from repro.platform.memory import MemoryConfig, MemoryController
+
+
+class TestBus:
+    def test_single_master_constant_cost(self):
+        bus = Bus(BusConfig(num_masters=1))
+        costs = set()
+        now = 0
+        for _ in range(10):
+            cost = bus.request(0, now, is_line=True)
+            costs.add(cost)
+            now += cost + 100  # leave the bus idle between requests
+        assert len(costs) == 1
+
+    def test_line_costs_more_than_word(self):
+        bus = Bus(BusConfig())
+        line = bus.request(0, 0, is_line=True)
+        bus.reset()
+        word = bus.request(0, 0, is_line=False)
+        assert line > word
+
+    def test_back_to_back_requests_queue(self):
+        bus = Bus(BusConfig(num_masters=1))
+        first = bus.request(0, 0, is_line=True)
+        # Immediately issuing again at time 0 must wait for the first.
+        second = bus.request(0, 0, is_line=True)
+        assert second > first
+
+    def test_contention_between_masters(self):
+        bus = Bus(BusConfig(num_masters=4))
+        a = bus.request(0, 0, is_line=True)
+        b = bus.request(1, 0, is_line=True)
+        assert b >= a  # master 1 waits behind master 0
+        assert bus.stats.contention_cycles > 0
+
+    def test_rejects_bad_master(self):
+        bus = Bus(BusConfig(num_masters=2))
+        with pytest.raises(ValueError):
+            bus.request(2, 0, is_line=True)
+
+    def test_stats(self):
+        bus = Bus(BusConfig())
+        bus.request(0, 0, is_line=True)
+        assert bus.stats.transactions == 1
+        bus.reset_stats()
+        assert bus.stats.transactions == 0
+
+    def test_reset_clears_horizon(self):
+        bus = Bus(BusConfig(num_masters=1))
+        bus.request(0, 0, is_line=True)
+        bus.reset()
+        assert bus.request(0, 0, is_line=True) == bus.request(0, 1000, is_line=True)
+
+
+class TestMemoryClosedPage:
+    def test_constant_read_latency(self):
+        mem = MemoryController(MemoryConfig(page_policy="closed"))
+        costs = {mem.access(addr, False, now=0) for addr in (0, 64, 4096, 1 << 20)}
+        assert len(costs) == 1
+
+    def test_write_costs_more(self):
+        mem = MemoryController(MemoryConfig(page_policy="closed"))
+        read = mem.access(0, False, 0)
+        write = mem.access(0, True, 0)
+        assert write == read + mem.config.write_cycles
+
+
+class TestMemoryOpenPage:
+    def test_row_hit_cheaper_than_conflict(self):
+        mem = MemoryController(MemoryConfig(page_policy="open", num_banks=1))
+        first = mem.access(0, False, 0)            # empty row: activate
+        hit = mem.access(64, False, 10)            # same row: hit
+        conflict = mem.access(1 << 16, False, 20)  # different row: conflict
+        assert hit < first <= conflict
+        assert mem.stats.row_hits == 1
+        assert mem.stats.row_conflicts == 1
+
+    def test_reset_closes_rows(self):
+        mem = MemoryController(MemoryConfig(page_policy="open", num_banks=1))
+        mem.access(0, False, 0)
+        mem.reset()
+        # After reset the row is closed again: activate, not hit.
+        cost = mem.access(0, False, 0)
+        assert cost > mem.config.cas_cycles
+
+    def test_worst_case_latency_bound(self):
+        mem = MemoryController(MemoryConfig(page_policy="open", num_banks=1))
+        bound = mem.worst_case_latency(is_write=True)
+        for addr in (0, 1 << 16, 1 << 17, 64):
+            assert mem.access(addr, True, 0) <= bound
+
+
+class TestRefresh:
+    def test_refresh_adds_bounded_stall(self):
+        mem = MemoryController(
+            MemoryConfig(refresh_interval_cycles=1000, refresh_stall_cycles=12)
+        )
+        base = MemoryController(MemoryConfig()).access(0, False, now=500)
+        # An access landing inside the refresh window pays extra.
+        hit_refresh = mem.access(0, False, now=0)
+        assert hit_refresh >= base
+        assert hit_refresh <= base + 12
+
+    def test_no_refresh_when_disabled(self):
+        mem = MemoryController(MemoryConfig(refresh_interval_cycles=0))
+        a = mem.access(0, False, now=0)
+        b = mem.access(0, False, now=123456)
+        assert a == b
+        assert mem.stats.refresh_stalls == 0
+
+    def test_phase_setting(self):
+        mem = MemoryController(
+            MemoryConfig(refresh_interval_cycles=1000, refresh_stall_cycles=10)
+        )
+        # Phase 0: accesses at t=0 and t=5 land inside the refresh
+        # window, t=100 does not.
+        mem.set_refresh_phase(0)
+        costs = {mem.access(0, False, now=t) for t in (0, 5, 100)}
+        assert len(costs) >= 2
+        # Shifting the phase moves the collision window.
+        mem.set_refresh_phase(900)
+        assert mem.access(0, False, now=100) > mem.access(0, False, now=300)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(page_policy="weird")
+        with pytest.raises(ValueError):
+            MemoryConfig(num_banks=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(row_bytes=3000)

@@ -1,0 +1,140 @@
+"""Tests for the core execution engine and the SoC run protocol."""
+
+import pytest
+
+from repro.platform.core import Core, CoreConfig
+from repro.platform.fpu import FpuMode
+from repro.platform.soc import Platform, PlatformConfig, leon3_det, leon3_rand
+from repro.platform.trace import InstrKind, Trace, TraceBuilder
+
+
+def straight_line_trace(n_alu: int = 50) -> Trace:
+    b = TraceBuilder()
+    for _ in range(n_alu):
+        b.emit(InstrKind.ALU)
+    return b.trace
+
+
+def memory_trace(lines: int, passes: int = 3, base: int = 0x5000_0000) -> Trace:
+    b = TraceBuilder()
+    for _ in range(passes):
+        for k in range(lines):
+            b.emit(InstrKind.LOAD, addr=base + k * 32)
+    return b.trace
+
+
+class TestCoreExecution:
+    def test_straight_line_cycles_positive(self):
+        plat = leon3_det(num_cores=1)
+        result = plat.run(straight_line_trace(), seed=1)
+        assert result.cycles > 0
+        assert result.instructions == 50
+        assert result.cpi >= 1.0
+
+    def test_deterministic_platform_reproducible(self):
+        plat = leon3_det(num_cores=1)
+        trace = memory_trace(100)
+        a = plat.run(trace, seed=1)
+        b = plat.run(trace, seed=2)  # DET ignores the seed
+        assert a.cycles == b.cycles
+
+    def test_randomized_platform_seed_reproducible(self):
+        plat = leon3_rand(num_cores=1)
+        trace = memory_trace(700, passes=4)  # exceeds 512-line capacity
+        a = plat.run(trace, seed=42)
+        b = plat.run(trace, seed=42)
+        assert a.cycles == b.cycles
+
+    def test_randomized_platform_seed_sensitive(self):
+        plat = leon3_rand(num_cores=1)
+        trace = memory_trace(700, passes=4)
+        cycles = {plat.run(trace, seed=s).cycles for s in range(12)}
+        assert len(cycles) > 1
+
+    def test_cache_hits_across_passes(self):
+        plat = leon3_det(num_cores=1)
+        trace = memory_trace(10, passes=5)
+        result = plat.run(trace, seed=0)
+        # 10 cold misses; remaining 40 loads hit.
+        assert result.dcache.read_misses == 10
+        assert result.dcache.read_hits == 40
+
+    def test_store_does_not_allocate(self):
+        b = TraceBuilder()
+        b.emit(InstrKind.STORE, addr=0x5000_0000)
+        b.emit(InstrKind.LOAD, addr=0x5000_0000)
+        plat = leon3_det(num_cores=1)
+        result = plat.run(b.trace, seed=0)
+        assert result.dcache.write_misses == 1
+        assert result.dcache.read_misses == 1  # the store did not allocate
+
+    def test_fpu_mode_affects_cycles(self):
+        b = TraceBuilder()
+        for _ in range(50):
+            b.emit(InstrKind.FDIV, operand_class=0.0)
+        rand_analysis = leon3_rand(num_cores=1, fpu_mode=FpuMode.ANALYSIS)
+        rand_operation = leon3_rand(num_cores=1, fpu_mode=FpuMode.OPERATION)
+        analysis = rand_analysis.run(b.trace, seed=1)
+        operation = rand_operation.run(b.trace, seed=1)
+        assert analysis.cycles > operation.cycles
+
+    def test_tlb_miss_penalty_visible(self):
+        # Touch 100 distinct pages: 100 DTLB walks.
+        b = TraceBuilder()
+        for page in range(100):
+            b.emit(InstrKind.LOAD, addr=0x5000_0000 + page * 4096)
+        plat = leon3_det(num_cores=1)
+        result = plat.run(b.trace, seed=0)
+        assert result.dtlb.misses == 100
+
+    def test_branch_costs(self):
+        taken = TraceBuilder()
+        not_taken = TraceBuilder()
+        for _ in range(30):
+            taken.emit(InstrKind.BRANCH, taken=True)
+            not_taken.emit(InstrKind.BRANCH, taken=False)
+        plat = leon3_det(num_cores=1)
+        assert plat.run(taken.trace, seed=0).cycles > plat.run(not_taken.trace, seed=0).cycles
+
+
+class TestRunProtocol:
+    def test_reset_flushes_everything(self):
+        plat = leon3_det(num_cores=1)
+        trace = memory_trace(20, passes=1)
+        first = plat.run(trace, seed=9)
+        second = plat.run(trace, seed=9)
+        # Same cold-start misses each run: the reset flushed the cache.
+        assert first.dcache.read_misses == second.dcache.read_misses == 20
+
+    def test_invalid_core_id(self):
+        plat = leon3_det(num_cores=2)
+        with pytest.raises(ValueError):
+            plat.run(straight_line_trace(), seed=0, core_id=5)
+
+    def test_preset_names(self):
+        assert leon3_rand().name == "RAND"
+        assert leon3_det().name == "DET"
+
+    def test_rand_is_randomized_config(self):
+        assert leon3_rand().config.is_randomized
+        assert not leon3_det().config.is_randomized
+
+    def test_prng_health_check_runs(self):
+        plat = leon3_rand(num_cores=1, check_prng_health=True)
+        assert plat.name == "RAND"
+
+    def test_cache_kb_scaling(self):
+        plat = leon3_rand(num_cores=1, cache_kb=4)
+        assert plat.cores[0].dcache.config.size_bytes == 4096
+
+    def test_average_parity_on_fitting_workload(self):
+        """For a working set fitting the cache, DET and RAND execution
+        times are nearly identical (randomization does not hurt average
+        performance — the paper's 'first two bars')."""
+        trace = memory_trace(100, passes=4)
+        det = leon3_det(num_cores=1).run(trace, seed=0).cycles
+        rand_platform = leon3_rand(num_cores=1)
+        rand_mean = sum(
+            rand_platform.run(trace, seed=s).cycles for s in range(5)
+        ) / 5
+        assert abs(rand_mean - det) / det < 0.05

@@ -1,0 +1,115 @@
+"""Tests for the pipeline timing model and the trace container."""
+
+import pytest
+
+from repro.platform.pipeline import PipelineConfig, PipelineModel
+from repro.platform.trace import Instruction, InstrKind, Trace, TraceBuilder
+
+
+class TestPipeline:
+    def test_alu_costs_base(self):
+        p = PipelineModel(PipelineConfig())
+        assert p.issue(InstrKind.ALU, 0, False) == 1
+
+    def test_taken_branch_bubble(self):
+        p = PipelineModel(PipelineConfig(taken_branch_bubble_cycles=2))
+        taken = p.issue(InstrKind.BRANCH, 0, True)
+        not_taken = p.issue(InstrKind.BRANCH, 0, False)
+        assert taken == not_taken + 2
+
+    def test_load_use_stall(self):
+        p = PipelineModel(PipelineConfig(load_use_stall_cycles=1))
+        dependent = p.issue(InstrKind.ALU, 1, False)
+        independent = p.issue(InstrKind.ALU, 0, False)
+        far = p.issue(InstrKind.ALU, 3, False)
+        assert dependent > independent
+        assert far == independent
+
+    def test_integer_long_ops(self):
+        cfg = PipelineConfig()
+        p = PipelineModel(cfg)
+        assert p.issue(InstrKind.IMUL, 0, False) == cfg.imul_latency
+        assert p.issue(InstrKind.IDIV, 0, False) == cfg.idiv_latency
+
+    def test_idiv_jitterless(self):
+        """LEON3's integer divide has fixed latency (jitterless)."""
+        p = PipelineModel(PipelineConfig())
+        assert len({p.issue(InstrKind.IDIV, 0, False) for _ in range(5)}) == 1
+
+    def test_stats_accounting(self):
+        p = PipelineModel(PipelineConfig())
+        p.issue(InstrKind.ALU, 0, False)
+        p.issue(InstrKind.BRANCH, 0, True)
+        p.issue(InstrKind.IMUL, 0, False)
+        s = p.stats
+        assert s.instructions == 3
+        assert s.branch_bubbles > 0
+        assert s.long_op_stalls > 0
+        assert s.total_cycles == s.base_cycles + s.branch_bubbles + s.load_use_stalls + s.long_op_stalls
+        p.reset_stats()
+        assert p.stats.instructions == 0
+
+
+class TestTrace:
+    def test_append_and_len(self):
+        t = Trace()
+        t.append(InstrKind.ALU, pc=0x1000)
+        t.append(InstrKind.LOAD, pc=0x1004, addr=0x2000)
+        assert len(t) == 2
+
+    def test_memory_kind_requires_address(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.append(InstrKind.LOAD, pc=0)
+
+    def test_non_memory_rejects_address(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.append(InstrKind.ALU, pc=0, addr=0x100)
+
+    def test_getitem_roundtrip(self):
+        t = Trace()
+        t.append(InstrKind.FDIV, pc=0x10, operand_class=0.5, dep_distance=1)
+        instr = t[0]
+        assert isinstance(instr, Instruction)
+        assert instr.kind == InstrKind.FDIV
+        assert instr.operand_class == 0.5
+        assert instr.dep_distance == 1
+
+    def test_iteration(self):
+        t = Trace()
+        for i in range(5):
+            t.append(InstrKind.NOP, pc=i * 4)
+        assert len(list(t)) == 5
+
+    def test_extend(self):
+        a, b = Trace(), Trace()
+        a.append(InstrKind.ALU, pc=0)
+        b.append(InstrKind.NOP, pc=4)
+        a.extend(b)
+        assert len(a) == 2
+        assert a[1].kind == InstrKind.NOP
+
+    def test_count_kind_and_footprints(self):
+        t = Trace()
+        t.append(InstrKind.LOAD, pc=0, addr=0x100)
+        t.append(InstrKind.LOAD, pc=4, addr=0x100)
+        t.append(InstrKind.STORE, pc=8, addr=0x200)
+        assert t.count_kind(InstrKind.LOAD) == 2
+        assert t.memory_footprint() == 2
+        assert t.code_footprint() == 3
+
+
+class TestTraceBuilder:
+    def test_pc_advances(self):
+        b = TraceBuilder(start_pc=0x100)
+        b.emit(InstrKind.ALU)
+        b.emit(InstrKind.ALU)
+        assert b.trace.pcs == [0x100, 0x104]
+
+    def test_jump_to(self):
+        b = TraceBuilder(start_pc=0x100)
+        b.emit(InstrKind.BRANCH, taken=True)
+        b.jump_to(0x200)
+        b.emit(InstrKind.ALU)
+        assert b.trace.pcs == [0x100, 0x200]

@@ -1,0 +1,116 @@
+"""Tests for cache placement policies (including the random-modulo
+no-intra-segment-conflict property from DAC 2016)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.placement import (
+    HashRandomPlacement,
+    ModuloPlacement,
+    RandomModuloPlacement,
+    make_placement,
+)
+
+
+class TestModuloPlacement:
+    def test_is_modulo(self):
+        policy = ModuloPlacement(128)
+        for line in (0, 1, 127, 128, 1000):
+            assert policy.set_index(line, seed=0) == line % 128
+
+    def test_ignores_seed(self):
+        policy = ModuloPlacement(64)
+        assert policy.set_index(12345, 1) == policy.set_index(12345, 999)
+
+    def test_not_randomized(self):
+        assert not ModuloPlacement(16).randomized
+
+
+class TestRandomModuloPlacement:
+    def test_in_range(self):
+        policy = RandomModuloPlacement(128)
+        for line in range(0, 5000, 37):
+            assert 0 <= policy.set_index(line, seed=7) < 128
+
+    def test_consecutive_lines_never_conflict(self):
+        """The DAC'16 property: S consecutive lines -> S distinct sets."""
+        policy = RandomModuloPlacement(128)
+        for seed in (1, 2, 12345):
+            for start in (0, 128, 1000 * 128):
+                sets = {
+                    policy.set_index(start + k, seed) for k in range(128)
+                }
+                assert len(sets) == 128
+
+    @given(
+        st.integers(min_value=1, max_value=2**40),
+        st.integers(min_value=0, max_value=2**40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_same_tag_preserves_offsets(self, seed, tag):
+        """Within one tag the mapping is a pure rotation."""
+        policy = RandomModuloPlacement(64)
+        base_line = tag * 64
+        base_set = policy.set_index(base_line, seed)
+        for offset in (1, 13, 63):
+            expected = (base_set + offset) % 64
+            assert policy.set_index(base_line + offset, seed) == expected
+
+    def test_rotation_varies_with_seed(self):
+        policy = RandomModuloPlacement(128)
+        line = 12345
+        sets = {policy.set_index(line, seed) for seed in range(200)}
+        # Across 200 seeds the rotation should reach many distinct sets.
+        assert len(sets) > 64
+
+    def test_rotation_roughly_uniform(self):
+        policy = RandomModuloPlacement(32)
+        counts = [0] * 32
+        for seed in range(3200):
+            counts[policy.set_index(0, seed)] += 1
+        expected = 3200 / 32
+        for c in counts:
+            assert abs(c - expected) < 6 * (expected * (1 - 1 / 32)) ** 0.5
+
+    def test_randomized_flag(self):
+        assert RandomModuloPlacement(16).randomized
+
+
+class TestHashRandomPlacement:
+    def test_in_range(self):
+        policy = HashRandomPlacement(128)
+        for line in range(0, 3000, 17):
+            assert 0 <= policy.set_index(line, seed=3) < 128
+
+    def test_consecutive_lines_can_conflict(self):
+        """Unlike random modulo, hash placement maps some consecutive
+        lines to the same set for some seed (the DATE'13 residual
+        conflict probability)."""
+        policy = HashRandomPlacement(128)
+        found = False
+        for seed in range(50):
+            sets = [policy.set_index(k, seed) for k in range(128)]
+            if len(set(sets)) < 128:
+                found = True
+                break
+        assert found
+
+    def test_varies_with_seed(self):
+        policy = HashRandomPlacement(64)
+        assert len({policy.set_index(7, s) for s in range(100)}) > 16
+
+
+class TestMakePlacement:
+    def test_factory_names(self):
+        assert isinstance(make_placement("modulo", 8), ModuloPlacement)
+        assert isinstance(make_placement("random_modulo", 8), RandomModuloPlacement)
+        assert isinstance(make_placement("hash_random", 8), HashRandomPlacement)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            make_placement("nope", 8)
+
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            ModuloPlacement(0)

@@ -1,0 +1,122 @@
+"""Tests for cache replacement policies."""
+
+import pytest
+
+from repro.platform.prng import CombinedLfsrPrng
+from repro.platform.replacement import (
+    LruReplacement,
+    PseudoLruTreeReplacement,
+    RandomReplacement,
+    RoundRobinReplacement,
+    make_replacement,
+)
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        lru = LruReplacement(1, 4)
+        for way in range(4):
+            lru.touch(0, way)
+        assert lru.victim(0) == 0
+        lru.touch(0, 0)
+        assert lru.victim(0) == 1
+
+    def test_per_set_independence(self):
+        lru = LruReplacement(2, 2)
+        lru.touch(0, 0)
+        lru.touch(0, 1)
+        # Set 1 untouched: victim is its initial order head.
+        assert lru.victim(1) == 0
+        assert lru.victim(0) == 0
+
+    def test_reset_clears_history(self):
+        lru = LruReplacement(1, 2)
+        lru.touch(0, 0)
+        lru.reset()
+        assert lru.victim(0) == 0
+
+
+class TestRandom:
+    def test_victims_in_range(self):
+        policy = RandomReplacement(4, 4, prng=CombinedLfsrPrng(5))
+        for _ in range(200):
+            assert 0 <= policy.victim(2) < 4
+
+    def test_reseed_reproduces_victim_sequence(self):
+        policy = RandomReplacement(1, 4, prng=CombinedLfsrPrng(5))
+        policy.reseed(77)
+        first = [policy.victim(0) for _ in range(50)]
+        policy.reseed(77)
+        assert [policy.victim(0) for _ in range(50)] == first
+
+    def test_all_ways_eventually_chosen(self):
+        policy = RandomReplacement(1, 8, prng=CombinedLfsrPrng(5))
+        assert {policy.victim(0) for _ in range(400)} == set(range(8))
+
+    def test_roughly_uniform(self):
+        policy = RandomReplacement(1, 4, prng=CombinedLfsrPrng(5))
+        counts = [0] * 4
+        n = 4000
+        for _ in range(n):
+            counts[policy.victim(0)] += 1
+        for c in counts:
+            assert abs(c - n / 4) < 5 * (n * 0.25 * 0.75) ** 0.5
+
+    def test_touch_is_noop(self):
+        policy = RandomReplacement(1, 2, prng=CombinedLfsrPrng(1))
+        policy.touch(0, 1)  # must not raise nor affect anything
+
+
+class TestRoundRobin:
+    def test_cycles_through_ways(self):
+        policy = RoundRobinReplacement(1, 3)
+        assert [policy.victim(0) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_pointer_per_set(self):
+        policy = RoundRobinReplacement(2, 2)
+        assert policy.victim(0) == 0
+        assert policy.victim(1) == 0
+        assert policy.victim(0) == 1
+
+
+class TestPlru:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            PseudoLruTreeReplacement(1, 3)
+
+    def test_victim_avoids_recently_touched(self):
+        plru = PseudoLruTreeReplacement(1, 4)
+        plru.touch(0, 2)
+        assert plru.victim(0) != 2
+
+    def test_single_way(self):
+        plru = PseudoLruTreeReplacement(2, 1)
+        plru.touch(0, 0)
+        assert plru.victim(0) == 0
+
+    def test_fills_all_ways_before_repeat(self):
+        """From a reset state, alternating victim+touch visits every way."""
+        plru = PseudoLruTreeReplacement(1, 8)
+        seen = []
+        for _ in range(8):
+            way = plru.victim(0)
+            seen.append(way)
+            plru.touch(0, way)
+        assert sorted(seen) == list(range(8))
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_replacement("lru", 2, 2), LruReplacement)
+        assert isinstance(make_replacement("random", 2, 2), RandomReplacement)
+        assert isinstance(make_replacement("round_robin", 2, 2), RoundRobinReplacement)
+        assert isinstance(make_replacement("plru", 2, 2), PseudoLruTreeReplacement)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_replacement("fifo?", 2, 2)
+
+    def test_random_uses_given_prng(self):
+        prng = CombinedLfsrPrng(3)
+        policy = make_replacement("random", 1, 4, prng=prng)
+        assert policy.prng is prng

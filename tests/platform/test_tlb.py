@@ -1,0 +1,97 @@
+"""Tests for the TLB model."""
+
+import pytest
+
+from repro.platform.prng import CombinedLfsrPrng
+from repro.platform.tlb import Tlb, TlbConfig
+
+
+def make_tlb(**kwargs) -> Tlb:
+    defaults = dict(entries=4, replacement="lru", walk_penalty_cycles=30)
+    defaults.update(kwargs)
+    return Tlb(TlbConfig(**defaults), prng=CombinedLfsrPrng(2))
+
+
+class TestConfig:
+    def test_page_shift(self):
+        assert TlbConfig(page_bytes=4096).page_shift == 12
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            TlbConfig(page_bytes=3000)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TlbConfig(entries=0)
+
+
+class TestLookup:
+    def test_miss_costs_walk(self):
+        tlb = make_tlb()
+        assert tlb.lookup(0x1000) == 30
+        assert tlb.stats.misses == 1
+
+    def test_hit_costs_nothing(self):
+        tlb = make_tlb()
+        tlb.lookup(0x1000)
+        assert tlb.lookup(0x1FFF) == 0  # same 4K page
+        assert tlb.stats.hits == 1
+
+    def test_different_page_misses(self):
+        tlb = make_tlb()
+        tlb.lookup(0x1000)
+        assert tlb.lookup(0x2000) == 30
+
+    def test_lru_eviction(self):
+        tlb = make_tlb(entries=2)
+        tlb.lookup(0x1000)
+        tlb.lookup(0x2000)
+        tlb.lookup(0x1000)       # page 1 MRU
+        tlb.lookup(0x3000)       # evicts page 2
+        assert tlb.contains(0x1000)
+        assert not tlb.contains(0x2000)
+
+    def test_flush(self):
+        tlb = make_tlb()
+        tlb.lookup(0x5000)
+        tlb.flush()
+        assert not tlb.contains(0x5000)
+        assert tlb.occupancy() == 0.0
+
+    def test_occupancy(self):
+        tlb = make_tlb(entries=4)
+        tlb.lookup(0x1000)
+        tlb.lookup(0x2000)
+        assert tlb.occupancy() == pytest.approx(0.5)
+
+
+class TestRandomReplacement:
+    def test_reseed_reproduces_eviction_pattern(self):
+        def misses(seed):
+            tlb = make_tlb(entries=4, replacement="random")
+            tlb.reseed(seed)
+            tlb.reset_stats()
+            for _ in range(5):
+                for page in range(6):  # 6 pages > 4 entries
+                    tlb.lookup(page * 4096)
+            return tlb.stats.misses
+
+        assert misses(7) == misses(7)
+
+    def test_seed_changes_pattern(self):
+        def misses(seed):
+            tlb = make_tlb(entries=4, replacement="random")
+            tlb.reseed(seed)
+            for _ in range(8):
+                for page in range(6):
+                    tlb.lookup(page * 4096)
+            return tlb.stats.misses
+
+        assert len({misses(s) for s in range(15)}) > 1
+
+    def test_stats_reset(self):
+        tlb = make_tlb()
+        tlb.lookup(0x1000)
+        tlb.reset_stats()
+        assert tlb.stats.accesses == 0
+        assert tlb.stats.hit_rate == 0.0

@@ -1,0 +1,237 @@
+"""Tests for the DSL-to-trace compiler."""
+
+import pytest
+
+from repro.platform.trace import InstrKind
+from repro.programs.compiler import compile_program, generate_trace
+from repro.programs.dsl import (
+    ArrayDecl,
+    Block,
+    Call,
+    If,
+    Loop,
+    Program,
+    alu,
+    fadd,
+    fdiv,
+    fmul,
+    load,
+    store,
+)
+from repro.programs.layout import link
+
+
+def compiled(body, arrays=None, name="t"):
+    return compile_program(Program(name=name, body=body, arrays=arrays or []))
+
+
+class TestStraightLine:
+    def test_alu_block(self):
+        trace, path = compiled([Block([alu(5)])]).trace()
+        # 5 ALU + return branch.
+        assert trace.count_kind(InstrKind.ALU) == 5
+        assert trace.count_kind(InstrKind.BRANCH) == 1
+        assert path.as_key() == "<straight>"
+
+    def test_load_address_resolution(self):
+        prog = compiled(
+            [Block([load("a", 3)])], arrays=[ArrayDecl("a", 8, element_bytes=8)]
+        )
+        trace, _ = prog.trace()
+        base = prog.image.array_base("t", "a")
+        loads = [
+            trace.addrs[i]
+            for i in range(len(trace))
+            if trace.kinds[i] == InstrKind.LOAD
+        ]
+        assert loads == [base + 24]
+
+    def test_index_out_of_bounds(self):
+        prog = compiled([Block([load("a", 9)])], arrays=[ArrayDecl("a", 8)])
+        with pytest.raises(IndexError):
+            prog.trace()
+
+    def test_env_driven_index(self):
+        prog = compiled(
+            [Block([load("a", lambda env: env["i"])])],
+            arrays=[ArrayDecl("a", 8, element_bytes=4)],
+        )
+        t1, _ = prog.trace({"i": 1})
+        t2, _ = prog.trace({"i": 5})
+        addr1 = [t1.addrs[k] for k in range(len(t1)) if t1.addrs[k] >= 0][0]
+        addr2 = [t2.addrs[k] for k in range(len(t2)) if t2.addrs[k] >= 0][0]
+        assert addr2 - addr1 == 16
+
+
+class TestLoops:
+    def test_static_loop_repeats_body(self):
+        trace, path = compiled([Loop("l", 4, [Block([alu(2)])])]).trace()
+        assert trace.count_kind(InstrKind.ALU) == 1 + 8  # init + 4x2
+        assert path.as_key() == "<straight>"  # static count not recorded
+
+    def test_loop_body_addresses_repeat(self):
+        prog = compiled([Loop("l", 3, [Block([alu(1)])])])
+        trace, _ = prog.trace()
+        body_pcs = [
+            trace.pcs[i]
+            for i in range(len(trace))
+            if trace.kinds[i] == InstrKind.ALU
+        ][1:]  # skip loop init
+        assert len(set(body_pcs)) == 1  # same code address every iteration
+
+    def test_dynamic_count_recorded_in_path(self):
+        prog = compiled([Loop("l", lambda env: env["n"], [Block([alu(1)])])])
+        _, path = prog.trace({"n": 5})
+        assert path.as_key() == "l=5"
+
+    def test_zero_count_skips_body(self):
+        prog = compiled([Loop("l", lambda env: env["n"], [Block([alu(10)])])])
+        trace, path = prog.trace({"n": 0})
+        assert trace.count_kind(InstrKind.ALU) == 1  # init only
+        assert path.as_key() == "l=0"
+
+    def test_loop_var_visible_to_indices(self):
+        prog = compiled(
+            [Loop("l", 3, [Block([load("a", lambda env: env["k"])])], var="k")],
+            arrays=[ArrayDecl("a", 4, element_bytes=4)],
+        )
+        trace, _ = prog.trace()
+        addrs = [a for a in trace.addrs if a >= 0]
+        assert addrs[1] - addrs[0] == 4
+        assert addrs[2] - addrs[1] == 4
+
+    def test_backward_branch_taken_except_last(self):
+        prog = compiled([Loop("l", 3, [Block([alu(1)])])])
+        trace, _ = prog.trace()
+        branches = [
+            trace.takens[i]
+            for i in range(len(trace))
+            if trace.kinds[i] == InstrKind.BRANCH
+        ]
+        # 3 loop branches (T, T, F) + return (T).
+        assert branches == [True, True, False, True]
+
+    def test_nested_loop_vars_restored(self):
+        prog = compiled(
+            [
+                Loop(
+                    "outer", 2,
+                    [
+                        Loop("inner", 2, [Block([alu(1)])], var="i"),
+                        Block([load("a", lambda env: env["i"])]),
+                    ],
+                    var="i",
+                )
+            ],
+            arrays=[ArrayDecl("a", 4, element_bytes=4)],
+        )
+        # inner loop uses the same var name; outer value must be
+        # restored after the inner loop completes.
+        trace, _ = prog.trace()
+        addrs = [a for a in trace.addrs if a >= 0]
+        assert addrs[0] != addrs[1]  # outer i=0 then i=1
+
+
+class TestConditionals:
+    def test_then_vs_else_paths(self):
+        node = If(
+            "c",
+            cond=lambda env: env["flag"],
+            then_body=[Block([alu(5)])],
+            else_body=[Block([alu(2)])],
+        )
+        prog = compiled([node])
+        t_then, p_then = prog.trace({"flag": True})
+        t_else, p_else = prog.trace({"flag": False})
+        assert p_then.as_key() == "c=T"
+        assert p_else.as_key() == "c=F"
+        assert t_then.count_kind(InstrKind.ALU) > t_else.count_kind(InstrKind.ALU)
+
+    def test_both_paths_converge_to_same_join(self):
+        node = If("c", lambda env: env["f"], [Block([alu(3)])], [Block([alu(1)])])
+        prog = compiled([node, Block([alu(1)])])
+        t_then, _ = prog.trace({"f": True})
+        t_else, _ = prog.trace({"f": False})
+        # The final ALU (after the If) and the return are at identical
+        # addresses on both paths.
+        assert t_then.pcs[-1] == t_else.pcs[-1]
+        assert t_then.pcs[-2] == t_else.pcs[-2]
+
+    def test_empty_else(self):
+        node = If("c", lambda env: env["f"], [Block([alu(2)])])
+        prog = compiled([node])
+        trace, path = prog.trace({"f": False})
+        assert path.as_key() == "c=F"
+        assert trace.count_kind(InstrKind.ALU) == 1  # the compare only
+
+
+class TestCalls:
+    def test_callee_executes_at_own_address(self):
+        helper = Program(name="helper", body=[Block([fadd(), fmul()])])
+        prog = compiled([Call(helper), Call(helper)], name="main")
+        trace, _ = prog.trace()
+        helper_base = prog.image.code_base("helper")
+        fadds = [
+            trace.pcs[i]
+            for i in range(len(trace))
+            if trace.kinds[i] == InstrKind.FADD
+        ]
+        assert len(fadds) == 2
+        assert fadds[0] == fadds[1] == helper_base
+
+    def test_fdiv_operand_class_from_env(self):
+        prog = compiled(
+            [Block([fdiv(operand_class=lambda env: env["oc"])])]
+        )
+        trace, _ = prog.trace({"oc": 0.25})
+        classes = [
+            trace.operand_classes[i]
+            for i in range(len(trace))
+            if trace.kinds[i] == InstrKind.FDIV
+        ]
+        assert classes == [0.25]
+
+
+class TestDependencies:
+    def test_dep_on_load_distance(self):
+        prog = compiled(
+            [Block([load("a", 0), alu(1, dep_on_load=True)])],
+            arrays=[ArrayDecl("a", 4)],
+        )
+        trace, _ = prog.trace()
+        alu_deps = [
+            trace.dep_distances[i]
+            for i in range(len(trace))
+            if trace.kinds[i] == InstrKind.ALU
+        ]
+        assert alu_deps == [1]
+
+    def test_far_dep_is_zero(self):
+        prog = compiled(
+            [Block([load("a", 0), alu(3), alu(1, dep_on_load=True)])],
+            arrays=[ArrayDecl("a", 4)],
+        )
+        trace, _ = prog.trace()
+        deps = [
+            trace.dep_distances[i]
+            for i in range(len(trace))
+            if trace.kinds[i] == InstrKind.ALU
+        ]
+        assert deps[-1] == 0  # 4 instructions after the load: no stall
+
+
+class TestDeterminism:
+    def test_same_env_same_trace(self):
+        prog = compiled(
+            [
+                Loop("l", lambda env: env["n"], [Block([alu(1), load("a", 0)])]),
+                If("c", lambda env: env["f"], [Block([alu(2)])]),
+            ],
+            arrays=[ArrayDecl("a", 4)],
+        )
+        env = {"n": 3, "f": True}
+        t1, p1 = prog.trace(env)
+        t2, p2 = prog.trace(env)
+        assert t1.pcs == t2.pcs
+        assert t1.kinds == t2.kinds
+        assert p1.as_key() == p2.as_key()

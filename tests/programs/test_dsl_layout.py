@@ -1,0 +1,160 @@
+"""Tests for the program DSL and the linker."""
+
+import pytest
+
+from repro.programs.dsl import (
+    ArrayDecl,
+    Block,
+    Call,
+    If,
+    Loop,
+    Program,
+    alu,
+    fadd,
+    fdiv,
+    load,
+    store,
+)
+from repro.programs.layout import (
+    LayoutConfig,
+    code_size_instructions,
+    link,
+    program_code_bytes,
+)
+
+
+def simple_program(name="p", arrays=None):
+    return Program(
+        name=name,
+        body=[Block([alu(3), load("data", 0), store("data", 1)])],
+        arrays=arrays or [ArrayDecl("data", 8)],
+    )
+
+
+class TestDsl:
+    def test_duplicate_array_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate array"):
+            Program(
+                name="p",
+                body=[],
+                arrays=[ArrayDecl("a", 4), ArrayDecl("a", 4)],
+            )
+
+    def test_array_lookup(self):
+        p = simple_program()
+        assert p.array("data").elements == 8
+        with pytest.raises(KeyError):
+            p.array("missing")
+
+    def test_array_decl_validation(self):
+        with pytest.raises(ValueError):
+            ArrayDecl("a", 0)
+        with pytest.raises(ValueError):
+            ArrayDecl("a", 4, element_bytes=3)
+
+    def test_array_size_bytes(self):
+        assert ArrayDecl("a", 10, element_bytes=8).size_bytes == 80
+
+    def test_callees_walks_structure(self):
+        inner = simple_program("inner")
+        outer = Program(
+            name="outer",
+            body=[
+                Loop("l", 2, [Call(inner)]),
+                If("c", True, [Call(inner)], [Block([alu(1)])]),
+            ],
+        )
+        assert [p.name for p in outer.callees()] == ["inner", "inner"]
+
+    def test_loop_static_count_flag(self):
+        assert Loop("l", 5, []).static_count
+        assert not Loop("l", lambda env: 3, []).static_count
+
+    def test_negative_loop_count_rejected_at_resolve(self):
+        from repro.programs.dsl import resolve_count
+
+        with pytest.raises(ValueError):
+            resolve_count(-1, {})
+
+
+class TestCodeSize:
+    def test_block_size(self):
+        assert code_size_instructions([Block([alu(3), load("a", 0)])]) == 4
+
+    def test_loop_overhead(self):
+        body = [Block([alu(2)])]
+        assert code_size_instructions([Loop("l", 10, body)]) == 1 + 2 + 1
+
+    def test_if_overhead(self):
+        node = If("c", True, [Block([alu(3)])], [Block([alu(2)])])
+        assert code_size_instructions([node]) == 2 + 3 + 1 + 2
+
+    def test_call_is_one_instruction(self):
+        assert code_size_instructions([Call(simple_program())]) == 1
+
+    def test_program_code_bytes_includes_return(self):
+        p = simple_program()
+        assert program_code_bytes(p) == (5 + 1) * 4
+
+
+class TestLinker:
+    def test_code_addresses_disjoint(self):
+        inner = simple_program("inner")
+        outer = Program(name="outer", body=[Call(inner)], arrays=[])
+        image = link(outer)
+        a = image.code_base("outer")
+        b = image.code_base("inner")
+        assert a != b
+        assert abs(b - a) >= program_code_bytes(outer)
+
+    def test_arrays_get_disjoint_addresses(self):
+        p = Program(
+            name="p",
+            body=[],
+            arrays=[ArrayDecl("a", 100, 8), ArrayDecl("b", 50, 8)],
+        )
+        image = link(p)
+        a = image.array_base("p", "a")
+        b = image.array_base("p", "b")
+        assert b >= a + 800
+
+    def test_layout_offset_shifts_data(self):
+        p = simple_program()
+        base = link(p, LayoutConfig(layout_offset=0)).array_base("p", "data")
+        shifted = link(p, LayoutConfig(layout_offset=256)).array_base("p", "data")
+        assert shifted == base + 256
+
+    def test_alignment(self):
+        p = simple_program()
+        image = link(p, LayoutConfig(data_align=64))
+        assert image.array_base("p", "data") % 64 == 0
+
+    def test_duplicate_program_names_rejected(self):
+        a = simple_program("same")
+        b = simple_program("same")
+        outer = Program(name="outer", body=[Call(a), Call(b)])
+        with pytest.raises(ValueError, match="two distinct programs"):
+            link(outer)
+
+    def test_shared_callee_linked_once(self):
+        helper = simple_program("helper")
+        outer = Program(name="outer", body=[Call(helper), Call(helper)])
+        image = link(outer)
+        assert image.code_base("helper") > 0
+
+    def test_unknown_lookups_raise(self):
+        image = link(simple_program())
+        with pytest.raises(KeyError):
+            image.code_base("ghost")
+        with pytest.raises(KeyError):
+            image.array_base("p", "ghost")
+
+    def test_totals(self):
+        image = link(simple_program())
+        assert image.total_code_bytes >= program_code_bytes(simple_program())
+        assert image.total_data_bytes >= 8 * 4
+
+    def test_overlap_detection(self):
+        cfg = LayoutConfig(code_base=0x1000, data_base=0x1010)
+        with pytest.raises(ValueError, match="overlaps"):
+            link(simple_program(), cfg)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--runs", "25", "--estimator-dim", "8", "--cache-kb", "4"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.runs == 300
+        assert args.platform == "rand"
+
+    def test_analyse_cutoff(self):
+        args = build_parser().parse_args(["analyse", "--cutoff", "1e-12"])
+        assert args.cutoff == 1e-12
+
+
+class TestCommands:
+    def test_campaign_writes_sample(self, tmp_path, capsys):
+        out = tmp_path / "sample.json"
+        code = main(["campaign", *FAST, "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["values"]) == 25
+        assert "TVCA@RAND" in capsys.readouterr().out
+
+    def test_campaign_det_platform(self, capsys):
+        code = main(["campaign", *FAST, "--platform", "det"])
+        assert code == 0
+        assert "TVCA@DET" in capsys.readouterr().out
+
+    def test_analyse_saved_sample(self, tmp_path, capsys):
+        from repro.workloads.synthetic import cache_like_samples
+        from repro.harness.measurements import ExecutionTimeSample
+
+        sample = ExecutionTimeSample(
+            values=cache_like_samples(600, seed=3), label="saved"
+        )
+        path = tmp_path / "s.json"
+        path.write_text(sample.to_json())
+        code = main(["analyse", "--sample", str(path), "--cutoff", "1e-9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pWCET" in out
+        assert "pWCET@1e-09" in out
+
+    def test_compare_runs(self, capsys):
+        code = main(["compare", *FAST])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MBTA" in out
+        assert "RAND/DET average ratio" in out

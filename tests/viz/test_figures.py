@@ -1,0 +1,87 @@
+"""Tests for the text/CSV figure emitters."""
+
+import pytest
+
+from repro.viz import (
+    ascii_bar,
+    figure2_csv,
+    figure2_panel,
+    figure3_csv,
+    figure3_panel,
+)
+
+
+CURVE = [(1000.0 + 20 * k, 10.0 ** (-k)) for k in range(13)]
+OBSERVED = [(990.0 + i, (100 - i) / 100.0) for i in range(100)]
+
+
+class TestAsciiBar:
+    def test_full_bar(self):
+        assert ascii_bar(10, 10, width=10) == "#" * 10
+
+    def test_half_bar(self):
+        bar = ascii_bar(5, 10, width=10)
+        assert bar.count("#") == 5
+        assert len(bar) == 10
+
+    def test_clamps(self):
+        assert ascii_bar(20, 10, width=4) == "####"
+        assert ascii_bar(-5, 10, width=4) == "...."
+
+    def test_zero_max_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar(1, 0)
+
+
+class TestFigure2:
+    def test_panel_has_decade_rows(self):
+        panel = figure2_panel(CURVE, OBSERVED)
+        assert "1e-06" in panel
+        assert "1e-12" in panel
+        assert "*" in panel
+
+    def test_panel_shows_observations(self):
+        panel = figure2_panel(CURVE, OBSERVED)
+        assert "o" in panel or "@" in panel
+
+    def test_csv_rows(self):
+        csv = figure2_csv(CURVE, OBSERVED)
+        lines = csv.splitlines()
+        assert lines[0] == "series,execution_time,exceedance_probability"
+        assert len(lines) == 1 + len(CURVE) + len(OBSERVED)
+        assert any(line.startswith("pwcet,") for line in lines)
+        assert any(line.startswith("observed,") for line in lines)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            figure2_panel([], OBSERVED)
+
+
+class TestFigure3:
+    def test_panel_rows(self):
+        panel = figure3_panel(
+            det_mean=100.0,
+            rand_mean=101.0,
+            det_hwm=120.0,
+            mbta_bound=180.0,
+            pwcet_by_cutoff=[(1e-6, 130.0), (1e-15, 160.0)],
+        )
+        assert "DET avg" in panel
+        assert "RAND avg" in panel
+        assert "MBTA" in panel
+        assert "pWCET@1e-06" in panel
+        assert "pWCET@1e-15" in panel
+
+    def test_bar_lengths_ordered(self):
+        panel = figure3_panel(100.0, 100.0, 120.0, 180.0, [(1e-6, 130.0)])
+        lines = panel.splitlines()
+        mbta_len = [l for l in lines if "MBTA" in l][0].count("#")
+        avg_len = [l for l in lines if "DET avg" in l][0].count("#")
+        assert mbta_len > avg_len
+
+    def test_csv(self):
+        csv = figure3_csv(100.0, 101.0, 120.0, 180.0, [(1e-6, 130.0)])
+        lines = csv.splitlines()
+        assert lines[0] == "series,cutoff,value"
+        assert any(line.startswith("mbta_bound") for line in lines)
+        assert any(line.startswith("pwcet,1e-06") for line in lines)

@@ -1,0 +1,153 @@
+"""Tests for kernel workloads and synthetic sample generators."""
+
+import statistics
+
+import pytest
+
+from repro.platform.soc import leon3_det, leon3_rand
+from repro.platform.trace import InstrKind
+from repro.programs.compiler import generate_trace
+from repro.programs.layout import link
+from repro.workloads.kernels import (
+    fir_kernel,
+    fpu_stress_kernel,
+    matmul_kernel,
+    strided_access_kernel,
+    table_walk_kernel,
+)
+from repro.workloads.synthetic import (
+    autocorrelated_samples,
+    cache_like_samples,
+    exponential_samples,
+    gev_samples,
+    gumbel_samples,
+    mixture_samples,
+    normal_samples,
+    trending_samples,
+    uniform_samples,
+)
+
+
+class TestKernels:
+    def test_matmul_instruction_count(self):
+        prog = matmul_kernel(dim=4)
+        trace, _ = generate_trace(prog, link(prog), {})
+        # 4^3 inner iterations, each with 2 loads + fmul + fadd.
+        assert trace.count_kind(InstrKind.FMUL) == 64
+        assert trace.count_kind(InstrKind.LOAD) == 128
+
+    def test_fir_kernel_runs(self):
+        prog = fir_kernel(taps=8, samples=16)
+        trace, _ = generate_trace(prog, link(prog), {})
+        assert trace.count_kind(InstrKind.FMUL) == 8 * 16
+
+    def test_table_walk_uses_env_indices(self):
+        prog = table_walk_kernel(entries=64, lookups=8)
+        image = link(prog)
+        t1, _ = generate_trace(prog, image, {"indices": list(range(8))})
+        t2, _ = generate_trace(prog, image, {"indices": [0] * 8})
+        a1 = {a for a in t1.addrs if a >= 0}
+        a2 = {a for a in t2.addrs if a >= 0}
+        assert len(a1) > len(a2)
+
+    def test_fpu_stress_operand_classes(self):
+        prog = fpu_stress_kernel(divides=4)
+        image = link(prog)
+        env = {"op_classes": [0.1, 0.9, 0.5, 1.0]}
+        trace, _ = generate_trace(prog, image, env)
+        classes = [
+            trace.operand_classes[i]
+            for i in range(len(trace))
+            if trace.kinds[i] == InstrKind.FDIV
+        ]
+        assert classes == [0.1, 0.9, 0.5, 1.0]
+
+    def test_strided_kernel_pathological_on_det(self):
+        """A power-of-two stride concentrates DET misses; random
+        placement spreads them — the motivating example for placement
+        randomization."""
+        # stride 16 elements * 8B = 128B = 4 lines: every 4th line.
+        prog = strided_access_kernel(stride_elements=16, accesses=128, elements=4096)
+        image = link(prog)
+        trace, _ = generate_trace(prog, image, {})
+        det = leon3_det(num_cores=1, cache_kb=4)
+        det_result = det.run(trace, seed=0)
+        rand_platform = leon3_rand(num_cores=1, cache_kb=4)
+        rand_misses = statistics.mean(
+            rand_platform.run(trace, seed=s).dcache.read_misses for s in range(8)
+        )
+        # DET modulo: the stride concentrates on 8 sets -> every pass
+        # misses.  Random modulo spreads the lines over all sets and
+        # retains part of the working set between passes.
+        assert rand_misses < det_result.dcache.read_misses
+
+
+class TestSynthetic:
+    def test_reproducible(self):
+        assert gumbel_samples(50, seed=3) == gumbel_samples(50, seed=3)
+
+    def test_gumbel_moments(self):
+        import math
+
+        vals = gumbel_samples(20000, seed=1, location=10.0, scale=2.0)
+        mean = statistics.mean(vals)
+        assert mean == pytest.approx(10.0 + 0.5772156649 * 2.0, abs=0.1)
+
+    def test_gev_zero_shape_matches_gumbel(self):
+        assert gev_samples(10, seed=5, shape=0.0) == gumbel_samples(10, seed=5)
+
+    def test_gev_negative_shape_bounded(self):
+        # xi = -0.5: upper endpoint = loc + scale/0.5 = 2.0
+        vals = gev_samples(5000, seed=2, location=0.0, scale=1.0, shape=-0.5)
+        assert max(vals) <= 2.0 + 1e-9
+
+    def test_exponential_positive(self):
+        vals = exponential_samples(1000, seed=1, rate=2.0)
+        assert all(v >= 0 for v in vals)
+        assert statistics.mean(vals) == pytest.approx(0.5, abs=0.06)
+
+    def test_uniform_range(self):
+        vals = uniform_samples(1000, seed=1, low=5.0, high=7.0)
+        assert all(5.0 <= v < 7.0 for v in vals)
+
+    def test_normal_std(self):
+        vals = normal_samples(5000, seed=1, mu=0.0, sigma=3.0)
+        assert statistics.stdev(vals) == pytest.approx(3.0, rel=0.1)
+
+    def test_autocorrelated_has_correlation(self):
+        vals = autocorrelated_samples(2000, seed=1, phi=0.8)
+        mean = statistics.mean(vals)
+        num = sum(
+            (vals[i] - mean) * (vals[i + 1] - mean) for i in range(len(vals) - 1)
+        )
+        den = sum((v - mean) ** 2 for v in vals)
+        assert num / den > 0.5
+
+    def test_trending_drifts(self):
+        vals = trending_samples(1000, seed=1, slope=0.1)
+        first = statistics.mean(vals[:200])
+        last = statistics.mean(vals[-200:])
+        assert last - first > 50
+
+    def test_mixture_bimodal(self):
+        vals = mixture_samples(4000, seed=1)
+        low = sum(1 for v in vals if v < 115)
+        high = sum(1 for v in vals if v >= 115)
+        assert low > 0 and high > 0
+        assert low > high  # 0.7 / 0.3 weights
+
+    def test_mixture_validation(self):
+        with pytest.raises(ValueError):
+            mixture_samples(10, seed=1, weights=[1.0], locations=[1.0, 2.0])
+
+    def test_cache_like_above_base(self):
+        vals = cache_like_samples(500, seed=9, base=1000.0)
+        assert all(v >= 1000.0 for v in vals)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            exponential_samples(10, seed=1, rate=0.0)
+        with pytest.raises(ValueError):
+            gumbel_samples(10, seed=1, scale=-1.0)
+        with pytest.raises(ValueError):
+            autocorrelated_samples(10, seed=1, phi=1.5)

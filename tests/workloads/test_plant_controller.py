@@ -1,0 +1,176 @@
+"""Tests for the TVC plant and controller models."""
+
+import math
+
+import pytest
+
+from repro.workloads.tvca.controller import (
+    FIR_TAPS,
+    SENSOR_FAULT_LIMIT,
+    AxisController,
+    FirFilter,
+    PidConfig,
+    SensorProcessor,
+)
+from repro.workloads.tvca.plant import PlantConfig, SensorReading, TvcPlant
+
+
+class TestPlant:
+    def test_reproducible_given_seed(self):
+        a = TvcPlant(PlantConfig(), input_seed=7)
+        b = TvcPlant(PlantConfig(), input_seed=7)
+        assert a.x.attitude == b.x.attitude
+        assert a.sense_x().attitude == b.sense_x().attitude
+
+    def test_different_seeds_differ(self):
+        a = TvcPlant(PlantConfig(), input_seed=1)
+        b = TvcPlant(PlantConfig(), input_seed=2)
+        assert a.x.attitude != b.x.attitude
+
+    def test_deflection_limits_respected(self):
+        cfg = PlantConfig()
+        plant = TvcPlant(cfg, input_seed=3)
+        for _ in range(500):
+            plant.step(cfg.max_deflection * 2, -cfg.max_deflection * 2, 0.005)
+            assert abs(plant.x.deflection) <= cfg.max_deflection + 1e-12
+            assert abs(plant.y.deflection) <= cfg.max_deflection + 1e-12
+
+    def test_step_requires_positive_dt(self):
+        plant = TvcPlant(PlantConfig(), input_seed=1)
+        with pytest.raises(ValueError):
+            plant.step(0.0, 0.0, 0.0)
+
+    def test_control_keeps_attitude_bounded(self):
+        """Closed loop sanity: PID control keeps the attitude near zero
+        while an uncontrolled plant with the same initial state drifts."""
+        import math
+
+        cfg = PlantConfig(gust_torque_std=0.0, attitude_noise_std=0.0,
+                          gyro_noise_std=0.0, gyro_bias_std=0.0)
+        plant = TvcPlant(cfg, input_seed=11)
+        ctrl = AxisController(PidConfig())
+        command = 0.0
+        tail = []
+        for step in range(1200):
+            plant.step(command, 0.0, 0.005)
+            reading = plant.sense_x()
+            command = ctrl.update(reading.attitude, reading.rate, 0.005).command
+            if step >= 1000:
+                tail.append(abs(plant.x.attitude))
+        assert max(tail) < math.radians(1.0)
+
+    def test_sensor_noise_applied(self):
+        plant = TvcPlant(PlantConfig(), input_seed=5)
+        readings = {plant.sense_x().attitude for _ in range(5)}
+        assert len(readings) == 5  # noise differs per sample
+
+    def test_time_advances(self):
+        plant = TvcPlant(PlantConfig(), input_seed=1)
+        plant.step(0, 0, 0.01)
+        assert plant.time == pytest.approx(0.01)
+
+
+class TestFirFilter:
+    def test_dc_gain_is_one(self):
+        fir = FirFilter()
+        out = 0.0
+        for _ in range(3 * FIR_TAPS):
+            out = fir.push(1.0)
+        assert out == pytest.approx(1.0, abs=1e-9)
+
+    def test_reset_primes_delay_line(self):
+        fir = FirFilter()
+        fir.reset(2.0)
+        assert fir.push(2.0) == pytest.approx(2.0, abs=1e-9)
+
+    def test_custom_taps(self):
+        fir = FirFilter(taps=[0.5, 0.5])
+        fir.push(1.0)
+        assert fir.push(1.0) == pytest.approx(1.0)
+
+
+class TestAxisController:
+    def test_schedule_steps_monotone_in_error(self):
+        ctrl = AxisController(PidConfig())
+        previous = 0
+        for error_deg in (0.05, 0.2, 0.5, 1.0, 2.0, 3.0):
+            steps = ctrl.schedule_steps(math.radians(error_deg))
+            assert steps >= previous
+            previous = steps
+
+    def test_steps_bounds(self):
+        ctrl = AxisController(PidConfig())
+        assert ctrl.schedule_steps(0.0) == 1
+        assert ctrl.schedule_steps(1e9) == len(ctrl.config.schedule_thresholds) + 1
+
+    def test_saturation_flag(self):
+        ctrl = AxisController(PidConfig())
+        decisions = ctrl.update(attitude=math.radians(45), rate=0.0, dt=0.01)
+        assert decisions.saturated
+        assert abs(decisions.command) == pytest.approx(ctrl.config.command_limit)
+
+    def test_no_saturation_for_small_error(self):
+        ctrl = AxisController(PidConfig())
+        decisions = ctrl.update(attitude=math.radians(0.01), rate=0.0, dt=0.01)
+        assert not decisions.saturated
+
+    def test_integrator_clamp(self):
+        ctrl = AxisController(PidConfig())
+        clamped = False
+        for _ in range(5000):
+            decisions = ctrl.update(attitude=math.radians(3), rate=0.0, dt=0.01)
+            clamped = clamped or decisions.integrator_clamped
+        assert clamped
+
+    def test_operand_classes_in_unit_interval(self):
+        ctrl = AxisController(PidConfig())
+        d = ctrl.update(attitude=0.01, rate=0.002, dt=0.01)
+        assert 0.0 <= d.div_operand_class <= 1.0
+        assert 0.0 <= d.sqrt_operand_class <= 1.0
+
+    def test_reset_clears_integral(self):
+        ctrl = AxisController(PidConfig())
+        ctrl.update(attitude=0.05, rate=0.0, dt=0.01)
+        assert ctrl.state.integral != 0.0
+        ctrl.reset()
+        assert ctrl.state.integral == 0.0
+
+
+class TestSensorProcessor:
+    def reading(self, attitude=0.0, rate=0.0):
+        return SensorReading(attitude=attitude, rate=rate)
+
+    def test_fault_detection(self):
+        proc = SensorProcessor()
+        bad = self.reading(attitude=SENSOR_FAULT_LIMIT * 2)
+        decisions = proc.process(bad, self.reading())
+        assert decisions.faults[0] is True
+        assert decisions.faults[2] is False
+
+    def test_fault_uses_last_good(self):
+        proc = SensorProcessor()
+        proc.process(self.reading(attitude=0.01), self.reading())
+        decisions = proc.process(
+            self.reading(attitude=SENSOR_FAULT_LIMIT * 3), self.reading()
+        )
+        # The filtered output remains finite and bounded by history.
+        assert abs(decisions.filtered[0]) < SENSOR_FAULT_LIMIT
+
+    def test_prime_fills_delay_lines(self):
+        proc = SensorProcessor()
+        proc.prime(self.reading(attitude=0.02), self.reading(attitude=-0.01))
+        decisions = proc.process(self.reading(attitude=0.02), self.reading(attitude=-0.01))
+        assert decisions.filtered[0] == pytest.approx(0.02, rel=0.05)
+
+    def test_prime_clamps_faulty_reading(self):
+        proc = SensorProcessor()
+        proc.prime(self.reading(attitude=SENSOR_FAULT_LIMIT * 5), self.reading())
+        decisions = proc.process(self.reading(attitude=0.0), self.reading())
+        assert abs(decisions.filtered[0]) < SENSOR_FAULT_LIMIT
+
+    def test_reset(self):
+        proc = SensorProcessor()
+        proc.prime(self.reading(attitude=0.03), self.reading())
+        proc.reset()
+        decisions = proc.process(self.reading(), self.reading())
+        assert decisions.filtered[0] == pytest.approx(0.0, abs=1e-6)

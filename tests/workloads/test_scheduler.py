@@ -1,0 +1,139 @@
+"""Tests for the fixed-priority scheduler."""
+
+import pytest
+
+from repro.workloads.tvca.scheduler import (
+    Job,
+    TaskSpec,
+    build_jobs,
+    hyperperiod,
+    rta_response_times,
+    simulate_timeline,
+    utilization,
+)
+
+
+def task_set():
+    return [
+        TaskSpec("hi", period=100, priority=0),
+        TaskSpec("mid", period=200, priority=1),
+        TaskSpec("lo", period=400, priority=2),
+    ]
+
+
+class TestSpecs:
+    def test_default_deadline_is_period(self):
+        assert TaskSpec("t", period=50, priority=0).deadline == 50
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t", period=0, priority=0)
+
+    def test_hyperperiod(self):
+        assert hyperperiod(task_set()) == 400
+        assert hyperperiod([TaskSpec("a", 6, 0), TaskSpec("b", 4, 1)]) == 12
+
+    def test_utilization(self):
+        u = utilization(task_set(), {"hi": 10, "mid": 20, "lo": 40})
+        assert u == pytest.approx(10 / 100 + 20 / 200 + 40 / 400)
+
+
+class TestBuildJobs:
+    def test_job_counts(self):
+        jobs = build_jobs(task_set())
+        names = [j.task.name for j in jobs]
+        assert names.count("hi") == 4
+        assert names.count("mid") == 2
+        assert names.count("lo") == 1
+
+    def test_order_by_release_then_priority(self):
+        jobs = build_jobs(task_set())
+        assert [j.task.name for j in jobs[:3]] == ["hi", "mid", "lo"]
+
+    def test_offsets(self):
+        tasks = [TaskSpec("a", period=100, priority=0, offset=50)]
+        jobs = build_jobs(tasks, horizon=200)
+        assert [j.release for j in jobs] == [50, 150]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            build_jobs([TaskSpec("a", 10, 0), TaskSpec("a", 20, 1)])
+
+
+class TestTimeline:
+    def test_no_contention_sequential(self):
+        tasks = [TaskSpec("a", period=100, priority=0)]
+        jobs = build_jobs(tasks, horizon=300)
+        outcomes = simulate_timeline(jobs, {j: 10 for j in jobs})
+        for o in outcomes:
+            assert o.response == 10
+            assert o.preemptions == 0
+            assert o.deadline_met
+
+    def test_priority_order_on_simultaneous_release(self):
+        jobs = build_jobs(task_set(), horizon=100)
+        outcomes = simulate_timeline(jobs, {j: 10 for j in jobs})
+        by_name = {o.job.task.name: o for o in outcomes}
+        assert by_name["hi"].start == 0
+        assert by_name["mid"].start == 10
+        assert by_name["lo"].start == 20
+
+    def test_preemption_occurs(self):
+        tasks = [
+            TaskSpec("hi", period=50, priority=0),
+            TaskSpec("lo", period=200, priority=1),
+        ]
+        jobs = build_jobs(tasks, horizon=200)
+        # lo takes 120: spans hi's releases at 50, 100, 150.
+        executions = {j: (10 if j.task.name == "hi" else 120) for j in jobs}
+        outcomes = simulate_timeline(jobs, executions)
+        lo = [o for o in outcomes if o.job.task.name == "lo"][0]
+        assert lo.preemptions >= 2
+        # lo's response = own 120 + interference 3x10.
+        assert lo.response == 150
+
+    def test_deadline_miss_detected(self):
+        tasks = [TaskSpec("a", period=100, priority=0)]
+        jobs = build_jobs(tasks, horizon=100)
+        outcomes = simulate_timeline(jobs, {jobs[0]: 150})
+        assert not outcomes[0].deadline_met
+
+    def test_idle_gap_handled(self):
+        tasks = [TaskSpec("a", period=100, priority=0, offset=30)]
+        jobs = build_jobs(tasks, horizon=200)
+        outcomes = simulate_timeline(jobs, {j: 5 for j in jobs})
+        assert outcomes[0].start == 30
+
+
+class TestRta:
+    def test_single_task(self):
+        tasks = [TaskSpec("a", period=100, priority=0)]
+        assert rta_response_times(tasks, {"a": 30}) == {"a": 30}
+
+    def test_interference(self):
+        tasks = [
+            TaskSpec("hi", period=50, priority=0),
+            TaskSpec("lo", period=200, priority=1),
+        ]
+        responses = rta_response_times(tasks, {"hi": 10, "lo": 60})
+        assert responses["hi"] == 10
+        # lo: 60 + ceil(R/50)*10 -> fixed point at 80.
+        assert responses["lo"] == 80
+
+    def test_unschedulable_raises(self):
+        tasks = [
+            TaskSpec("hi", period=50, priority=0),
+            TaskSpec("lo", period=100, priority=1),
+        ]
+        with pytest.raises(RuntimeError, match="unschedulable"):
+            rta_response_times(tasks, {"hi": 40, "lo": 50})
+
+    def test_rta_bounds_timeline(self):
+        """The RTA bound dominates every simulated response time."""
+        tasks = task_set()
+        wcets = {"hi": 15, "mid": 25, "lo": 50}
+        bounds = rta_response_times(tasks, wcets)
+        jobs = build_jobs(tasks)
+        outcomes = simulate_timeline(jobs, {j: wcets[j.task.name] for j in jobs})
+        for o in outcomes:
+            assert o.response <= bounds[o.job.task.name]
