@@ -19,9 +19,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.api import CampaignRunner, TvcaWorkload, create_platform
 from repro.core import MBPTAAnalysis, MBPTAConfig
-from repro.harness import CampaignConfig, MeasurementCampaign
-from repro.platform import leon3_det, leon3_rand
+from repro.harness import CampaignConfig
 from repro.workloads.tvca import TvcaApplication, TvcaConfig
 
 #: Where benches drop their figure/table text output.
@@ -32,6 +32,9 @@ BASE_SEED = 20170327  # DATE 2017 submission-ish; any constant works
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 RAND_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "1000"))
 DET_RUNS = max(200, RAND_RUNS // 2)
+#: Parallel campaign shards; results are shard-invariant (deterministic
+#: by-run-index merge), so this only changes wall-clock time.
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARDS", str(min(4, os.cpu_count() or 1))))
 
 if FULL:
     APP_CONFIG = TvcaConfig()  # estimator 44x44, 16 KB caches
@@ -73,21 +76,23 @@ def app() -> TvcaApplication:
 @pytest.fixture(scope="session")
 def rand_campaign(app):
     """The paper's main campaign: TVCA on the randomized platform."""
-    campaign = MeasurementCampaign(
-        CampaignConfig(runs=RAND_RUNS, base_seed=BASE_SEED)
+    runner = CampaignRunner(
+        CampaignConfig(runs=RAND_RUNS, base_seed=BASE_SEED), shards=SHARDS
     )
-    platform = leon3_rand(num_cores=1, cache_kb=CACHE_KB, check_prng_health=True)
-    return campaign.run_tvca(platform, app)
+    platform = create_platform(
+        "rand", num_cores=1, cache_kb=CACHE_KB, check_prng_health=True
+    )
+    return runner.run(TvcaWorkload(app=app), platform)
 
 
 @pytest.fixture(scope="session")
 def det_campaign(app):
     """The industrial-baseline campaign: TVCA on the DET platform."""
-    campaign = MeasurementCampaign(
-        CampaignConfig(runs=DET_RUNS, base_seed=BASE_SEED)
+    runner = CampaignRunner(
+        CampaignConfig(runs=DET_RUNS, base_seed=BASE_SEED), shards=SHARDS
     )
-    platform = leon3_det(num_cores=1, cache_kb=CACHE_KB)
-    return campaign.run_tvca(platform, app)
+    platform = create_platform("det", num_cores=1, cache_kb=CACHE_KB)
+    return runner.run(TvcaWorkload(app=app), platform)
 
 
 @pytest.fixture(scope="session")

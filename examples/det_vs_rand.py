@@ -7,31 +7,38 @@ prints the Figure-3 comparison: average-performance bars, the DET
 high-watermark + 50% engineering factor (industrial MBTA), and the
 MBPTA pWCET estimates at cutoffs 1e-6 .. 1e-15.
 
-Run:  python examples/det_vs_rand.py [runs]
+Both campaigns run through the unified :mod:`repro.api` runner and can
+be sharded across processes — sharding never changes an observation
+(deterministic by-run-index merge), only the wall-clock time.
+
+Run:  python examples/det_vs_rand.py [runs] [shards]
 """
 
 import sys
 
+from repro.api import create_platform
 from repro.core import MBPTAAnalysis, MBPTAConfig, mbta_bound
 from repro.harness import compare_det_rand
-from repro.platform import leon3_det, leon3_rand
 from repro.viz import figure3_panel
 from repro.workloads.tvca import TvcaConfig
 
 
 def main() -> None:
     runs = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+    shards = int(sys.argv[2]) if len(sys.argv) > 2 else 4
 
-    print(f"running {runs} TVCA executions on DET and on RAND ...")
+    print(f"running {runs} TVCA executions on DET and on RAND "
+          f"({shards} shard(s)) ...")
     comparison = compare_det_rand(
         runs=runs,
         base_seed=2017,
         app_config=TvcaConfig(estimator_dim=20, aero_window=32),
-        det_platform=leon3_det(num_cores=1, cache_kb=4),
-        rand_platform=leon3_rand(num_cores=1, cache_kb=4),
+        det_platform=create_platform("det", num_cores=1, cache_kb=4),
+        rand_platform=create_platform("rand", num_cores=1, cache_kb=4),
         progress=lambda name, done, total: (
             print(f"  {name}: {done}/{total}") if done % max(total // 4, 1) == 0 else None
         ),
+        shards=shards,
     )
 
     det = comparison.det_sample

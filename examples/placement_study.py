@@ -20,19 +20,21 @@ Run:  python examples/placement_study.py
 
 import statistics
 
-from repro.harness import CampaignConfig, MeasurementCampaign
+from repro.api import CampaignConfig, CampaignRunner, ProgramWorkload
 from repro.platform import leon3_det, leon3_rand
 from repro.programs.layout import LayoutConfig, link
 from repro.programs.compiler import generate_trace
 from repro.workloads.kernels import strided_access_kernel
 
 RUNS = 80
+SHARDS = 4
 
 
 def policy_comparison() -> None:
-    prog = strided_access_kernel(stride_elements=16, accesses=256,
-                                 elements=8192, passes=4)
-    image = link(prog)
+    workload = ProgramWorkload(
+        strided_access_kernel(stride_elements=16, accesses=256,
+                              elements=8192, passes=4)
+    )
     platforms = {
         "modulo (DET)": leon3_det(num_cores=1, cache_kb=4),
         "hash_random": leon3_rand(num_cores=1, cache_kb=4, placement="hash_random"),
@@ -40,8 +42,10 @@ def policy_comparison() -> None:
     }
     print(f"{'policy':>16} {'mean':>8} {'std':>8} {'max':>8} {'distinct':>9}")
     for name, platform in platforms.items():
-        campaign = MeasurementCampaign(CampaignConfig(runs=RUNS, base_seed=5))
-        values = campaign.run_program(platform, prog, image).merged.values
+        runner = CampaignRunner(
+            CampaignConfig(runs=RUNS, base_seed=5), shards=SHARDS
+        )
+        values = runner.run(workload, platform).merged.values
         print(
             f"{name:>16} {statistics.mean(values):>8.0f} "
             f"{statistics.stdev(values):>8.1f} {max(values):>8.0f} "

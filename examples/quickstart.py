@@ -1,38 +1,49 @@
 #!/usr/bin/env python
-"""Quickstart: MBPTA on a synthetic execution-time sample.
+"""Quickstart: MBPTA on a synthetic execution-time campaign.
 
-The fastest way to see the analysis pipeline: generate execution times
-from a known randomized-cache-like model, run the i.i.d. gate, fit the
-EVT tail and print the pWCET table — no platform simulation involved.
+The fastest way to see the pipeline end to end through the unified
+:mod:`repro.api` facade: run a campaign of the registered
+``synthetic-cache`` workload (a known randomized-cache-like model — no
+platform simulation involved), then run the i.i.d. gate, fit the EVT
+tail and print the pWCET table.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.api import run_campaign
 from repro.core import MBPTAAnalysis, MBPTAConfig, mbta_bound
-from repro.workloads.synthetic import cache_like_samples
 
 
 def main() -> None:
     # 2,000 runs of a program whose misses follow a randomized cache:
     # each of 200 lines misses independently with p=0.05 at 25 cycles.
-    values = cache_like_samples(
-        n=2000, seed=42, base=10_000.0, num_lines=200,
-        miss_probability=0.05, miss_penalty=25.0,
+    result = run_campaign(
+        "synthetic-cache",
+        "rand",
+        runs=2000,
+        base_seed=42,
+        shards=4,
+        workload_kwargs=dict(
+            base=10_000.0, num_lines=200,
+            miss_probability=0.05, miss_penalty=25.0,
+        ),
+        platform_kwargs=dict(num_cores=1),
     )
+    values = result.merged.values
 
     analysis = MBPTAAnalysis(MBPTAConfig(check_convergence=True))
-    result = analysis.analyse(values, label="quickstart")
+    mbpta = analysis.analyse(result.samples, label="quickstart")
 
-    print(result.report())
+    print(mbpta.report())
 
     # Compare with the industrial high-watermark practice.
     mbta = mbta_bound(values, engineering_factor=0.50)
     print()
     print(mbta.describe())
     print(
-        f"MBPTA pWCET@1e-12 = {result.quantile(1e-12):.0f} "
+        f"MBPTA pWCET@1e-12 = {mbpta.quantile(1e-12):.0f} "
         f"vs MBTA bound = {mbta.bound:.0f} "
-        f"({'MBPTA tighter' if result.quantile(1e-12) < mbta.bound else 'MBTA tighter'})"
+        f"({'MBPTA tighter' if mbpta.quantile(1e-12) < mbta.bound else 'MBTA tighter'})"
     )
 
 

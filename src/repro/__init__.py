@@ -12,6 +12,10 @@ Space Domain" (DATE 2017):
   tasks, scheduler) plus ablation kernels and synthetic generators,
 * :mod:`repro.harness` — the measurement protocol (flush/reset/reseed
   per run) and sample containers,
+* :mod:`repro.api` — the unified measurement facade: the
+  :class:`~repro.api.workload.Workload` protocol, the sharded
+  :class:`~repro.api.runner.CampaignRunner`, persistent campaign
+  artifacts, and string-keyed workload/platform registries,
 * :mod:`repro.core` — the MBPTA analysis itself: i.i.d. testing, EVT
   fitting, convergence, per-path pWCET curves, and the industrial MBTA
   baseline,
@@ -19,12 +23,10 @@ Space Domain" (DATE 2017):
 
 Quickstart::
 
-    from repro.platform import leon3_rand
-    from repro.harness import CampaignConfig, MeasurementCampaign
+    from repro.api import run_campaign
     from repro.core import MBPTAAnalysis
 
-    campaign = MeasurementCampaign(CampaignConfig(runs=300))
-    result = campaign.run_tvca(leon3_rand())
+    result = run_campaign("tvca", "rand", runs=300, shards=4)
     analysis = MBPTAAnalysis().analyse(result.samples)
     print(analysis.report())
 """

@@ -1,0 +1,106 @@
+"""repro.api — the unified measurement facade.
+
+One abstraction (:class:`Workload`), one driver (:class:`CampaignRunner`,
+serial or sharded with a deterministic merge), one persistent record
+(:class:`CampaignArtifact`), and string-keyed registries so every new
+scenario is a registry entry instead of a new driver method.
+
+Quickstart::
+
+    from repro.api import run_campaign, CampaignArtifact
+
+    result = run_campaign("tvca", "rand", runs=300, shards=4,
+                          platform_kwargs={"num_cores": 1, "cache_kb": 4})
+    artifact = CampaignArtifact.from_result(result)
+    artifact.save("campaign.json")
+    print(CampaignArtifact.load("campaign.json").analyse().report())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
+
+from ..harness.campaign import CampaignConfig, CampaignResult
+from ..harness.records import RunRecord
+from ..platform.soc import Platform
+from .artifacts import (
+    ArtifactStore,
+    CampaignArtifact,
+    load_measurements,
+    platform_fingerprint,
+)
+from .registry import (
+    create_platform,
+    create_workload,
+    platform_names,
+    register_platform,
+    register_workload,
+    workload_names,
+)
+from .runner import CampaignRunner, default_shards
+from .workload import (
+    ProgramWorkload,
+    RunObservation,
+    SyntheticWorkload,
+    TvcaWorkload,
+    Workload,
+    seeded_env_fn,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignArtifact",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "ProgramWorkload",
+    "RunObservation",
+    "RunRecord",
+    "SyntheticWorkload",
+    "TvcaWorkload",
+    "Workload",
+    "create_platform",
+    "create_workload",
+    "default_shards",
+    "load_measurements",
+    "platform_fingerprint",
+    "platform_names",
+    "register_platform",
+    "register_workload",
+    "run_campaign",
+    "seeded_env_fn",
+    "workload_names",
+]
+
+
+def run_campaign(
+    workload: Union[str, Workload],
+    platform: Union[str, Platform],
+    runs: int = 300,
+    base_seed: int = 2017,
+    vary_inputs: bool = True,
+    shards: int = 1,
+    progress=None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    platform_kwargs: Optional[Dict[str, Any]] = None,
+) -> CampaignResult:
+    """One-call facade: resolve, run, return the campaign result.
+
+    ``workload`` and ``platform`` may be registry names or live objects;
+    ``*_kwargs`` are forwarded to the registry factories when names are
+    given (and rejected otherwise — passing them alongside an object is
+    almost certainly a bug).
+    """
+    if isinstance(workload, str):
+        workload = create_workload(workload, **(workload_kwargs or {}))
+    elif workload_kwargs:
+        raise ValueError("workload_kwargs requires a registry name")
+    if isinstance(platform, str):
+        platform = create_platform(platform, **(platform_kwargs or {}))
+    elif platform_kwargs:
+        raise ValueError("platform_kwargs requires a registry name")
+    runner = CampaignRunner(
+        CampaignConfig(runs=runs, base_seed=base_seed, vary_inputs=vary_inputs),
+        shards=shards,
+    )
+    return runner.run(workload, platform, progress=progress)

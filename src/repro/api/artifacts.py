@@ -1,0 +1,220 @@
+"""Persistent campaign artifacts.
+
+A :class:`CampaignArtifact` is the complete, self-describing record of
+one measurement campaign: per-path samples (full fidelity — saving no
+longer pools paths into one sample), every :class:`RunRecord` with its
+seeds, the campaign configuration, and a platform fingerprint.  It
+round-trips through JSON and feeds
+:meth:`repro.core.mbpta.MBPTAAnalysis.analyse` directly, so a saved
+campaign can be re-analysed later — with per-path grouping intact —
+without re-running a single simulation.
+
+:class:`ArtifactStore` is a thin directory-of-JSON-files convenience on
+top.  :func:`load_measurements` additionally understands the two legacy
+sample formats (:class:`ExecutionTimeSample` and bare
+:class:`PathSamples` JSON), so old files keep working with the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..harness.campaign import CampaignConfig, CampaignResult
+from ..harness.measurements import ExecutionTimeSample, PathSamples
+from ..harness.records import RunRecord
+from ..platform.soc import Platform
+
+__all__ = [
+    "SCHEMA",
+    "CampaignArtifact",
+    "ArtifactStore",
+    "platform_fingerprint",
+    "load_measurements",
+]
+
+#: Artifact schema identifier; bump the suffix on breaking changes.
+SCHEMA = "repro.campaign/1"
+
+
+def platform_fingerprint(platform: Platform) -> Dict[str, Any]:
+    """JSON-safe description of the platform a campaign ran on."""
+    cfg = platform.config
+    core = cfg.core
+
+    def cache(c) -> Dict[str, Any]:
+        return {
+            "size_bytes": c.size_bytes,
+            "line_bytes": c.line_bytes,
+            "ways": c.ways,
+            "placement": c.placement,
+            "replacement": c.replacement,
+        }
+
+    return {
+        "name": cfg.name,
+        "num_cores": cfg.num_cores,
+        "is_randomized": cfg.is_randomized,
+        "icache": cache(core.icache),
+        "dcache": cache(core.dcache),
+        "itlb": {"entries": core.itlb.entries, "replacement": core.itlb.replacement},
+        "dtlb": {"entries": core.dtlb.entries, "replacement": core.dtlb.replacement},
+        "fpu_mode": core.fpu.mode.value,
+    }
+
+
+@dataclass
+class CampaignArtifact:
+    """One campaign, complete enough to re-analyse or audit later."""
+
+    label: str
+    workload: str
+    samples: PathSamples
+    records: List[RunRecord] = field(default_factory=list)
+    config: Dict[str, Any] = field(default_factory=dict)
+    platform: Dict[str, Any] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_result(
+        cls,
+        result: CampaignResult,
+        config: Optional[CampaignConfig] = None,
+        platform: Optional[Platform] = None,
+        workload: str = "",
+        shards: int = 1,
+    ) -> "CampaignArtifact":
+        """Capture a finished campaign (plus its provenance) as an artifact."""
+        config_dict: Dict[str, Any] = {"shards": shards}
+        if config is not None:
+            config_dict.update(
+                runs=config.runs,
+                base_seed=config.base_seed,
+                vary_inputs=config.vary_inputs,
+            )
+        return cls(
+            label=result.label,
+            workload=workload or result.label.split("@")[0],
+            samples=result.samples,
+            records=list(result.run_details),
+            config=config_dict,
+            platform=platform_fingerprint(platform) if platform else {},
+        )
+
+    # -- analysis ------------------------------------------------------
+    def analyse(self, analysis_config=None):
+        """Run the MBPTA pipeline on the stored per-path samples."""
+        from ..core.mbpta import MBPTAAnalysis, MBPTAConfig
+
+        analysis = MBPTAAnalysis(analysis_config or MBPTAConfig())
+        return analysis.analyse(self.samples, label=self.label)
+
+    @property
+    def merged(self) -> ExecutionTimeSample:
+        """All observations pooled across paths."""
+        return self.samples.merged()
+
+    @property
+    def num_runs(self) -> int:
+        """Number of measured executions stored."""
+        if self.records:
+            return len(self.records)
+        return sum(self.samples.counts().values())
+
+    # -- persistence ---------------------------------------------------
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the complete artifact."""
+        return json.dumps(
+            {
+                "schema": SCHEMA,
+                "label": self.label,
+                "workload": self.workload,
+                "config": self.config,
+                "platform": self.platform,
+                "samples": self.samples.to_dict(),
+                "records": [record.to_dict() for record in self.records],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CampaignArtifact":
+        """Inverse of :meth:`to_json`."""
+        data = json.loads(payload)
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a campaign artifact (schema={data.get('schema')!r})"
+            )
+        return cls(
+            label=data.get("label", ""),
+            workload=data.get("workload", ""),
+            samples=PathSamples.from_dict(data.get("samples", {})),
+            records=[RunRecord.from_dict(r) for r in data.get("records", [])],
+            config=dict(data.get("config", {})),
+            platform=dict(data.get("platform", {})),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the artifact to ``path``; returns the path written."""
+        path = Path(path)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignArtifact":
+        """Read an artifact previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+class ArtifactStore:
+    """A directory of campaign artifacts, keyed by name."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def _path(self, name: str) -> Path:
+        return self.root / f"{name}.json"
+
+    def save(self, name: str, artifact: CampaignArtifact) -> Path:
+        """Persist ``artifact`` under ``name``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        return artifact.save(self._path(name))
+
+    def load(self, name: str) -> CampaignArtifact:
+        """Load the artifact stored under ``name``."""
+        return CampaignArtifact.load(self._path(name))
+
+    def names(self) -> List[str]:
+        """Stored artifact names, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def __contains__(self, name: str) -> bool:
+        return self._path(name).is_file()
+
+
+def load_measurements(
+    path: Union[str, Path]
+) -> Union[CampaignArtifact, PathSamples, ExecutionTimeSample]:
+    """Load any supported measurement file.
+
+    Recognizes, in order: full campaign artifacts, per-path sample files
+    (:meth:`PathSamples.to_json`), and legacy pooled samples
+    (:meth:`ExecutionTimeSample.to_json`).
+    """
+    payload = Path(path).read_text()
+    data = json.loads(payload)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: not a measurement file")
+    if data.get("schema") == SCHEMA:
+        return CampaignArtifact.from_json(payload)
+    if "paths" in data:
+        return PathSamples.from_dict(data)
+    if "values" in data:
+        return ExecutionTimeSample(
+            values=data["values"], label=data.get("label", "")
+        )
+    raise ValueError(f"{path}: unrecognized measurement format")

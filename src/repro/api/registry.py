@@ -1,0 +1,152 @@
+"""String-keyed platform and workload registries.
+
+Every scenario becomes a registry entry instead of a new driver method:
+the CLI, examples and tests resolve platforms and workloads by name, and
+new entries are one :func:`register_platform` / :func:`register_workload`
+call away.  Factories receive keyword arguments (sizes, seeds, modes)
+and must ignore nothing — unknown keys raise, so typos surface early.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..platform.prng import SplitMix64
+from ..platform.soc import Platform, leon3_det, leon3_rand
+from ..workloads import kernels, synthetic
+from ..workloads.tvca.app import TvcaConfig
+from .workload import (
+    ProgramWorkload,
+    SyntheticWorkload,
+    TvcaWorkload,
+    Workload,
+    seeded_env_fn,
+)
+
+__all__ = [
+    "register_platform",
+    "register_workload",
+    "create_platform",
+    "create_workload",
+    "platform_names",
+    "workload_names",
+]
+
+PlatformFactory = Callable[..., Platform]
+WorkloadFactory = Callable[..., Workload]
+
+_PLATFORMS: Dict[str, PlatformFactory] = {}
+_WORKLOADS: Dict[str, WorkloadFactory] = {}
+
+
+def register_platform(name: str, factory: PlatformFactory) -> None:
+    """Register (or replace) a platform factory under ``name``."""
+    _PLATFORMS[name] = factory
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Register (or replace) a workload factory under ``name``."""
+    _WORKLOADS[name] = factory
+
+
+def create_platform(name: str, **kwargs: Any) -> Platform:
+    """Instantiate the platform registered under ``name``."""
+    try:
+        factory = _PLATFORMS[name]
+    except KeyError:
+        known = ", ".join(platform_names())
+        raise KeyError(f"unknown platform {name!r} (known: {known})") from None
+    return factory(**kwargs)
+
+
+def create_workload(name: str, **kwargs: Any) -> Workload:
+    """Instantiate the workload registered under ``name``."""
+    try:
+        factory = _WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(workload_names())
+        raise KeyError(f"unknown workload {name!r} (known: {known})") from None
+    return factory(**kwargs)
+
+
+def platform_names() -> List[str]:
+    """Registered platform names, sorted."""
+    return sorted(_PLATFORMS)
+
+
+def workload_names() -> List[str]:
+    """Registered workload names, sorted."""
+    return sorted(_WORKLOADS)
+
+
+# ----------------------------------------------------------------------
+# Built-in platforms: the paper's two configurations.
+# ----------------------------------------------------------------------
+register_platform("rand", leon3_rand)
+register_platform("det", leon3_det)
+
+
+# ----------------------------------------------------------------------
+# Built-in workloads: the case study, the ablation kernels, and a
+# synthetic generator for analysis-stack validation.
+# ----------------------------------------------------------------------
+def _tvca(**kwargs: Any) -> TvcaWorkload:
+    return TvcaWorkload(TvcaConfig(**kwargs))
+
+
+def _matmul(dim: int = 8) -> ProgramWorkload:
+    return ProgramWorkload(kernels.matmul_kernel(dim=dim))
+
+
+def _fir(taps: int = 32, samples: int = 64) -> ProgramWorkload:
+    return ProgramWorkload(kernels.fir_kernel(taps=taps, samples=samples))
+
+
+def _strided(
+    stride_elements: int = 16,
+    accesses: int = 256,
+    elements: int = 8192,
+    passes: int = 4,
+) -> ProgramWorkload:
+    return ProgramWorkload(
+        kernels.strided_access_kernel(
+            stride_elements=stride_elements,
+            accesses=accesses,
+            elements=elements,
+            passes=passes,
+        )
+    )
+
+
+def _table_walk(entries: int = 1024, lookups: int = 128) -> ProgramWorkload:
+    def env(rng: SplitMix64) -> Dict[str, Any]:
+        return {"indices": [int(rng.random() * entries) for _ in range(lookups)]}
+
+    return ProgramWorkload(
+        kernels.table_walk_kernel(entries=entries, lookups=lookups),
+        env_fn=seeded_env_fn(env),
+    )
+
+
+def _fpu_stress(divides: int = 32) -> ProgramWorkload:
+    def env(rng: SplitMix64) -> Dict[str, Any]:
+        return {"op_classes": [rng.random() for _ in range(divides)]}
+
+    return ProgramWorkload(
+        kernels.fpu_stress_kernel(divides=divides), env_fn=seeded_env_fn(env)
+    )
+
+
+def _synthetic_cache(**params: Any) -> SyntheticWorkload:
+    return SyntheticWorkload(
+        synthetic.cache_like_samples, name="synthetic-cache", **params
+    )
+
+
+register_workload("tvca", _tvca)
+register_workload("matmul", _matmul)
+register_workload("fir", _fir)
+register_workload("strided", _strided)
+register_workload("table-walk", _table_walk)
+register_workload("fpu-stress", _fpu_stress)
+register_workload("synthetic-cache", _synthetic_cache)

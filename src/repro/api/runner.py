@@ -1,0 +1,225 @@
+"""Parallel campaign execution with a deterministic merge.
+
+:class:`CampaignRunner` is the single driver behind every measurement
+campaign.  It owns the paper's per-run seeding discipline (delegated to
+:class:`~repro.harness.campaign.CampaignConfig`: every run ``r`` derives
+an independent platform seed and workload-input seed from the campaign's
+base seed) and executes any :class:`~repro.api.workload.Workload` either
+serially or across ``shards`` forked worker processes.
+
+Determinism argument: per-run seeds depend only on ``(base_seed,
+run_index)`` and ``Workload.execute`` fully resets the platform, so a
+run's observation is independent of which process executes it and of
+every other run.  Shards receive disjoint contiguous index ranges and
+the parent merges records **by run index**, hence serial and sharded
+campaigns are bit-identical — verified by the shard-determinism tests.
+
+Parallelism uses the ``fork`` start method (workloads hold linked
+program images with closures that do not pickle; forked children inherit
+them for free).  Where ``fork`` is unavailable the runner silently
+degrades to serial execution — results are identical either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as pyqueue
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..harness.campaign import CampaignConfig, CampaignResult
+from ..harness.measurements import PathSamples
+from ..harness.records import RunRecord
+from ..platform.soc import Platform
+from .workload import Workload
+
+__all__ = ["CampaignRunner", "default_shards"]
+
+Progress = Callable[[int, int], None]
+
+
+def default_shards(runs: int) -> int:
+    """A sensible shard count: one per core, capped by the run count."""
+    cores = os.cpu_count() or 1
+    return max(1, min(cores, runs))
+
+
+def _execute_range(
+    workload: Workload,
+    platform: Platform,
+    config: CampaignConfig,
+    indices: Sequence[int],
+    on_run: Optional[Callable[[], None]] = None,
+) -> List[RunRecord]:
+    """Run ``indices`` serially on ``platform``, returning their records."""
+    records: List[RunRecord] = []
+    execute_indexed = getattr(workload, "execute_indexed", None)
+    for run_index in indices:
+        run_seed = config.platform_seed(run_index)
+        input_seed = config.input_seed(run_index)
+        if execute_indexed is not None:
+            obs = execute_indexed(platform, run_index, run_seed, input_seed)
+        else:
+            obs = workload.execute(platform, run_seed, input_seed)
+        records.append(
+            RunRecord(
+                index=run_index,
+                cycles=float(obs.cycles),
+                path=obs.path,
+                platform_seed=run_seed,
+                input_seed=input_seed,
+                metadata=dict(obs.metadata),
+            )
+        )
+        if on_run is not None:
+            on_run()
+    return records
+
+
+def _shard_worker(queue, workload, platform, config, shard_id, indices, report):
+    """Child-process body: execute one shard and ship its records back."""
+    try:
+        def on_run():
+            queue.put(("progress", shard_id))
+
+        records = _execute_range(
+            workload, platform, config, indices, on_run if report else None
+        )
+        queue.put(("done", shard_id, records, None))
+    except BaseException as exc:  # surface the failure in the parent
+        queue.put(("done", shard_id, [], repr(exc)))
+
+
+class CampaignRunner:
+    """Execute a workload campaign, optionally sharded across processes.
+
+    Parameters
+    ----------
+    config:
+        Run count, base seed and input-variation mode.
+    shards:
+        Worker processes; 1 (default) runs in-process.  Sharded and
+        serial campaigns produce identical results.
+    """
+
+    def __init__(
+        self, config: CampaignConfig = CampaignConfig(), shards: int = 1
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.config = config
+        self.shards = shards
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        platform: Platform,
+        progress: Optional[Progress] = None,
+    ) -> CampaignResult:
+        """Measure ``workload`` ``config.runs`` times on ``platform``.
+
+        ``progress(done, total)`` is invoked after every completed run —
+        in shard order when parallel, run order when serial.
+        """
+        cfg = self.config
+        workload.prepare(platform)
+        shards = min(self.shards, cfg.runs)
+        if shards > 1 and "fork" in mp.get_all_start_methods():
+            records = self._run_sharded(workload, platform, shards, progress)
+        else:
+            done = [0]
+
+            def on_run() -> None:
+                done[0] += 1
+                if progress is not None:
+                    progress(done[0], cfg.runs)
+
+            records = _execute_range(
+                workload, platform, cfg, range(cfg.runs),
+                on_run if progress is not None else None,
+            )
+        records.sort(key=lambda record: record.index)
+        label = f"{workload.name}@{platform.name}"
+        samples = PathSamples(label=label)
+        for record in records:
+            samples.add(record.path, record.cycles)
+        return CampaignResult(label=label, samples=samples, run_details=records)
+
+    # ------------------------------------------------------------------
+    def _run_sharded(
+        self,
+        workload: Workload,
+        platform: Platform,
+        shards: int,
+        progress: Optional[Progress],
+    ) -> List[RunRecord]:
+        cfg = self.config
+        ctx = mp.get_context("fork")
+        result_queue = ctx.Queue()
+        chunks = _split_indices(cfg.runs, shards)
+        workers = [
+            ctx.Process(
+                target=_shard_worker,
+                args=(
+                    result_queue, workload, platform, cfg, shard_id, chunk,
+                    progress is not None,
+                ),
+            )
+            for shard_id, chunk in enumerate(chunks)
+        ]
+        for worker in workers:
+            worker.start()
+        records: List[RunRecord] = []
+        errors: List[str] = []
+        reported: set = set()
+        done = 0
+        try:
+            while len(reported) < len(workers):
+                try:
+                    message = result_queue.get(timeout=1.0)
+                except pyqueue.Empty:
+                    # A shard killed by a signal/OOM never posts its
+                    # "done" message; detect it instead of blocking.
+                    for shard_id, worker in enumerate(workers):
+                        if (
+                            shard_id not in reported
+                            and not worker.is_alive()
+                            and worker.exitcode not in (0, None)
+                        ):
+                            reported.add(shard_id)
+                            errors.append(
+                                f"shard {shard_id}: worker died with "
+                                f"exit code {worker.exitcode}"
+                            )
+                    continue
+                if message[0] == "progress":
+                    done += 1
+                    if progress is not None:
+                        progress(done, cfg.runs)
+                else:  # ("done", shard_id, records, error)
+                    reported.add(message[1])
+                    records.extend(message[2])
+                    if message[3] is not None:
+                        errors.append(f"shard {message[1]}: {message[3]}")
+        finally:
+            for worker in workers:
+                if errors:
+                    worker.terminate()
+                worker.join()
+            result_queue.close()
+        if errors:
+            raise RuntimeError("campaign shard(s) failed: " + "; ".join(errors))
+        return records
+
+
+def _split_indices(runs: int, shards: int) -> List[Tuple[int, ...]]:
+    """Split ``range(runs)`` into ``shards`` contiguous, balanced chunks."""
+    base, extra = divmod(runs, shards)
+    chunks: List[Tuple[int, ...]] = []
+    start = 0
+    for shard in range(shards):
+        size = base + (1 if shard < extra else 0)
+        chunks.append(tuple(range(start, start + size)))
+        start += size
+    return chunks

@@ -1,0 +1,219 @@
+"""The unified workload abstraction.
+
+Every measurable thing in the system — the TVCA case study, DSL
+programs, synthetic generators — implements one small protocol:
+
+* :meth:`Workload.prepare` — one-time setup against a platform (build
+  programs, link images); called once per campaign, before any run,
+* :meth:`Workload.execute` — one measured execution under the paper's
+  protocol, fully determined by ``(run_seed, input_seed)``; returns a
+  :class:`RunObservation`.
+
+Because ``execute`` depends only on the two seeds (the platform is fully
+reset inside the run), campaigns can be sharded across processes and
+merged by run index without changing a single observation — the property
+:class:`repro.api.runner.CampaignRunner` builds on.
+
+Three adapters cover the existing workload families and replace the
+duplicated ``run_tvca``/``run_program`` drivers of the old harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters
+    Protocol = object  # type: ignore
+
+    def runtime_checkable(cls):  # type: ignore
+        return cls
+
+from ..platform.prng import SplitMix64
+from ..platform.soc import Platform
+from ..programs.compiler import generate_trace
+from ..programs.dsl import Env, Program
+from ..programs.layout import LinkedImage, link
+from ..workloads.tvca.app import TvcaApplication, TvcaConfig
+
+__all__ = [
+    "RunObservation",
+    "Workload",
+    "TvcaWorkload",
+    "ProgramWorkload",
+    "SyntheticWorkload",
+]
+
+
+@dataclass(frozen=True)
+class RunObservation:
+    """What one measured execution produced.
+
+    Attributes
+    ----------
+    cycles:
+        End-to-end execution time.
+    path:
+        Executed-path identifier (per-path MBPTA grouping key).
+    metadata:
+        Workload-specific extras; JSON-safe scalars only, so records
+        survive process boundaries and artifact round-trips.
+    """
+
+    cycles: float
+    path: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything the measurement harness can run.
+
+    Implementations must make ``execute`` a pure function of
+    ``(platform configuration, run_seed, input_seed)`` — no state may
+    leak between runs — so that sharded and serial campaigns agree.
+    """
+
+    name: str
+
+    def prepare(self, platform: Platform) -> None:
+        """One-time setup before the campaign's first run."""
+        ...
+
+    def execute(
+        self, platform: Platform, run_seed: int, input_seed: int
+    ) -> RunObservation:
+        """One measured execution under the paper's run protocol."""
+        ...
+
+
+class TvcaWorkload:
+    """The paper's case study as a :class:`Workload`.
+
+    Wraps :class:`~repro.workloads.tvca.app.TvcaApplication`; the
+    application (programs + linked image) is built once in
+    :meth:`prepare` and reused across runs, as with the real single
+    binary.
+    """
+
+    name = "TVCA"
+
+    def __init__(
+        self,
+        config: Optional[TvcaConfig] = None,
+        app: Optional[TvcaApplication] = None,
+    ) -> None:
+        self.config = config if config is not None else TvcaConfig()
+        self._app = app
+
+    def prepare(self, platform: Platform) -> None:
+        if self._app is None:
+            self._app = TvcaApplication(self.config)
+
+    def execute(
+        self, platform: Platform, run_seed: int, input_seed: int
+    ) -> RunObservation:
+        if self._app is None:
+            self.prepare(platform)
+        result = self._app.run_once(platform, run_seed=run_seed, input_seed=input_seed)
+        return RunObservation(
+            cycles=float(result.cycles),
+            path=result.path_class,
+            metadata={
+                "input_profile": result.input_profile,
+                "instructions": result.instructions,
+                "deadlines_met": result.deadlines_met,
+                "max_response_cycles": result.max_response_cycles,
+            },
+        )
+
+
+class ProgramWorkload:
+    """An arbitrary DSL program as a :class:`Workload`.
+
+    ``env_fn(input_seed)`` supplies the input environment of each run
+    (default: empty) — seed-keyed rather than index-keyed so the same
+    run produces the same inputs no matter which shard executes it.
+    The program is linked in :meth:`prepare` unless an image is given.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        image: Optional[LinkedImage] = None,
+        env_fn: Optional[Callable[[int], Env]] = None,
+        core_id: int = 0,
+    ) -> None:
+        self.name = program.name
+        self.program = program
+        self.image = image
+        self.env_fn = env_fn
+        self.core_id = core_id
+
+    def prepare(self, platform: Platform) -> None:
+        if self.image is None:
+            self.image = link(self.program)
+
+    def execute(
+        self, platform: Platform, run_seed: int, input_seed: int
+    ) -> RunObservation:
+        if self.image is None:
+            self.prepare(platform)
+        env = self.env_fn(input_seed) if self.env_fn is not None else {}
+        trace, signature = generate_trace(self.program, self.image, env)
+        result = platform.run(trace, seed=run_seed, core_id=self.core_id)
+        return RunObservation(
+            cycles=float(result.cycles),
+            path=signature.as_key(),
+            metadata={"instructions": result.instructions},
+        )
+
+
+class SyntheticWorkload:
+    """A synthetic execution-time generator as a :class:`Workload`.
+
+    ``generator(n, seed, **params)`` must return a list of floats (any
+    of :mod:`repro.workloads.synthetic`); each run draws one value with
+    the run's input seed, so samples are i.i.d. across runs and
+    shard-order independent.  No platform simulation is involved —
+    useful for validating the analysis stack at campaign scale.
+    """
+
+    PATH = "<synthetic>"
+
+    def __init__(
+        self,
+        generator: Callable[..., list],
+        name: str = "synthetic",
+        **params: Any,
+    ) -> None:
+        self.name = name
+        self.generator = generator
+        self.params = dict(params)
+
+    def prepare(self, platform: Platform) -> None:
+        pass
+
+    def execute(
+        self, platform: Platform, run_seed: int, input_seed: int
+    ) -> RunObservation:
+        value = self.generator(1, input_seed, **self.params)[0]
+        return RunObservation(cycles=float(value), path=self.PATH)
+
+
+def seeded_env_fn(
+    build: Callable[[SplitMix64], Env]
+) -> Callable[[int], Env]:
+    """Lift an RNG-consuming env builder into a seed-keyed ``env_fn``.
+
+    ``build`` receives a :class:`SplitMix64` seeded with the run's input
+    seed and returns the environment — the canonical way to give kernel
+    workloads random per-run inputs that stay shard-deterministic.
+    """
+
+    def env_fn(input_seed: int) -> Env:
+        return build(SplitMix64(input_seed))
+
+    return env_fn

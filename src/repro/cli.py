@@ -1,19 +1,24 @@
-"""Command-line interface.
+"""Command-line interface over the :mod:`repro.api` facade.
 
-Three subcommands mirror the paper's workflow:
+Four subcommands mirror the paper's workflow:
 
-* ``campaign`` — run the TVCA measurement campaign on a platform and
-  write the collected sample to JSON,
-* ``analyse`` — run the MBPTA pipeline on a sample file (or fresh
-  campaign) and print the report,
-* ``compare`` — the Figure-3 comparison (DET/MBTA vs RAND/MBPTA).
+* ``run`` (alias ``campaign``) — run a measurement campaign for any
+  registered workload/platform pair, optionally sharded across
+  processes, and persist the complete campaign artifact (per-path
+  samples, seeds, platform fingerprint) to JSON,
+* ``analyse`` — run the MBPTA pipeline on a saved artifact/sample (or a
+  fresh campaign) and print the report; per-path grouping is preserved
+  through save/load,
+* ``compare`` — the Figure-3 comparison (DET/MBTA vs RAND/MBPTA),
+* ``list`` — show the registered workloads and platforms.
 
 Examples::
 
-    python -m repro.cli campaign --runs 300 --out sample.json
-    python -m repro.cli analyse --sample sample.json
+    python -m repro.cli run --workload tvca --runs 300 --shards 4 --out c.json
+    python -m repro.cli analyse --sample c.json
     python -m repro.cli analyse --runs 300 --cutoff 1e-12
-    python -m repro.cli compare --runs 200
+    python -m repro.cli compare --runs 200 --shards 4
+    python -m repro.cli list
 """
 
 from __future__ import annotations
@@ -22,56 +27,80 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .api import (
+    CampaignArtifact,
+    CampaignConfig,
+    CampaignRunner,
+    create_platform,
+    create_workload,
+    load_measurements,
+    platform_names,
+    workload_names,
+)
 from .core import MBPTAAnalysis, MBPTAConfig, mbta_bound
-from .harness import CampaignConfig, MeasurementCampaign, compare_det_rand
-from .harness.measurements import ExecutionTimeSample
-from .platform import leon3_det, leon3_rand
+from .harness import compare_det_rand
 from .viz import figure3_panel
-from .workloads.tvca import TvcaApplication, TvcaConfig
 
 __all__ = ["main", "build_parser"]
 
 
-def _app_config(args: argparse.Namespace) -> TvcaConfig:
-    return TvcaConfig(estimator_dim=args.estimator_dim, aero_window=32)
+def _workload_kwargs(args: argparse.Namespace) -> dict:
+    if args.workload == "tvca":
+        return {"estimator_dim": args.estimator_dim, "aero_window": 32}
+    return {}
 
 
 def _platform(args: argparse.Namespace, kind: str):
-    if kind == "rand":
-        return leon3_rand(num_cores=1, cache_kb=args.cache_kb)
-    return leon3_det(num_cores=1, cache_kb=args.cache_kb)
+    return create_platform(kind, num_cores=1, cache_kb=args.cache_kb)
 
 
 def _run_campaign(args: argparse.Namespace, kind: str):
-    app = TvcaApplication(_app_config(args))
-    campaign = MeasurementCampaign(
-        CampaignConfig(runs=args.runs, base_seed=args.seed)
+    workload = create_workload(args.workload, **_workload_kwargs(args))
+    platform = _platform(args, kind)
+    runner = CampaignRunner(
+        CampaignConfig(runs=args.runs, base_seed=args.seed),
+        shards=getattr(args, "shards", 1),
     )
-    return campaign.run_tvca(_platform(args, kind), app)
+    result = runner.run(workload, platform)
+    return result, runner, platform, workload
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
-    result = _run_campaign(args, args.platform)
+def cmd_run(args: argparse.Namespace) -> int:
+    result, runner, platform, _workload = _run_campaign(args, args.platform)
     sample = result.merged
     print(
         f"{result.label}: n={len(sample)} min={sample.minimum:.0f} "
         f"mean={sample.mean:.0f} hwm={sample.hwm:.0f}"
     )
+    for path, count in sorted(result.samples.counts().items()):
+        print(f"  path {path}: {count} runs")
     if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(sample.to_json())
-        print(f"sample written to {args.out}")
+        artifact = CampaignArtifact.from_result(
+            result,
+            config=runner.config,
+            platform=platform,
+            workload=args.workload,
+            shards=runner.shards,
+        )
+        artifact.save(args.out)
+        print(f"campaign artifact written to {args.out}")
     return 0
 
 
 def cmd_analyse(args: argparse.Namespace) -> int:
     if args.sample:
-        with open(args.sample) as handle:
-            sample = ExecutionTimeSample.from_json(handle.read())
-        data = sample
-        min_path = max(120, len(sample) // 3)
+        loaded = load_measurements(args.sample)
+        data = loaded.samples if isinstance(loaded, CampaignArtifact) else loaded
+        n = (
+            loaded.num_runs
+            if isinstance(loaded, CampaignArtifact)
+            else sum(data.counts().values())
+            if hasattr(data, "counts")
+            else len(data)
+        )
+        min_path = max(120, n // 3)
     else:
-        result = _run_campaign(args, "rand")
+        result, _, _, _ = _run_campaign(args, "rand")
         data = result.samples
         min_path = max(120, args.runs // 3)
     analysis = MBPTAAnalysis(
@@ -84,12 +113,15 @@ def cmd_analyse(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from .workloads.tvca import TvcaConfig
+
     comparison = compare_det_rand(
         runs=args.runs,
         base_seed=args.seed,
-        app_config=_app_config(args),
+        app_config=TvcaConfig(estimator_dim=args.estimator_dim, aero_window=32),
         det_platform=_platform(args, "det"),
         rand_platform=_platform(args, "rand"),
+        shards=getattr(args, "shards", 1),
     )
     det = comparison.det_sample
     rand = comparison.rand_sample
@@ -112,6 +144,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print("platforms:")
+    for name in platform_names():
+        print(f"  {name}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -124,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--runs", type=int, default=300, help="measured executions")
         p.add_argument("--seed", type=int, default=2017, help="campaign base seed")
         p.add_argument(
+            "--shards", type=int, default=1,
+            help="parallel worker processes (results are shard-invariant)",
+        )
+        p.add_argument(
             "--cache-kb", type=int, default=4,
             help="L1 size in KB (16 = the paper's board; 4 = scaled pressure)",
         )
@@ -132,17 +178,32 @@ def build_parser() -> argparse.ArgumentParser:
             help="TVCA estimator dimension (44 = full configuration)",
         )
 
-    p_campaign = sub.add_parser("campaign", help="collect execution times")
-    common(p_campaign)
-    p_campaign.add_argument(
-        "--platform", choices=("rand", "det"), default="rand"
-    )
-    p_campaign.add_argument("--out", help="write the sample to this JSON file")
-    p_campaign.set_defaults(func=cmd_campaign)
+    for alias in ("run", "campaign"):
+        p_run = sub.add_parser(
+            alias,
+            help="collect execution times"
+            + ("" if alias == "run" else " (alias of run)"),
+        )
+        common(p_run)
+        p_run.add_argument(
+            "--workload", default="tvca",
+            help="registered workload name (see `list`)",
+        )
+        p_run.add_argument(
+            "--platform", choices=tuple(platform_names()), default="rand"
+        )
+        p_run.add_argument(
+            "--out", help="write the full campaign artifact to this JSON file"
+        )
+        p_run.set_defaults(func=cmd_run)
 
     p_analyse = sub.add_parser("analyse", help="run the MBPTA pipeline")
     common(p_analyse)
-    p_analyse.add_argument("--sample", help="analyse a saved JSON sample instead")
+    p_analyse.add_argument("--workload", default="tvca", help=argparse.SUPPRESS)
+    p_analyse.add_argument(
+        "--sample",
+        help="analyse a saved campaign artifact or sample file instead",
+    )
     p_analyse.add_argument(
         "--cutoff", type=float, help="also print the pWCET at this probability"
     )
@@ -154,13 +215,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--factor", type=float, default=0.5, help="MBTA engineering factor"
     )
     p_compare.set_defaults(func=cmd_compare)
+
+    p_list = sub.add_parser("list", help="list registered workloads and platforms")
+    p_list.set_defaults(func=cmd_list)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, OSError) as exc:
+        message = exc if isinstance(exc, OSError) else (
+            exc.args[0] if exc.args else exc
+        )
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

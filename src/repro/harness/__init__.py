@@ -3,6 +3,7 @@
 from .campaign import CampaignConfig, CampaignResult, MeasurementCampaign
 from .experiment import DetRandComparison, compare_det_rand
 from .measurements import ExecutionTimeSample, PathSamples
+from .records import RunRecord
 
 __all__ = [
     "CampaignConfig",
@@ -11,5 +12,6 @@ __all__ = [
     "ExecutionTimeSample",
     "MeasurementCampaign",
     "PathSamples",
+    "RunRecord",
     "compare_det_rand",
 ]

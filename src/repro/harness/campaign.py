@@ -8,28 +8,35 @@ Implements the paper's experimental protocol:
     set a new seed for each experiment after the binary has been
     reloaded."
 
-:class:`MeasurementCampaign` owns the per-run seeding discipline — every
-run ``r`` derives a fresh platform seed and an independent workload
-input seed from the campaign's base seed — and collects execution times
-into :class:`~repro.harness.measurements.PathSamples` keyed by the
-executed path (the paper performs per-path analysis).
+:class:`CampaignConfig` owns the per-run seeding discipline — every run
+``r`` derives a fresh platform seed and an independent workload input
+seed from the campaign's base seed.  Execution itself lives in
+:class:`repro.api.runner.CampaignRunner`, which runs any
+:class:`repro.api.workload.Workload` serially or in parallel shards and
+collects execution times into
+:class:`~repro.harness.measurements.PathSamples` keyed by the executed
+path (the paper performs per-path analysis).
 
-Two drivers are provided: :meth:`run_tvca` for the case study and
-:meth:`run_program` for arbitrary DSL programs (kernels/ablations).
+:class:`MeasurementCampaign` remains as the serial convenience facade:
+:meth:`run_tvca` for the case study and :meth:`run_program` for
+arbitrary DSL programs, both now thin adapters over the runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
 
 from ..platform.prng import derive_seed
 from ..platform.soc import Platform
-from ..programs.compiler import generate_trace
 from ..programs.layout import LinkedImage
 from ..programs.dsl import Env, Program
-from ..workloads.tvca.app import TvcaApplication, TvcaRunResult
+from ..workloads.tvca.app import TvcaApplication
 from .measurements import ExecutionTimeSample, PathSamples
+from .records import RunRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
+    from ..api.workload import RunObservation
 
 __all__ = ["CampaignConfig", "CampaignResult", "MeasurementCampaign"]
 
@@ -71,11 +78,21 @@ class CampaignConfig:
 
 @dataclass
 class CampaignResult:
-    """Everything one campaign produced."""
+    """Everything one campaign produced.
+
+    ``run_details`` holds one typed :class:`RunRecord` per measured
+    execution, sorted by run index — cycles, path, and the exact seeds
+    that reproduce the run.
+    """
 
     label: str
     samples: PathSamples
-    run_details: List[object] = field(default_factory=list)
+    run_details: List[RunRecord] = field(default_factory=list)
+
+    @property
+    def records(self) -> List[RunRecord]:
+        """Alias for ``run_details`` under its modern name."""
+        return self.run_details
 
     @property
     def merged(self) -> ExecutionTimeSample:
@@ -86,10 +103,7 @@ class CampaignResult:
         return ordered
 
     def _ordered_observations(self) -> List[Tuple[float, str]]:
-        observations: List[Tuple[float, str]] = []
-        for detail in self.run_details:
-            observations.append((detail[0], detail[1]))
-        return observations
+        return [(record.cycles, record.path) for record in self.run_details]
 
     @property
     def num_runs(self) -> int:
@@ -97,8 +111,47 @@ class CampaignResult:
         return len(self.run_details)
 
 
+class _IndexedProgramWorkload:
+    """Legacy adapter: DSL program whose env comes from the *run index*.
+
+    The old ``run_program(env_fn=...)`` contract keys environments by
+    run index rather than input seed.  The runner detects the optional
+    ``execute_indexed`` hook and passes the index through, which keeps
+    the contract shard-deterministic (the index, unlike execution order,
+    is stable across sharding).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        image: LinkedImage,
+        env_fn: Optional[Callable[[int], Env]],
+        core_id: int,
+    ) -> None:
+        from ..api.workload import ProgramWorkload
+
+        self.name = program.name
+        self._inner = ProgramWorkload(program, image=image, core_id=core_id)
+        self._env_fn = env_fn
+
+    def prepare(self, platform: Platform) -> None:
+        self._inner.prepare(platform)
+
+    def execute(
+        self, platform: Platform, run_seed: int, input_seed: int
+    ) -> "RunObservation":
+        return self._inner.execute(platform, run_seed, input_seed)
+
+    def execute_indexed(
+        self, platform: Platform, run_index: int, run_seed: int, input_seed: int
+    ) -> "RunObservation":
+        if self._env_fn is not None:
+            self._inner.env_fn = lambda _seed: self._env_fn(run_index)
+        return self._inner.execute(platform, run_seed, input_seed)
+
+
 class MeasurementCampaign:
-    """Collects execution-time samples under the MBPTA run protocol."""
+    """Serial convenience facade over :class:`repro.api.CampaignRunner`."""
 
     def __init__(self, config: CampaignConfig = CampaignConfig()) -> None:
         self.config = config
@@ -115,23 +168,12 @@ class MeasurementCampaign:
         :meth:`TvcaApplication.run_once`) and draws fresh workload
         inputs.  Observations are grouped by the run's coarse path class.
         """
-        cfg = self.config
-        if app is None:
-            app = TvcaApplication()
-        label = f"TVCA@{platform.name}"
-        samples = PathSamples(label=label)
-        details: List[Tuple[float, str, TvcaRunResult]] = []
-        for run_index in range(cfg.runs):
-            result = app.run_once(
-                platform,
-                run_seed=cfg.platform_seed(run_index),
-                input_seed=cfg.input_seed(run_index),
-            )
-            samples.add(result.path_class, result.cycles)
-            details.append((float(result.cycles), result.path_class, result))
-            if progress is not None:
-                progress(run_index + 1, cfg.runs)
-        return CampaignResult(label=label, samples=samples, run_details=details)
+        from ..api.runner import CampaignRunner
+        from ..api.workload import TvcaWorkload
+
+        workload = TvcaWorkload(app=app) if app is not None else TvcaWorkload()
+        runner = CampaignRunner(self.config)
+        return runner.run(workload, platform, progress=progress)
 
     def run_program(
         self,
@@ -140,24 +182,17 @@ class MeasurementCampaign:
         image: LinkedImage,
         env_fn: Optional[Callable[[int], Env]] = None,
         core_id: int = 0,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> CampaignResult:
         """Measure a DSL ``program`` ``config.runs`` times on ``platform``.
 
         ``env_fn(run_index)`` supplies the input environment per run
         (default: empty).  Observations are grouped by the executed DSL
-        path signature.
+        path signature.  ``progress(done, total)`` is invoked after each
+        run, exactly as in :meth:`run_tvca`.
         """
-        cfg = self.config
-        label = f"{program.name}@{platform.name}"
-        samples = PathSamples(label=label)
-        details: List[Tuple[float, str]] = []
-        for run_index in range(cfg.runs):
-            env = env_fn(run_index) if env_fn is not None else {}
-            trace, signature = generate_trace(program, image, env)
-            result = platform.run(
-                trace, seed=cfg.platform_seed(run_index), core_id=core_id
-            )
-            key = signature.as_key()
-            samples.add(key, result.cycles)
-            details.append((float(result.cycles), key))
-        return CampaignResult(label=label, samples=samples, run_details=details)
+        from ..api.runner import CampaignRunner
+
+        workload = _IndexedProgramWorkload(program, image, env_fn, core_id)
+        runner = CampaignRunner(self.config)
+        return runner.run(workload, platform, progress=progress)

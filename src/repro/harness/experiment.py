@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..platform.soc import Platform, leon3_det, leon3_rand
 from ..workloads.tvca.app import TvcaApplication, TvcaConfig
-from .campaign import CampaignConfig, CampaignResult, MeasurementCampaign
+from .campaign import CampaignConfig, CampaignResult
 from .measurements import ExecutionTimeSample
 
 __all__ = ["DetRandComparison", "compare_det_rand"]
@@ -73,15 +73,23 @@ def compare_det_rand(
     det_platform: Optional[Platform] = None,
     rand_platform: Optional[Platform] = None,
     progress: Optional[Callable[[str, int, int], None]] = None,
+    shards: int = 1,
 ) -> DetRandComparison:
     """Run the TVCA campaign on the DET and RAND platforms.
 
     Both campaigns use the same base seed, hence identical per-run
     *workload inputs*; only the platform (and its randomization) differs
-    — the controlled comparison behind Figure 3.
+    — the controlled comparison behind Figure 3.  ``shards`` parallelizes
+    each campaign without changing a single observation (deterministic
+    by-run-index merge).
     """
+    from ..api.runner import CampaignRunner
+    from ..api.workload import TvcaWorkload
+
     app = TvcaApplication(app_config or TvcaConfig())
-    campaign = MeasurementCampaign(CampaignConfig(runs=runs, base_seed=base_seed))
+    runner = CampaignRunner(
+        CampaignConfig(runs=runs, base_seed=base_seed), shards=shards
+    )
     det = det_platform or leon3_det()
     rand = rand_platform or leon3_rand()
 
@@ -90,6 +98,7 @@ def compare_det_rand(
             return None
         return lambda done, total: progress(name, done, total)
 
-    det_result = campaign.run_tvca(det, app, progress=wrap("DET"))
-    rand_result = campaign.run_tvca(rand, app, progress=wrap("RAND"))
+    workload = TvcaWorkload(app=app)
+    det_result = runner.run(workload, det, progress=wrap("DET"))
+    rand_result = runner.run(workload, rand, progress=wrap("RAND"))
     return DetRandComparison(det=det_result, rand=rand_result)

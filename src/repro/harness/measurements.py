@@ -104,10 +104,10 @@ class ExecutionTimeSample:
         position = q * (len(ordered) - 1)
         low = int(math.floor(position))
         high = int(math.ceil(position))
-        if low == high:
+        if low == high or ordered[low] == ordered[high]:
             return ordered[low]
         fraction = position - low
-        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+        return ordered[low] + fraction * (ordered[high] - ordered[low])
 
     def sorted_values(self) -> List[float]:
         """Ascending copy of the observations."""
@@ -174,3 +174,33 @@ class PathSamples:
     def counts(self) -> Dict[str, int]:
         """Observation count per path."""
         return {key: len(sample) for key, sample in self.paths.items()}
+
+    # -- persistence -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary form (per-path values, collection order)."""
+        return {
+            "label": self.label,
+            "paths": {
+                key: {"label": sample.label, "values": sample.values}
+                for key, sample in self.paths.items()
+            },
+        }
+
+    def to_json(self) -> str:
+        """Serialize with per-path grouping intact."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PathSamples":
+        """Inverse of :meth:`to_dict`."""
+        samples = cls(label=data.get("label", ""))
+        for key, payload in data.get("paths", {}).items():
+            samples.paths[key] = ExecutionTimeSample(
+                values=payload["values"], label=payload.get("label", key)
+            )
+        return samples
+
+    @classmethod
+    def from_json(cls, payload: str) -> "PathSamples":
+        """Deserialize from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))

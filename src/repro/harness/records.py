@@ -1,0 +1,68 @@
+"""Typed per-run measurement records.
+
+One :class:`RunRecord` captures everything the harness knows about a
+single measured execution: its position in the campaign (``index`` — the
+merge key that makes sharded campaigns deterministic), the observed
+execution time, the executed path, and the exact seeds that reproduce
+the run.  ``metadata`` carries workload-specific extras (e.g. the TVCA
+input profile) as JSON-safe values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["RunRecord"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Full description of one measured execution.
+
+    Attributes
+    ----------
+    index:
+        Run index within the campaign (0-based).  Campaigns merge shard
+        outputs by this key, so execution order never affects results.
+    cycles:
+        End-to-end execution time of the run.
+    path:
+        Executed-path identifier used for per-path MBPTA grouping.
+    platform_seed:
+        Seed installed into the platform before the run.
+    input_seed:
+        Seed that generated the workload inputs of the run.
+    metadata:
+        Workload-specific extras (JSON-safe scalars only).
+    """
+
+    index: int
+    cycles: float
+    path: str
+    platform_seed: int
+    input_seed: int
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dictionary form (artifact serialization)."""
+        return {
+            "index": self.index,
+            "cycles": self.cycles,
+            "path": self.path,
+            "platform_seed": self.platform_seed,
+            "input_seed": self.input_seed,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(data["index"]),
+            cycles=float(data["cycles"]),
+            path=str(data["path"]),
+            platform_seed=int(data["platform_seed"]),
+            input_seed=int(data["input_seed"]),
+            metadata=dict(data.get("metadata", {})),
+        )

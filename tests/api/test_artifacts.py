@@ -1,0 +1,131 @@
+"""Campaign artifacts: full-fidelity persistence and re-analysis."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ArtifactStore,
+    CampaignArtifact,
+    CampaignConfig,
+    CampaignRunner,
+    SyntheticWorkload,
+    load_measurements,
+    platform_fingerprint,
+)
+from repro.core import MBPTAConfig
+from repro.harness.measurements import ExecutionTimeSample, PathSamples
+from repro.platform.soc import leon3_rand
+from repro.workloads.synthetic import cache_like_samples
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    runner = CampaignRunner(CampaignConfig(runs=600, base_seed=11), shards=2)
+    workload = SyntheticWorkload(cache_like_samples, name="synthetic-cache")
+    platform = leon3_rand(num_cores=1)
+    result = runner.run(workload, platform)
+    artifact = CampaignArtifact.from_result(
+        result, config=runner.config, platform=platform,
+        workload=workload.name, shards=runner.shards,
+    )
+    return result, artifact
+
+
+class TestRoundTrip:
+    def test_per_path_samples_survive(self, campaign, tmp_path):
+        result, artifact = campaign
+        path = artifact.save(tmp_path / "c.json")
+        loaded = CampaignArtifact.load(path)
+        assert loaded.label == result.label
+        assert {k: s.values for k, s in loaded.samples.paths.items()} == {
+            k: s.values for k, s in result.samples.paths.items()
+        }
+
+    def test_records_survive_with_seeds(self, campaign, tmp_path):
+        result, artifact = campaign
+        loaded = CampaignArtifact.from_json(artifact.to_json())
+        assert loaded.records == result.run_details
+        assert loaded.num_runs == result.num_runs
+
+    def test_provenance_recorded(self, campaign):
+        _, artifact = campaign
+        assert artifact.config["runs"] == 600
+        assert artifact.config["base_seed"] == 11
+        assert artifact.config["shards"] == 2
+        assert artifact.platform["name"] == "RAND"
+        assert artifact.platform["is_randomized"] is True
+        assert artifact.workload == "synthetic-cache"
+
+    def test_feeds_analysis_directly(self, campaign):
+        _, artifact = campaign
+        loaded = CampaignArtifact.from_json(artifact.to_json())
+        result = loaded.analyse(
+            MBPTAConfig(min_path_samples=120, check_convergence=False)
+        )
+        assert result.quantile(1e-9) > 0
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError):
+            CampaignArtifact.from_json(json.dumps({"values": [1, 2, 3]}))
+
+
+class TestArtifactStore:
+    def test_save_load_names(self, campaign, tmp_path):
+        _, artifact = campaign
+        store = ArtifactStore(tmp_path / "store")
+        assert store.names() == []
+        store.save("first", artifact)
+        assert store.names() == ["first"]
+        assert "first" in store
+        assert store.load("first").label == artifact.label
+
+
+class TestLoadMeasurements:
+    def test_sniffs_artifact(self, campaign, tmp_path):
+        _, artifact = campaign
+        path = artifact.save(tmp_path / "a.json")
+        assert isinstance(load_measurements(path), CampaignArtifact)
+
+    def test_sniffs_path_samples(self, tmp_path):
+        samples = PathSamples(label="x")
+        samples.add("p1", 1.0)
+        samples.add("p2", 2.0)
+        path = tmp_path / "p.json"
+        path.write_text(samples.to_json())
+        loaded = load_measurements(path)
+        assert isinstance(loaded, PathSamples)
+        assert loaded.counts() == {"p1": 1, "p2": 1}
+
+    def test_sniffs_legacy_sample(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(ExecutionTimeSample(values=[1.0, 2.0], label="old").to_json())
+        loaded = load_measurements(path)
+        assert isinstance(loaded, ExecutionTimeSample)
+        assert loaded.values == [1.0, 2.0]
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ValueError):
+            load_measurements(path)
+
+
+class TestPathSamplesJson:
+    def test_round_trip_preserves_order_and_labels(self):
+        samples = PathSamples(label="L")
+        for value in (3.0, 1.0, 2.0):
+            samples.add("a", value)
+        samples.add("b", 9.0)
+        restored = PathSamples.from_json(samples.to_json())
+        assert restored.label == "L"
+        assert restored.paths["a"].values == [3.0, 1.0, 2.0]
+        assert restored.paths["a"].label == "L/a"
+        assert restored.paths["b"].values == [9.0]
+
+    def test_fingerprint_shape(self):
+        fp = platform_fingerprint(leon3_rand(num_cores=2, cache_kb=4))
+        assert fp["num_cores"] == 2
+        assert fp["icache"]["size_bytes"] == 4096
+        assert fp["icache"]["replacement"] == "random"
+        assert fp["fpu_mode"] == "analysis"

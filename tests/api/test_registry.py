@@ -1,0 +1,55 @@
+"""Workload/platform registries: lookup, construction, extension."""
+
+import pytest
+
+from repro.api import (
+    ProgramWorkload,
+    create_platform,
+    create_workload,
+    platform_names,
+    register_workload,
+    workload_names,
+)
+from repro.api.registry import _WORKLOADS
+from repro.workloads.kernels import matmul_kernel
+
+
+class TestBuiltins:
+    def test_platforms_registered(self):
+        assert {"rand", "det"} <= set(platform_names())
+
+    def test_workloads_registered(self):
+        assert {
+            "tvca", "matmul", "fir", "strided", "table-walk",
+            "fpu-stress", "synthetic-cache",
+        } <= set(workload_names())
+
+    def test_create_platform_kwargs(self):
+        platform = create_platform("det", num_cores=1, cache_kb=4)
+        assert platform.name == "DET"
+        assert platform.config.core.icache.size_bytes == 4096
+
+    def test_create_workload_kwargs(self):
+        workload = create_workload("matmul", dim=5)
+        assert workload.name == "matmul_5"
+
+    def test_tvca_workload_config(self):
+        workload = create_workload("tvca", estimator_dim=8, aero_window=8)
+        assert workload.config.estimator_dim == 8
+
+    def test_unknown_names_raise_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown platform"):
+            create_platform("fpga")
+        with pytest.raises(KeyError, match="unknown workload"):
+            create_workload("tvca2")
+
+
+class TestExtension:
+    def test_register_and_create(self):
+        name = "matmul-test-entry"
+        register_workload(name, lambda: ProgramWorkload(matmul_kernel(dim=3)))
+        try:
+            workload = create_workload(name)
+            assert workload.name == "matmul_3"
+        finally:
+            _WORKLOADS.pop(name, None)

@@ -74,6 +74,27 @@ class TestProgramCampaign:
         assert result.num_runs == 8
         assert result.samples.num_paths == 1  # matmul has a single path
 
+    def test_progress_callback(self):
+        seen = []
+        prog = matmul_kernel(dim=4)
+        image = link(prog)
+        campaign = MeasurementCampaign(CampaignConfig(runs=5))
+        campaign.run_program(
+            leon3_rand(num_cores=1), prog, image,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 5), (2, 5), (3, 5), (4, 5), (5, 5)]
+
+    def test_run_details_typed(self):
+        from repro.harness import RunRecord
+
+        prog = matmul_kernel(dim=4)
+        image = link(prog)
+        campaign = MeasurementCampaign(CampaignConfig(runs=3))
+        result = campaign.run_program(leon3_rand(num_cores=1), prog, image)
+        assert all(isinstance(r, RunRecord) for r in result.run_details)
+        assert [r.index for r in result.run_details] == [0, 1, 2]
+
     def test_env_fn_drives_paths(self):
         from repro.programs.dsl import Block, If, Program, alu
 

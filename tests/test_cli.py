@@ -14,10 +14,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_campaign_defaults(self):
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.runs == 300
+        assert args.platform == "rand"
+        assert args.workload == "tvca"
+        assert args.shards == 1
+
+    def test_campaign_is_alias_of_run(self):
         args = build_parser().parse_args(["campaign"])
         assert args.runs == 300
         assert args.platform == "rand"
+        assert args.func is build_parser().parse_args(["run"]).func
 
     def test_analyse_cutoff(self):
         args = build_parser().parse_args(["analyse", "--cutoff", "1e-12"])
@@ -25,20 +33,39 @@ class TestParser:
 
 
 class TestCommands:
-    def test_campaign_writes_sample(self, tmp_path, capsys):
-        out = tmp_path / "sample.json"
+    def test_campaign_writes_per_path_artifact(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
         code = main(["campaign", *FAST, "--out", str(out)])
         assert code == 0
         payload = json.loads(out.read_text())
-        assert len(payload["values"]) == 25
+        assert payload["schema"] == "repro.campaign/1"
+        assert payload["platform"]["name"] == "RAND"
+        # Per-path data survives saving (no pooling into one sample).
+        assert sum(
+            len(p["values"]) for p in payload["samples"]["paths"].values()
+        ) == 25
+        assert len(payload["records"]) == 25
         assert "TVCA@RAND" in capsys.readouterr().out
+
+    def test_run_sharded_matches_serial(self, tmp_path):
+        serial, sharded = tmp_path / "serial.json", tmp_path / "sharded.json"
+        assert main(["run", *FAST, "--out", str(serial)]) == 0
+        assert main(["run", *FAST, "--shards", "4", "--out", str(sharded)]) == 0
+        a = json.loads(serial.read_text())
+        b = json.loads(sharded.read_text())
+        assert a["samples"] == b["samples"]
 
     def test_campaign_det_platform(self, capsys):
         code = main(["campaign", *FAST, "--platform", "det"])
         assert code == 0
         assert "TVCA@DET" in capsys.readouterr().out
 
-    def test_analyse_saved_sample(self, tmp_path, capsys):
+    def test_run_kernel_workload(self, capsys):
+        code = main(["run", "--runs", "5", "--workload", "matmul"])
+        assert code == 0
+        assert "matmul_8@RAND" in capsys.readouterr().out
+
+    def test_analyse_saved_legacy_sample(self, tmp_path, capsys):
         from repro.workloads.synthetic import cache_like_samples
         from repro.harness.measurements import ExecutionTimeSample
 
@@ -53,9 +80,27 @@ class TestCommands:
         assert "pWCET" in out
         assert "pWCET@1e-09" in out
 
+    def test_analyse_artifact_keeps_paths(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        main(["run", "--runs", "150", "--workload", "synthetic-cache",
+              "--out", str(out)])
+        capsys.readouterr()
+        code = main(["analyse", "--sample", str(out)])
+        report = capsys.readouterr().out
+        assert code == 0
+        assert "pWCET" in report
+
     def test_compare_runs(self, capsys):
         code = main(["compare", *FAST])
         out = capsys.readouterr().out
         assert code == 0
         assert "MBTA" in out
         assert "RAND/DET average ratio" in out
+
+    def test_list_registries(self, capsys):
+        code = main(["list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tvca" in out
+        assert "rand" in out
+        assert "det" in out
