@@ -46,6 +46,17 @@ else:
     CACHE_KB = 4
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is ``slow``: the session-scoped campaigns dominate
+    the suite's wall-clock, so the fast CI lane (``-m "not slow"``)
+    skips this directory wholesale.  (The hook sees the whole session's
+    items, hence the directory filter.)"""
+    here = str(Path(__file__).parent)
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.slow)
+
+
 #: Names emitted this session, replayed in the terminal summary (pytest
 #: captures stdout at the fd level during tests, so direct writes from
 #: inside a test would never reach a `| tee bench_output.txt` pipe).

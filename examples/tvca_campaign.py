@@ -17,7 +17,9 @@ Run:  python examples/tvca_campaign.py [runs] [shards]
 
 The default (300 runs, scaled-pressure configuration) takes ~15 s
 serial; the paper's setup is 3,000 runs on the full configuration (see
-benchmarks/ with REPRO_BENCH_RUNS=3000 REPRO_BENCH_FULL=1).
+benchmarks/ with REPRO_BENCH_RUNS=3000 REPRO_BENCH_FULL=1).  See
+examples/adaptive_campaign.py for the convergence-driven variant that
+stops collecting as soon as the estimate is stable.
 """
 
 import sys

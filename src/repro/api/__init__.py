@@ -20,6 +20,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Union
 
+from ..core.convergence import (
+    CampaignConvergenceSummary,
+    ConvergencePolicy,
+)
 from ..harness.campaign import CampaignConfig, CampaignResult
 from ..harness.records import RunRecord
 from ..platform.soc import Platform
@@ -51,8 +55,10 @@ __all__ = [
     "ArtifactStore",
     "CampaignArtifact",
     "CampaignConfig",
+    "CampaignConvergenceSummary",
     "CampaignResult",
     "CampaignRunner",
+    "ConvergencePolicy",
     "ProgramWorkload",
     "RunObservation",
     "RunRecord",
@@ -83,6 +89,8 @@ def run_campaign(
     progress=None,
     workload_kwargs: Optional[Dict[str, Any]] = None,
     platform_kwargs: Optional[Dict[str, Any]] = None,
+    until_converged: bool = False,
+    convergence: Optional[ConvergencePolicy] = None,
 ) -> CampaignResult:
     """One-call facade: resolve, run, return the campaign result.
 
@@ -90,6 +98,10 @@ def run_campaign(
     ``*_kwargs`` are forwarded to the registry factories when names are
     given (and rejected otherwise — passing them alongside an object is
     almost certainly a bug).
+
+    ``until_converged=True`` (or an explicit ``convergence`` policy)
+    makes the campaign adaptive: it stops once the MBPTA convergence
+    criterion holds, with ``runs`` as the cap.
     """
     if isinstance(workload, str):
         workload = create_workload(workload, **(workload_kwargs or {}))
@@ -99,8 +111,10 @@ def run_campaign(
         platform = create_platform(platform, **(platform_kwargs or {}))
     elif platform_kwargs:
         raise ValueError("platform_kwargs requires a registry name")
+    if until_converged and convergence is None:
+        convergence = ConvergencePolicy()
     runner = CampaignRunner(
         CampaignConfig(runs=runs, base_seed=base_seed, vary_inputs=vary_inputs),
         shards=shards,
     )
-    return runner.run(workload, platform, progress=progress)
+    return runner.run(workload, platform, progress=progress, convergence=convergence)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from ..core.convergence import CampaignConvergenceSummary
 from ..harness.campaign import CampaignConfig, CampaignResult
 from ..harness.measurements import ExecutionTimeSample, PathSamples
 from ..harness.records import RunRecord
@@ -75,6 +76,7 @@ class CampaignArtifact:
     records: List[RunRecord] = field(default_factory=list)
     config: Dict[str, Any] = field(default_factory=dict)
     platform: Dict[str, Any] = field(default_factory=dict)
+    convergence: Optional[CampaignConvergenceSummary] = None
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -94,6 +96,9 @@ class CampaignArtifact:
                 base_seed=config.base_seed,
                 vary_inputs=config.vary_inputs,
             )
+        if result.runs_requested is not None:
+            config_dict["runs_requested"] = result.runs_requested
+            config_dict["runs_used"] = result.runs_used
         return cls(
             label=result.label,
             workload=workload or result.label.split("@")[0],
@@ -101,6 +106,7 @@ class CampaignArtifact:
             records=list(result.run_details),
             config=config_dict,
             platform=platform_fingerprint(platform) if platform else {},
+            convergence=result.convergence,
         )
 
     # -- analysis ------------------------------------------------------
@@ -123,21 +129,32 @@ class CampaignArtifact:
             return len(self.records)
         return sum(self.samples.counts().values())
 
+    @property
+    def runs_used(self) -> int:
+        """Executions an adaptive campaign actually measured."""
+        return int(self.config.get("runs_used", self.num_runs))
+
+    @property
+    def runs_requested(self) -> Optional[int]:
+        """The adaptive campaign's run cap (None for fixed budgets)."""
+        requested = self.config.get("runs_requested")
+        return int(requested) if requested is not None else None
+
     # -- persistence ---------------------------------------------------
     def to_json(self, indent: Optional[int] = None) -> str:
         """Serialize the complete artifact."""
-        return json.dumps(
-            {
-                "schema": SCHEMA,
-                "label": self.label,
-                "workload": self.workload,
-                "config": self.config,
-                "platform": self.platform,
-                "samples": self.samples.to_dict(),
-                "records": [record.to_dict() for record in self.records],
-            },
-            indent=indent,
-        )
+        payload: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "label": self.label,
+            "workload": self.workload,
+            "config": self.config,
+            "platform": self.platform,
+            "samples": self.samples.to_dict(),
+            "records": [record.to_dict() for record in self.records],
+        }
+        if self.convergence is not None:
+            payload["convergence"] = self.convergence.to_dict()
+        return json.dumps(payload, indent=indent)
 
     @classmethod
     def from_json(cls, payload: str) -> "CampaignArtifact":
@@ -147,6 +164,7 @@ class CampaignArtifact:
             raise ValueError(
                 f"not a campaign artifact (schema={data.get('schema')!r})"
             )
+        convergence = data.get("convergence")
         return cls(
             label=data.get("label", ""),
             workload=data.get("workload", ""),
@@ -154,6 +172,11 @@ class CampaignArtifact:
             records=[RunRecord.from_dict(r) for r in data.get("records", [])],
             config=dict(data.get("config", {})),
             platform=dict(data.get("platform", {})),
+            convergence=(
+                CampaignConvergenceSummary.from_dict(convergence)
+                if convergence is not None
+                else None
+            ),
         )
 
     def save(self, path: Union[str, Path]) -> Path:

@@ -10,9 +10,25 @@ serially or across ``shards`` forked worker processes.
 Determinism argument: per-run seeds depend only on ``(base_seed,
 run_index)`` and ``Workload.execute`` fully resets the platform, so a
 run's observation is independent of which process executes it and of
-every other run.  Shards receive disjoint contiguous index ranges and
-the parent merges records **by run index**, hence serial and sharded
-campaigns are bit-identical — verified by the shard-determinism tests.
+every other run.  Shards receive disjoint index ranges and the parent
+merges records **by run index**, hence serial and sharded campaigns are
+bit-identical — verified by the shard-determinism tests.
+
+**Adaptive campaigns** (``convergence=ConvergencePolicy(...)``): instead
+of burning a fixed run budget, the campaign halts once the MBPTA
+convergence criterion holds — per-path
+:class:`~repro.core.convergence.ConvergenceMonitor` instances consume
+observations *in run-index order* and ``config.runs`` becomes the cap.
+The sharded form assigns each shard the strided index set
+``shard_id, shard_id + shards, ...`` so all shards advance through low
+indices together, streams every record back to the parent as it
+completes, and the parent feeds the monitors from the contiguous prefix
+of arrived indices.  The stopping decision is therefore a pure function
+of the records in index order — the same function the serial loop
+evaluates — so the surviving record set (indices below the stopping
+point) is bit-identical to a serial adaptive campaign; shards are told
+to stop via a shared event and overshoot by at most one run each, which
+the parent discards.
 
 Parallelism uses the ``fork`` start method (workloads hold linked
 program images with closures that do not pickle; forked children inherit
@@ -27,6 +43,11 @@ import os
 import queue as pyqueue
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..core.convergence import (
+    CampaignConvergence,
+    CampaignConvergenceSummary,
+    ConvergencePolicy,
+)
 from ..harness.campaign import CampaignConfig, CampaignResult
 from ..harness.measurements import PathSamples
 from ..harness.records import RunRecord
@@ -44,6 +65,30 @@ def default_shards(runs: int) -> int:
     return max(1, min(cores, runs))
 
 
+def _execute_one(
+    workload: Workload,
+    platform: Platform,
+    config: CampaignConfig,
+    run_index: int,
+) -> RunRecord:
+    """Execute run ``run_index`` under the campaign's seeding discipline."""
+    run_seed = config.platform_seed(run_index)
+    input_seed = config.input_seed(run_index)
+    execute_indexed = getattr(workload, "execute_indexed", None)
+    if execute_indexed is not None:
+        obs = execute_indexed(platform, run_index, run_seed, input_seed)
+    else:
+        obs = workload.execute(platform, run_seed, input_seed)
+    return RunRecord(
+        index=run_index,
+        cycles=float(obs.cycles),
+        path=obs.path,
+        platform_seed=run_seed,
+        input_seed=input_seed,
+        metadata=dict(obs.metadata),
+    )
+
+
 def _execute_range(
     workload: Workload,
     platform: Platform,
@@ -53,24 +98,8 @@ def _execute_range(
 ) -> List[RunRecord]:
     """Run ``indices`` serially on ``platform``, returning their records."""
     records: List[RunRecord] = []
-    execute_indexed = getattr(workload, "execute_indexed", None)
     for run_index in indices:
-        run_seed = config.platform_seed(run_index)
-        input_seed = config.input_seed(run_index)
-        if execute_indexed is not None:
-            obs = execute_indexed(platform, run_index, run_seed, input_seed)
-        else:
-            obs = workload.execute(platform, run_seed, input_seed)
-        records.append(
-            RunRecord(
-                index=run_index,
-                cycles=float(obs.cycles),
-                path=obs.path,
-                platform_seed=run_seed,
-                input_seed=input_seed,
-                metadata=dict(obs.metadata),
-            )
-        )
+        records.append(_execute_one(workload, platform, config, run_index))
         if on_run is not None:
             on_run()
     return records
@@ -88,6 +117,37 @@ def _shard_worker(queue, workload, platform, config, shard_id, indices, report):
         queue.put(("done", shard_id, records, None))
     except BaseException as exc:  # surface the failure in the parent
         queue.put(("done", shard_id, [], repr(exc)))
+
+
+def _note_dead_workers(workers, reported, errors) -> None:
+    """Record shards killed by a signal/OOM: they never post their
+    "done" message, so the receive loop would block forever without
+    this scan on queue timeouts."""
+    for shard_id, worker in enumerate(workers):
+        if (
+            shard_id not in reported
+            and not worker.is_alive()
+            and worker.exitcode not in (0, None)
+        ):
+            reported.add(shard_id)
+            errors.append(
+                f"shard {shard_id}: worker died with "
+                f"exit code {worker.exitcode}"
+            )
+
+
+def _adaptive_worker(queue, stop_event, workload, platform, config, shard_id, indices):
+    """Child-process body for adaptive campaigns: stream records back one
+    by one and bail out as soon as the parent signals convergence."""
+    try:
+        for run_index in indices:
+            if stop_event.is_set():
+                break
+            record = _execute_one(workload, platform, config, run_index)
+            queue.put(("record", shard_id, record))
+        queue.put(("done", shard_id, None))
+    except BaseException as exc:  # surface the failure in the parent
+        queue.put(("done", shard_id, repr(exc)))
 
 
 class CampaignRunner:
@@ -116,16 +176,38 @@ class CampaignRunner:
         workload: Workload,
         platform: Platform,
         progress: Optional[Progress] = None,
+        convergence: Optional[ConvergencePolicy] = None,
     ) -> CampaignResult:
-        """Measure ``workload`` ``config.runs`` times on ``platform``.
+        """Measure ``workload`` on ``platform``.
+
+        With ``convergence=None`` (default) exactly ``config.runs``
+        executions are measured.  With a
+        :class:`~repro.core.convergence.ConvergencePolicy` the campaign
+        is **adaptive**: it halts at the first run where the per-path
+        pWCET estimates satisfy the MBPTA stopping rule, with
+        ``config.runs`` as the cap; the result then carries
+        ``runs_requested`` and a full convergence summary.
 
         ``progress(done, total)`` is invoked after every completed run —
-        in shard order when parallel, run order when serial.
+        in completion order when sharded, run order when serial.
         """
         cfg = self.config
         workload.prepare(platform)
         shards = min(self.shards, cfg.runs)
-        if shards > 1 and "fork" in mp.get_all_start_methods():
+        use_fork = shards > 1 and "fork" in mp.get_all_start_methods()
+        summary: Optional[CampaignConvergenceSummary] = None
+        if convergence is not None:
+            tracker = CampaignConvergence(convergence)
+            if use_fork:
+                records = self._run_adaptive_sharded(
+                    workload, platform, shards, tracker, progress
+                )
+            else:
+                records = self._run_adaptive_serial(
+                    workload, platform, tracker, progress
+                )
+            summary = tracker.summary(requested=cfg.runs)
+        elif use_fork:
             records = self._run_sharded(workload, platform, shards, progress)
         else:
             done = [0]
@@ -144,7 +226,117 @@ class CampaignRunner:
         samples = PathSamples(label=label)
         for record in records:
             samples.add(record.path, record.cycles)
-        return CampaignResult(label=label, samples=samples, run_details=records)
+        return CampaignResult(
+            label=label,
+            samples=samples,
+            run_details=records,
+            runs_requested=cfg.runs if convergence is not None else None,
+            convergence=summary,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_adaptive_serial(
+        self,
+        workload: Workload,
+        platform: Platform,
+        tracker: CampaignConvergence,
+        progress: Optional[Progress],
+    ) -> List[RunRecord]:
+        """Execute runs in index order, stopping at convergence."""
+        cfg = self.config
+        records: List[RunRecord] = []
+        for run_index in range(cfg.runs):
+            record = _execute_one(workload, platform, cfg, run_index)
+            records.append(record)
+            converged = tracker.observe(record.path, record.cycles)
+            if progress is not None:
+                progress(len(records), cfg.runs)
+            if converged:
+                break
+        return records
+
+    # ------------------------------------------------------------------
+    def _run_adaptive_sharded(
+        self,
+        workload: Workload,
+        platform: Platform,
+        shards: int,
+        tracker: CampaignConvergence,
+        progress: Optional[Progress],
+    ) -> List[RunRecord]:
+        """Adaptive campaign across forked shards (see module docstring).
+
+        Shards take strided index sets and stream each record back as it
+        completes; the parent replays the contiguous prefix of arrived
+        indices through ``tracker`` — exactly the serial decision
+        sequence — and broadcasts a stop event at convergence.  Records
+        at or beyond the stopping point are discarded, making the
+        surviving campaign bit-identical to the serial one.
+        """
+        cfg = self.config
+        ctx = mp.get_context("fork")
+        result_queue = ctx.Queue()
+        stop_event = ctx.Event()
+        workers = [
+            ctx.Process(
+                target=_adaptive_worker,
+                args=(
+                    result_queue, stop_event, workload, platform, cfg,
+                    shard_id, range(shard_id, cfg.runs, shards),
+                ),
+            )
+            for shard_id in range(shards)
+        ]
+        for worker in workers:
+            worker.start()
+        records: List[RunRecord] = []
+        pending: dict = {}
+        next_index = 0
+        stop_at: Optional[int] = None
+        errors: List[str] = []
+        reported: set = set()
+        done = 0
+        try:
+            while len(reported) < len(workers):
+                try:
+                    message = result_queue.get(timeout=1.0)
+                except pyqueue.Empty:
+                    _note_dead_workers(workers, reported, errors)
+                    if errors:  # no point letting the others finish
+                        stop_event.set()
+                    continue
+                if message[0] == "record":
+                    record = message[2]
+                    records.append(record)
+                    done += 1
+                    if progress is not None:
+                        progress(done, cfg.runs)
+                    if stop_at is None:
+                        pending[record.index] = record
+                        while next_index in pending:
+                            ready = pending.pop(next_index)
+                            next_index += 1
+                            if tracker.observe(ready.path, ready.cycles):
+                                stop_at = next_index
+                                stop_event.set()
+                                break
+                else:  # ("done", shard_id, error)
+                    reported.add(message[1])
+                    if message[2] is not None:
+                        errors.append(f"shard {message[1]}: {message[2]}")
+                        stop_event.set()
+        finally:
+            stop_event.set()
+            for worker in workers:
+                if errors:
+                    worker.terminate()
+                worker.join()
+            result_queue.close()
+        if errors:
+            raise RuntimeError("campaign shard(s) failed: " + "; ".join(errors))
+        if stop_at is not None:
+            records = [r for r in records if r.index < stop_at]
+        return records
 
     # ------------------------------------------------------------------
     def _run_sharded(
@@ -179,19 +371,7 @@ class CampaignRunner:
                 try:
                     message = result_queue.get(timeout=1.0)
                 except pyqueue.Empty:
-                    # A shard killed by a signal/OOM never posts its
-                    # "done" message; detect it instead of blocking.
-                    for shard_id, worker in enumerate(workers):
-                        if (
-                            shard_id not in reported
-                            and not worker.is_alive()
-                            and worker.exitcode not in (0, None)
-                        ):
-                            reported.add(shard_id)
-                            errors.append(
-                                f"shard {shard_id}: worker died with "
-                                f"exit code {worker.exitcode}"
-                            )
+                    _note_dead_workers(workers, reported, errors)
                     continue
                 if message[0] == "progress":
                     done += 1

@@ -74,6 +74,16 @@ class Workload(Protocol):
     Implementations must make ``execute`` a pure function of
     ``(platform configuration, run_seed, input_seed)`` — no state may
     leak between runs — so that sharded and serial campaigns agree.
+    That purity is also what adaptive campaigns rely on: the stopping
+    rule consumes observations in run-index order, so an early-stopped
+    campaign's records are exactly a prefix of the fixed-budget ones.
+
+    Optional hook: ``execute_indexed(platform, run_index, run_seed,
+    input_seed)``.  When present, :class:`repro.api.runner.CampaignRunner`
+    calls it instead of ``execute`` and passes the run index through —
+    for legacy index-keyed input schemes.  The same purity rule applies
+    with the index included: the index (unlike execution order) is
+    stable across sharding, so the contract stays shard-deterministic.
     """
 
     name: str

@@ -12,9 +12,18 @@ Four subcommands mirror the paper's workflow:
 * ``compare`` — the Figure-3 comparison (DET/MBTA vs RAND/MBPTA),
 * ``list`` — show the registered workloads and platforms.
 
+``run``, ``analyse`` and ``compare`` accept ``--until-converged``: the
+campaign then stops at the first run where the MBPTA convergence
+criterion holds (``--runs`` becomes the cap) instead of always burning
+the full budget — the paper's own stopping rule ("... which satisfied
+the convergence criteria").  The decision is a pure function of the
+observation sequence in run-index order, so ``--shards`` does not change
+where an adaptive campaign stops.
+
 Examples::
 
     python -m repro.cli run --workload tvca --runs 300 --shards 4 --out c.json
+    python -m repro.cli run --runs 3000 --until-converged --out c.json
     python -m repro.cli analyse --sample c.json
     python -m repro.cli analyse --runs 300 --cutoff 1e-12
     python -m repro.cli compare --runs 200 --shards 4
@@ -37,7 +46,7 @@ from .api import (
     platform_names,
     workload_names,
 )
-from .core import MBPTAAnalysis, MBPTAConfig, mbta_bound
+from .core import ConvergencePolicy, MBPTAAnalysis, MBPTAConfig, mbta_bound
 from .harness import compare_det_rand
 from .viz import figure3_panel
 
@@ -54,6 +63,29 @@ def _platform(args: argparse.Namespace, kind: str):
     return create_platform(kind, num_cores=1, cache_kb=args.cache_kb)
 
 
+def _policy(args: argparse.Namespace) -> Optional[ConvergencePolicy]:
+    """The adaptive stopping policy requested on the command line."""
+    if not getattr(args, "until_converged", False):
+        return None
+    return ConvergencePolicy(
+        probability=args.conv_probability,
+        tolerance=args.tolerance,
+        step=args.conv_step,
+        block_size=args.conv_block,
+    )
+
+
+def _print_convergence(summary) -> None:
+    """One-glance adaptive-campaign outcome for run/compare output."""
+    status = "converged" if summary.converged else "cap reached, not converged"
+    print(f"  adaptive: {summary.used}/{summary.requested} runs ({status})")
+    for path, report in summary.paths.items():
+        if report.converged:
+            print(f"    path {path}: stable after {report.runs_needed} runs")
+        elif report.history:
+            print(f"    path {path}: {len(report.history)} checkpoints, not stable")
+
+
 def _run_campaign(args: argparse.Namespace, kind: str):
     workload = create_workload(args.workload, **_workload_kwargs(args))
     platform = _platform(args, kind)
@@ -61,7 +93,7 @@ def _run_campaign(args: argparse.Namespace, kind: str):
         CampaignConfig(runs=args.runs, base_seed=args.seed),
         shards=getattr(args, "shards", 1),
     )
-    result = runner.run(workload, platform)
+    result = runner.run(workload, platform, convergence=_policy(args))
     return result, runner, platform, workload
 
 
@@ -74,6 +106,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     for path, count in sorted(result.samples.counts().items()):
         print(f"  path {path}: {count} runs")
+    if result.convergence is not None:
+        _print_convergence(result.convergence)
     if args.out:
         artifact = CampaignArtifact.from_result(
             result,
@@ -99,10 +133,16 @@ def cmd_analyse(args: argparse.Namespace) -> int:
             else len(data)
         )
         min_path = max(120, n // 3)
+        if isinstance(loaded, CampaignArtifact) and loaded.convergence is not None:
+            print(f"{loaded.label}:")
+            _print_convergence(loaded.convergence)
     else:
         result, _, _, _ = _run_campaign(args, "rand")
         data = result.samples
-        min_path = max(120, args.runs // 3)
+        min_path = max(120, result.num_runs // 3)
+        if result.convergence is not None:
+            print(f"{result.label}:")
+            _print_convergence(result.convergence)
     analysis = MBPTAAnalysis(
         MBPTAConfig(min_path_samples=min_path, check_convergence=False)
     ).analyse(data)
@@ -122,13 +162,19 @@ def cmd_compare(args: argparse.Namespace) -> int:
         det_platform=_platform(args, "det"),
         rand_platform=_platform(args, "rand"),
         shards=getattr(args, "shards", 1),
+        convergence=_policy(args),
     )
+    for name, result in (("DET", comparison.det), ("RAND", comparison.rand)):
+        if result.convergence is not None:
+            print(f"{name}:")
+            _print_convergence(result.convergence)
     det = comparison.det_sample
     rand = comparison.rand_sample
     mbta = mbta_bound(det.values, engineering_factor=args.factor)
     analysis = MBPTAAnalysis(
         MBPTAConfig(
-            min_path_samples=max(120, args.runs // 2), check_convergence=False
+            min_path_samples=max(120, comparison.rand.num_runs // 2),
+            check_convergence=False,
         )
     ).analyse(comparison.rand.samples)
     print(
@@ -176,6 +222,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--estimator-dim", type=int, default=20,
             help="TVCA estimator dimension (44 = full configuration)",
+        )
+        p.add_argument(
+            "--until-converged", action="store_true",
+            help="stop once the MBPTA convergence criterion holds "
+            "(--runs becomes the cap; needs runs >= 20 x the block size "
+            "before the first estimate exists)",
+        )
+        p.add_argument(
+            "--conv-probability", type=float, default=1e-9,
+            help="adaptive stopping: exceedance probability the monitored "
+            "pWCET estimate is taken at",
+        )
+        p.add_argument(
+            "--tolerance", type=float, default=0.01,
+            help="adaptive stopping: relative pWCET-change tolerance",
+        )
+        p.add_argument(
+            "--conv-step", type=int, default=100,
+            help="adaptive stopping: runs between convergence checkpoints",
+        )
+        p.add_argument(
+            "--conv-block", type=int, default=20,
+            help="adaptive stopping: block size of the monitored EVT fit",
         )
 
     for alias in ("run", "campaign"):

@@ -7,7 +7,14 @@ industrial MBTA baseline for comparison.
 """
 
 from . import evt, stats
-from .convergence import ConvergenceMonitor, ConvergenceReport, assess_convergence
+from .convergence import (
+    CampaignConvergence,
+    CampaignConvergenceSummary,
+    ConvergenceMonitor,
+    ConvergencePolicy,
+    ConvergenceReport,
+    assess_convergence,
+)
 from .mbpta import MBPTAAnalysis, MBPTAConfig, MBPTAResult, PathAnalysis
 from .mbta import MbtaEstimate, mbta_bound
 from .multipath import PWCETEnvelope, RarePathFloor

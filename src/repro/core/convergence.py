@@ -8,21 +8,34 @@ estimate moves less than a tolerance across consecutive increments, more
 runs no longer change the answer and collection may stop.
 
 :func:`assess_convergence` replays that procedure on a collected sample;
-:class:`ConvergenceMonitor` supports online use (feed observations as
-they arrive, ask "converged?" after each batch).
+:class:`ConvergenceMonitor` is the online form — incremental (rolling
+block maxima + incremental PWM moments, so a checkpoint costs O(maxima)
+instead of re-fitting the whole prefix) and bit-identical to the replay.
+:class:`CampaignConvergence` lifts the monitor to whole campaigns: one
+monitor per executed path, fed in run-index order, with the campaign
+declared converged once every fittable path's estimate has stabilized —
+the stopping rule :class:`repro.api.runner.CampaignRunner` applies in
+adaptive mode.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from .evt.block_maxima import MIN_MAXIMA, block_maxima
-from .evt.gumbel import fit_pwm
+from .evt.block_maxima import MIN_MAXIMA, RollingBlockMaxima, block_maxima
+from .evt.gumbel import IncrementalPwm, fit_pwm
 from .evt.tail import BlockMaximaTail
 
-__all__ = ["ConvergenceReport", "assess_convergence", "ConvergenceMonitor"]
+__all__ = [
+    "ConvergenceReport",
+    "assess_convergence",
+    "ConvergenceMonitor",
+    "ConvergencePolicy",
+    "CampaignConvergence",
+    "CampaignConvergenceSummary",
+]
 
 
 def _prefix_quantile(
@@ -58,6 +71,31 @@ class ConvergenceReport:
         if not self.history:
             return None
         return self.history[-1][1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (artifact serialization)."""
+        return {
+            "converged": self.converged,
+            "runs_needed": self.runs_needed,
+            "probability": self.probability,
+            "tolerance": self.tolerance,
+            "step": self.step,
+            "history": [[n, estimate] for n, estimate in self.history],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ConvergenceReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            converged=bool(data["converged"]),
+            runs_needed=data.get("runs_needed"),
+            probability=float(data["probability"]),
+            tolerance=float(data["tolerance"]),
+            step=int(data["step"]),
+            history=tuple(
+                (int(n), float(estimate)) for n, estimate in data.get("history", [])
+            ),
+        )
 
 
 def assess_convergence(
@@ -114,6 +152,15 @@ class ConvergenceMonitor:
     Feed observations with :meth:`add`; :attr:`converged` flips once the
     rolling pWCET estimate stabilizes.  The campaign can then stop, as
     the paper's protocol did at 3,000 runs.
+
+    The monitor is fully incremental: block maxima roll forward as
+    observations stream in (:class:`RollingBlockMaxima`) and the Gumbel
+    fit at each checkpoint reuses incrementally maintained PWM order
+    statistics (:class:`IncrementalPwm`), so a checkpoint costs
+    O(maxima) rather than O(prefix).  The history, ``runs_needed`` and
+    the converged flag are bit-identical to replaying
+    :func:`assess_convergence` on the same sample — the parity suite
+    asserts this, including prefixes that are not yet fittable.
     """
 
     def __init__(
@@ -126,37 +173,98 @@ class ConvergenceMonitor:
     ) -> None:
         if step < 10:
             raise ValueError("step must be >= 10")
+        if not 0 < tolerance < 1:
+            raise ValueError("tolerance must be in (0, 1)")
         self.probability = probability
         self.tolerance = tolerance
         self.step = step
         self.block_size = block_size
         self.stable_steps = stable_steps
-        self._values: List[float] = []
+        self._blocks = RollingBlockMaxima(block_size)
+        self._pwm = IncrementalPwm()
+        self._count = 0
         self._history: List[Tuple[int, float]] = []
         self._stable = 0
-        self.converged = False
+        self._runs_needed: Optional[int] = None
 
     @property
     def n(self) -> int:
         """Observations seen so far."""
-        return len(self._values)
+        return self._count
 
     @property
     def history(self) -> List[Tuple[int, float]]:
         """(n, estimate) checkpoints so far."""
         return list(self._history)
 
+    @property
+    def converged(self) -> bool:
+        """Whether the estimate is currently considered stable."""
+        return self._runs_needed is not None
+
+    @property
+    def runs_needed(self) -> Optional[int]:
+        """Prefix length at which convergence was first declared."""
+        return self._runs_needed
+
+    @property
+    def fittable(self) -> bool:
+        """Whether enough observations exist for an EVT fit attempt."""
+        return self._count >= self.block_size * MIN_MAXIMA
+
+    @property
+    def degenerate(self) -> bool:
+        """Fittable, but every closed block tops out at one ceiling.
+
+        The raw values may vary; what matters is the block maxima (the
+        gate :meth:`_estimate` applies), and a path whose maxima are a
+        single constant — e.g. any path on the deterministic platform —
+        has its plateau as its pWCET, so it should not hold an adaptive
+        campaign open.  Deliberately strict: a path showing *two*
+        distinct maxima is not degenerate (a third level may still
+        emerge and make it fittable), so it keeps blocking and the
+        campaign conservatively runs to its cap.
+        """
+        return self.fittable and self._pwm.num_distinct < 2
+
     def add(self, value: float) -> bool:
         """Feed one observation; returns the current converged flag."""
-        self._values.append(float(value))
-        if len(self._values) % self.step == 0:
+        value = float(value)
+        self._count += 1
+        closed = self._blocks.add(value)
+        if closed is not None:
+            self._pwm.add(closed)
+        if self._count % self.step == 0:
             self._checkpoint()
         return self.converged
 
-    def _checkpoint(self) -> None:
-        estimate = _prefix_quantile(
-            self._values, self.probability, self.block_size
+    def report(self) -> ConvergenceReport:
+        """Snapshot of the monitor as a :class:`ConvergenceReport`."""
+        return ConvergenceReport(
+            converged=self.converged,
+            runs_needed=self._runs_needed,
+            probability=self.probability,
+            tolerance=self.tolerance,
+            step=self.step,
+            history=tuple(self._history),
         )
+
+    def _estimate(self) -> Optional[float]:
+        """Current pWCET estimate (None while not fittable) — the
+        incremental equivalent of :func:`_prefix_quantile`."""
+        if self._count < self.block_size * MIN_MAXIMA:
+            return None
+        if self._pwm.num_distinct < 3:
+            return None
+        try:
+            fit = self._pwm.fit()
+        except ValueError:
+            return None
+        tail = BlockMaximaTail(distribution=fit, block_size=self.block_size)
+        return tail.quantile(self.probability)
+
+    def _checkpoint(self) -> None:
+        estimate = self._estimate()
         if estimate is None:
             return
         if self._history:
@@ -164,9 +272,180 @@ class ConvergenceMonitor:
             change = abs(estimate - previous) / max(abs(previous), 1e-12)
             if change < self.tolerance:
                 self._stable += 1
-                if self._stable >= self.stable_steps:
-                    self.converged = True
+                if self._stable >= self.stable_steps and self._runs_needed is None:
+                    self._runs_needed = self._count
             else:
                 self._stable = 0
-                self.converged = False
-        self._history.append((len(self._values), estimate))
+                self._runs_needed = None
+        self._history.append((self._count, estimate))
+
+
+@dataclass(frozen=True)
+class ConvergencePolicy:
+    """Parameters of the adaptive stopping rule.
+
+    One frozen bundle shared by the CLI, the campaign runner and the
+    artifact record, mirroring :func:`assess_convergence`'s knobs.
+    """
+
+    probability: float = 1e-9
+    tolerance: float = 0.01
+    step: int = 100
+    block_size: int = 20
+    stable_steps: int = 2
+
+    def __post_init__(self) -> None:
+        # Mirror the monitor's checks so bad parameters fail at policy
+        # construction (e.g. CLI parse time), not runs into a campaign.
+        if not 0.0 < self.probability < 1.0:
+            raise ValueError("probability must be in (0, 1)")
+        if not 0 < self.tolerance < 1:
+            raise ValueError("tolerance must be in (0, 1)")
+        if self.step < 10:
+            raise ValueError("step must be >= 10")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.stable_steps < 1:
+            raise ValueError("stable_steps must be >= 1")
+
+    def monitor(self) -> ConvergenceMonitor:
+        """A fresh per-path monitor under this policy."""
+        return ConvergenceMonitor(
+            probability=self.probability,
+            tolerance=self.tolerance,
+            step=self.step,
+            block_size=self.block_size,
+            stable_steps=self.stable_steps,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (artifact serialization)."""
+        return {
+            "probability": self.probability,
+            "tolerance": self.tolerance,
+            "step": self.step,
+            "block_size": self.block_size,
+            "stable_steps": self.stable_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ConvergencePolicy":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            probability=float(data["probability"]),
+            tolerance=float(data["tolerance"]),
+            step=int(data["step"]),
+            block_size=int(data["block_size"]),
+            stable_steps=int(data["stable_steps"]),
+        )
+
+
+@dataclass
+class CampaignConvergenceSummary:
+    """What an adaptive campaign decided, complete enough to audit.
+
+    ``paths`` maps each executed path to its monitor's final
+    :class:`ConvergenceReport` (per-path checkpoint history included).
+    """
+
+    requested: int
+    used: int
+    converged: bool
+    policy: ConvergencePolicy
+    paths: Dict[str, ConvergenceReport] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (artifact serialization)."""
+        return {
+            "requested": self.requested,
+            "used": self.used,
+            "converged": self.converged,
+            "policy": self.policy.to_dict(),
+            "paths": {
+                path: report.to_dict() for path, report in self.paths.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignConvergenceSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            requested=int(data["requested"]),
+            used=int(data["used"]),
+            converged=bool(data["converged"]),
+            policy=ConvergencePolicy.from_dict(data["policy"]),
+            paths={
+                path: ConvergenceReport.from_dict(report)
+                for path, report in data.get("paths", {}).items()
+            },
+        )
+
+
+class CampaignConvergence:
+    """Campaign-level stopping rule over per-path monitors.
+
+    Observations are fed **in run-index order** (the runner guarantees
+    this even when shards execute out of order), each to its path's
+    monitor.  The campaign is converged when
+
+    * at least one path's estimate has stabilized, and
+    * every *fittable* path (enough observations for an EVT fit) has
+      either stabilized or is degenerate (its block maxima are a single
+      constant — its pWCET is that plateau and more runs cannot
+      change it).
+
+    Paths too rare to fit never block stopping: the analysis layer
+    covers them with flagged HWM-plus-margin floors, and collecting
+    more runs of *other* paths would not help them anyway.
+
+    Because the verdict is a pure function of the observation sequence
+    in index order, a sharded campaign that replays the same sequence
+    stops at exactly the same run — the determinism the runner's
+    bit-identity tests pin down.
+    """
+
+    def __init__(self, policy: ConvergencePolicy = ConvergencePolicy()) -> None:
+        self.policy = policy
+        self.monitors: Dict[str, ConvergenceMonitor] = {}
+        self._observed = 0
+
+    @property
+    def observed(self) -> int:
+        """Observations consumed so far."""
+        return self._observed
+
+    @property
+    def converged(self) -> bool:
+        """Current campaign-level verdict (see class docstring)."""
+        any_stable = False
+        for monitor in self.monitors.values():
+            if not monitor.fittable:
+                continue
+            if monitor.converged:
+                any_stable = True
+            elif not monitor.degenerate:
+                return False
+        return any_stable
+
+    def observe(self, path: str, value: float) -> bool:
+        """Feed one observation; returns the campaign-level verdict."""
+        monitor = self.monitors.get(path)
+        if monitor is None:
+            monitor = self.policy.monitor()
+            self.monitors[path] = monitor
+        monitor.add(value)
+        self._observed += 1
+        return self.converged
+
+    def summary(self, requested: int) -> CampaignConvergenceSummary:
+        """Final record of the campaign's adaptive decision."""
+        return CampaignConvergenceSummary(
+            requested=requested,
+            used=self._observed,
+            converged=self.converged,
+            policy=self.policy,
+            paths={
+                path: monitor.report()
+                for path, monitor in sorted(self.monitors.items())
+            },
+        )

@@ -2,6 +2,7 @@
 
 from .block_maxima import (
     BlockMaxima,
+    RollingBlockMaxima,
     best_block_size,
     block_maxima,
     suggest_block_sizes,
@@ -22,7 +23,7 @@ from .gev import fit_mle as gev_fit_mle
 from .gpd import GpdDistribution, mean_excess
 from .gpd import fit_mle as gpd_fit_mle
 from .gpd import fit_pwm as gpd_fit_pwm
-from .gumbel import GumbelDistribution
+from .gumbel import GumbelDistribution, IncrementalPwm
 from .gumbel import fit_mle as gumbel_fit_mle
 from .gumbel import fit_moments as gumbel_fit_moments
 from .gumbel import fit_pwm as gumbel_fit_pwm
@@ -43,8 +44,10 @@ __all__ = [
     "GevDistribution",
     "GpdDistribution",
     "GumbelDistribution",
+    "IncrementalPwm",
     "PotFit",
     "PotTail",
+    "RollingBlockMaxima",
     "best_block_size",
     "block_maxima",
     "fit_lmoments",

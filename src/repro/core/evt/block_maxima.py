@@ -26,6 +26,7 @@ from .gumbel import GumbelDistribution, fit_pwm
 
 __all__ = [
     "BlockMaxima",
+    "RollingBlockMaxima",
     "block_maxima",
     "suggest_block_sizes",
     "best_block_size",
@@ -73,6 +74,49 @@ def block_maxima(values: Sequence[float], block_size: int) -> BlockMaxima:
         maxima=maxima,
         discarded=n - full_blocks * block_size,
     )
+
+
+class RollingBlockMaxima:
+    """Streaming block-maxima extraction.
+
+    Feeding values one at a time maintains exactly the maxima that
+    :func:`block_maxima` would extract from the prefix seen so far
+    (trailing partial block pending, never emitted), at O(1) per value —
+    the streaming half of the incremental convergence monitor.
+    """
+
+    def __init__(self, block_size: int) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = block_size
+        self.maxima: List[float] = []
+        self._filled = 0
+        self._current = -math.inf
+
+    @property
+    def num_blocks(self) -> int:
+        """Completed blocks so far."""
+        return len(self.maxima)
+
+    @property
+    def pending(self) -> int:
+        """Observations sitting in the unfinished trailing block."""
+        return self._filled
+
+    def add(self, value: float) -> "float | None":
+        """Feed one observation; returns the block maximum when a block
+        completes, else ``None``."""
+        value = float(value)
+        if self._filled == 0 or value > self._current:
+            self._current = value
+        self._filled += 1
+        if self._filled < self.block_size:
+            return None
+        closed = self._current
+        self.maxima.append(closed)
+        self._filled = 0
+        self._current = -math.inf
+        return closed
 
 
 def suggest_block_sizes(n: int, min_maxima: int = MIN_MAXIMA) -> List[int]:

@@ -19,8 +19,9 @@ Threshold selection diagnostics implemented:
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .gpd import GpdDistribution, fit_pwm, mean_excess
 
@@ -58,12 +59,23 @@ class PotFit:
     def quantile(self, p: float) -> float:
         """Execution time with exceedance probability ``p``.
 
-        Only meaningful for ``p <= exceedance_rate`` (deeper than the
-        threshold); shallower probabilities belong to the empirical body.
+        Defined only for ``p <= exceedance_rate`` — shallower
+        probabilities belong to the empirical body, not the fitted tail,
+        and raise :class:`ValueError` (mirroring
+        :meth:`exceedance_probability`, which rejects ``x`` below the
+        threshold).  ``p == exceedance_rate`` is the boundary and maps
+        exactly to the threshold.  Callers that want a clamped stitch
+        with the empirical body should go through
+        :class:`repro.core.evt.tail.PotTail`.
         """
         if not 0.0 < p < 1.0:
             raise ValueError("p must be in (0, 1)")
-        if p >= self.exceedance_rate:
+        if p > self.exceedance_rate:
+            raise ValueError(
+                f"p={p} above the exceedance rate {self.exceedance_rate}; "
+                "the POT tail is only valid at or beyond the threshold"
+            )
+        if p == self.exceedance_rate:
             return self.threshold
         return self.threshold + self.gpd.isf(p / self.exceedance_rate)
 
@@ -73,19 +85,38 @@ def select_threshold(
     quantile: float = 0.90,
     min_excesses: int = MIN_EXCESSES,
 ) -> float:
-    """Quantile threshold with a minimum-excess-count guard."""
+    """Quantile threshold with a minimum **strict-excess** guard.
+
+    Excesses are observations *strictly above* the threshold — values
+    tied with it contribute nothing to the GPD fit.  With heavily tied
+    (discrete-cycle) samples the quantile candidate can sit on a
+    plateau whose ties eat the guard, so the threshold steps down
+    through distinct values until at least ``min_excesses`` strict
+    excesses remain; if no threshold achieves that (e.g. an almost
+    constant sample), a :class:`ValueError` says so explicitly.
+    """
     n = len(values)
     if n < 2 * min_excesses:
         raise ValueError(f"need at least {2 * min_excesses} observations")
-    ordered = sorted(values)
+    ordered = sorted(float(v) for v in values)
     index = min(int(quantile * n), n - min_excesses - 1)
     index = max(index, 0)
-    return ordered[index]
+    while index >= 0:
+        threshold = ordered[index]
+        if n - bisect_right(ordered, threshold) >= min_excesses:
+            return threshold
+        # Skip the whole plateau of values equal to this candidate.
+        index = bisect_left(ordered, threshold) - 1
+    raise ValueError(
+        f"no threshold leaves {min_excesses} strict excesses: only "
+        f"{n - bisect_right(ordered, ordered[0])} of {n} observations "
+        "exceed the sample minimum (sample too tied for a POT fit)"
+    )
 
 
 def fit_pot(
     values: Sequence[float],
-    threshold: float = None,
+    threshold: Optional[float] = None,
     quantile: float = 0.90,
 ) -> PotFit:
     """Fit a POT/GPD tail to an execution-time sample.

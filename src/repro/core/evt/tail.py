@@ -123,7 +123,18 @@ class PotTail(FittedTail):
         return self.fit.exceedance_probability(x)
 
     def quantile(self, p: float) -> float:
-        """Execution time with per-run exceedance probability ``p``."""
+        """Execution time with per-run exceedance probability ``p``.
+
+        Probabilities shallower than the empirical exceedance rate are
+        clamped to the threshold: there the curve belongs to the
+        empirical body, and :class:`repro.core.pwcet.PWCETCurve` takes
+        the max with the empirical quantile anyway.  (The raw
+        :meth:`PotFit.quantile` rejects such ``p`` instead.)
+        """
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        if p >= self.fit.exceedance_rate:
+            return self.fit.threshold
         return self.fit.quantile(p)
 
     @property

@@ -37,6 +37,7 @@ from .records import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
     from ..api.workload import RunObservation
+    from ..core.convergence import CampaignConvergenceSummary, ConvergencePolicy
 
 __all__ = ["CampaignConfig", "CampaignResult", "MeasurementCampaign"]
 
@@ -83,11 +84,18 @@ class CampaignResult:
     ``run_details`` holds one typed :class:`RunRecord` per measured
     execution, sorted by run index — cycles, path, and the exact seeds
     that reproduce the run.
+
+    Adaptive campaigns additionally set ``runs_requested`` (the run cap
+    that was asked for) and ``convergence`` (the stopping decision with
+    per-path checkpoint histories); fixed-budget campaigns leave both
+    ``None``.
     """
 
     label: str
     samples: PathSamples
     run_details: List[RunRecord] = field(default_factory=list)
+    runs_requested: Optional[int] = None
+    convergence: Optional["CampaignConvergenceSummary"] = None
 
     @property
     def records(self) -> List[RunRecord]:
@@ -109,6 +117,19 @@ class CampaignResult:
     def num_runs(self) -> int:
         """Number of measured executions."""
         return len(self.run_details)
+
+    @property
+    def runs_used(self) -> int:
+        """Alias for :attr:`num_runs` in adaptive-campaign vocabulary."""
+        return len(self.run_details)
+
+    @property
+    def stopped_early(self) -> bool:
+        """Whether an adaptive campaign converged before its cap."""
+        return (
+            self.runs_requested is not None
+            and len(self.run_details) < self.runs_requested
+        )
 
 
 class _IndexedProgramWorkload:
@@ -161,19 +182,24 @@ class MeasurementCampaign:
         platform: Platform,
         app: Optional[TvcaApplication] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        convergence: Optional["ConvergencePolicy"] = None,
     ) -> CampaignResult:
         """Measure the TVCA ``config.runs`` times on ``platform``.
 
         Each run resets/reseeds the platform (done inside
         :meth:`TvcaApplication.run_once`) and draws fresh workload
         inputs.  Observations are grouped by the run's coarse path class.
+        ``convergence`` switches to adaptive mode (``config.runs``
+        becomes the cap), exactly as in :meth:`CampaignRunner.run`.
         """
         from ..api.runner import CampaignRunner
         from ..api.workload import TvcaWorkload
 
         workload = TvcaWorkload(app=app) if app is not None else TvcaWorkload()
         runner = CampaignRunner(self.config)
-        return runner.run(workload, platform, progress=progress)
+        return runner.run(
+            workload, platform, progress=progress, convergence=convergence
+        )
 
     def run_program(
         self,
@@ -183,6 +209,7 @@ class MeasurementCampaign:
         env_fn: Optional[Callable[[int], Env]] = None,
         core_id: int = 0,
         progress: Optional[Callable[[int, int], None]] = None,
+        convergence: Optional["ConvergencePolicy"] = None,
     ) -> CampaignResult:
         """Measure a DSL ``program`` ``config.runs`` times on ``platform``.
 
@@ -195,4 +222,6 @@ class MeasurementCampaign:
 
         workload = _IndexedProgramWorkload(program, image, env_fn, core_id)
         runner = CampaignRunner(self.config)
-        return runner.run(workload, platform, progress=progress)
+        return runner.run(
+            workload, platform, progress=progress, convergence=convergence
+        )

@@ -17,12 +17,15 @@ layer (:mod:`repro.core`) turns the RAND sample into pWCET estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from ..platform.soc import Platform, leon3_det, leon3_rand
 from ..workloads.tvca.app import TvcaApplication, TvcaConfig
 from .campaign import CampaignConfig, CampaignResult
 from .measurements import ExecutionTimeSample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
+    from ..core.convergence import ConvergencePolicy
 
 __all__ = ["DetRandComparison", "compare_det_rand"]
 
@@ -74,6 +77,7 @@ def compare_det_rand(
     rand_platform: Optional[Platform] = None,
     progress: Optional[Callable[[str, int, int], None]] = None,
     shards: int = 1,
+    convergence: Optional["ConvergencePolicy"] = None,
 ) -> DetRandComparison:
     """Run the TVCA campaign on the DET and RAND platforms.
 
@@ -81,7 +85,10 @@ def compare_det_rand(
     *workload inputs*; only the platform (and its randomization) differs
     — the controlled comparison behind Figure 3.  ``shards`` parallelizes
     each campaign without changing a single observation (deterministic
-    by-run-index merge).
+    by-run-index merge).  ``convergence`` makes both campaigns adaptive
+    (each stops at its own convergence point, ``runs`` being the cap) —
+    the platforms may then use different run counts, which is fine: the
+    comparison is between converged estimates, not raw samples.
     """
     from ..api.runner import CampaignRunner
     from ..api.workload import TvcaWorkload
@@ -99,6 +106,10 @@ def compare_det_rand(
         return lambda done, total: progress(name, done, total)
 
     workload = TvcaWorkload(app=app)
-    det_result = runner.run(workload, det, progress=wrap("DET"))
-    rand_result = runner.run(workload, rand, progress=wrap("RAND"))
+    det_result = runner.run(
+        workload, det, progress=wrap("DET"), convergence=convergence
+    )
+    rand_result = runner.run(
+        workload, rand, progress=wrap("RAND"), convergence=convergence
+    )
     return DetRandComparison(det=det_result, rand=rand_result)

@@ -1,0 +1,250 @@
+"""Parity: the incremental ConvergenceMonitor vs the offline replay.
+
+The adaptive campaign engine stands on one guarantee: feeding
+:class:`ConvergenceMonitor` one observation at a time reproduces
+:func:`assess_convergence` on the same sample **bit-identically** —
+same checkpoint history, same ``runs_needed``, same converged flag.
+These tests pin that down, including the gap case where early prefixes
+are not yet fittable, plus the two incremental building blocks
+(:class:`RollingBlockMaxima`, :class:`IncrementalPwm`) against their
+batch counterparts.
+"""
+
+import pytest
+
+from repro.core.convergence import (
+    CampaignConvergence,
+    CampaignConvergenceSummary,
+    ConvergenceMonitor,
+    ConvergencePolicy,
+    assess_convergence,
+)
+from repro.core.evt import (
+    IncrementalPwm,
+    RollingBlockMaxima,
+    block_maxima,
+    gumbel_fit_pwm,
+)
+from repro.workloads.synthetic import (
+    cache_like_samples,
+    gumbel_samples,
+    uniform_samples,
+)
+
+
+def _stream(values, **kwargs) -> ConvergenceMonitor:
+    monitor = ConvergenceMonitor(**kwargs)
+    for value in values:
+        monitor.add(value)
+    return monitor
+
+
+def _assert_parity(values, **kwargs):
+    replay = assess_convergence(values, **kwargs)
+    online = _stream(values, **kwargs).report()
+    assert online.history == replay.history  # bit-identical floats
+    assert online.runs_needed == replay.runs_needed
+    assert online.converged == replay.converged
+    return replay
+
+
+class TestMonitorParity:
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_gumbel_stream(self, seed):
+        values = gumbel_samples(1500, seed=seed, location=1000.0, scale=25.0)
+        report = _assert_parity(values, step=50, block_size=10)
+        assert report.history  # the sample is fittable
+
+    def test_cache_like_stream(self):
+        values = cache_like_samples(1200, seed=11)
+        _assert_parity(values, step=100, block_size=20)
+
+    @pytest.mark.parametrize("tolerance,stable_steps", [(0.05, 2), (0.005, 3)])
+    def test_policy_variations(self, tolerance, stable_steps):
+        values = gumbel_samples(1000, seed=5, location=500.0, scale=10.0)
+        _assert_parity(
+            values,
+            step=50,
+            block_size=10,
+            tolerance=tolerance,
+            stable_steps=stable_steps,
+        )
+
+    def test_gap_case_unfittable_prefix(self):
+        """A constant prefix makes early checkpoints unfittable (the
+        block maxima are degenerate); both forms must skip exactly the
+        same checkpoints and then agree on everything that follows."""
+        values = [100.0] * 250 + gumbel_samples(
+            750, seed=3, location=120.0, scale=5.0
+        )
+        report = _assert_parity(values, step=50, block_size=10)
+        assert report.history, "sample should become fittable eventually"
+        # The first recorded checkpoint comes after the constant prefix:
+        # those checkpoints produced no estimate, i.e. a real gap.
+        assert report.history[0][0] > 250
+
+    def test_parity_at_every_checkpoint(self):
+        """The monitor agrees with the replay not just at the end but at
+        every intermediate checkpoint (what the adaptive runner acts on)."""
+        values = gumbel_samples(600, seed=9, location=800.0, scale=30.0)
+        monitor = ConvergenceMonitor(step=50, block_size=10)
+        for i, value in enumerate(values, start=1):
+            monitor.add(value)
+            if i % 50 == 0:
+                replay = assess_convergence(values[:i], step=50, block_size=10)
+                online = monitor.report()
+                assert online.history == replay.history
+                assert online.converged == replay.converged
+                assert online.runs_needed == replay.runs_needed
+
+    def test_short_sample_never_converges(self):
+        values = gumbel_samples(80, seed=2)
+        report = _assert_parity(values, step=50, block_size=10)
+        assert not report.converged
+        assert report.history == ()
+
+    def test_monitor_validation_matches_replay(self):
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(step=5)
+        with pytest.raises(ValueError):
+            ConvergenceMonitor(tolerance=1.5)
+        with pytest.raises(ValueError):
+            assess_convergence([1.0], step=5)
+        with pytest.raises(ValueError):
+            assess_convergence([1.0], tolerance=1.5)
+
+    def test_policy_validates_at_construction(self):
+        """Bad knobs must fail when the policy is built (CLI parse
+        time), not after a campaign has already started running."""
+        with pytest.raises(ValueError):
+            ConvergencePolicy(step=5)
+        with pytest.raises(ValueError):
+            ConvergencePolicy(tolerance=1.5)
+        with pytest.raises(ValueError):
+            ConvergencePolicy(probability=0.0)
+        with pytest.raises(ValueError):
+            ConvergencePolicy(block_size=0)
+        with pytest.raises(ValueError):
+            ConvergencePolicy(stable_steps=0)
+
+    def test_degenerate_flag(self):
+        monitor = _stream([7.0] * 400, step=50, block_size=10)
+        assert monitor.fittable
+        assert monitor.degenerate
+        assert not monitor.converged
+
+    def test_degenerate_with_varied_values_constant_maxima(self):
+        """Raw values vary, but every block tops out at the same ceiling
+        — no estimate can ever exist, so the path must read as
+        degenerate rather than hold an adaptive campaign open."""
+        block = [100.0, 101.0] * 4 + [200.0, 100.0]  # one block of 10
+        monitor = _stream(block * 40, step=50, block_size=10)
+        assert monitor.fittable
+        assert monitor.degenerate
+        assert not monitor.converged
+
+    def test_two_distinct_maxima_not_degenerate(self):
+        """Two distinct block maxima are *not* degenerate: a third level
+        may still emerge (making the path fittable), so the path keeps
+        blocking and the campaign conservatively runs to its cap."""
+        blocks = ([100.0] * 9 + [200.0]) * 20 + ([100.0] * 9 + [250.0]) * 20
+        monitor = _stream(blocks, step=50, block_size=10)
+        assert monitor.fittable
+        assert not monitor.degenerate
+        assert not monitor.converged
+
+
+class TestIncrementalBuildingBlocks:
+    def test_rolling_block_maxima_parity(self):
+        values = uniform_samples(537, seed=13, low=10.0, high=99.0)
+        rolling = RollingBlockMaxima(20)
+        for i, value in enumerate(values, start=1):
+            closed = rolling.add(value)
+            batch = block_maxima(values[:i], 20).maxima if i >= 20 else []
+            assert rolling.maxima == batch
+            if closed is not None:
+                assert closed == batch[-1]
+        assert rolling.pending == 537 % 20
+
+    def test_incremental_pwm_bit_identical(self):
+        # Heavy ties included: insertion order around equal keys must
+        # not change the fitted parameters.
+        values = uniform_samples(200, seed=17, low=0.0, high=5.0)
+        values += [values[3]] * 10 + [values[50]] * 5
+        acc = IncrementalPwm()
+        for value in values:
+            acc.add(value)
+        batch = gumbel_fit_pwm(values)
+        online = acc.fit()
+        assert online.location == batch.location  # exact, not approx
+        assert online.scale == batch.scale
+        assert acc.n == len(values)
+
+    def test_incremental_pwm_rejects_degenerate(self):
+        acc = IncrementalPwm()
+        for _ in range(10):
+            acc.add(4.0)
+        assert acc.num_distinct == 1
+        with pytest.raises(ValueError):
+            acc.fit()
+
+
+class TestCampaignConvergence:
+    POLICY = ConvergencePolicy(step=50, block_size=10, tolerance=0.05)
+
+    def test_single_path_matches_monitor(self):
+        values = gumbel_samples(1200, seed=21, location=1000.0, scale=20.0)
+        campaign = CampaignConvergence(self.POLICY)
+        for value in values:
+            campaign.observe("A", value)
+        solo = _stream(values, **self.POLICY.to_dict()).report()
+        assert campaign.monitors["A"].report() == solo
+        assert campaign.converged == solo.converged
+
+    def test_rare_path_does_not_block(self):
+        """A path too rare to ever fit must not hold the campaign open —
+        the analysis layer covers it with an HWM floor instead."""
+        values = gumbel_samples(1200, seed=22, location=1000.0, scale=20.0)
+        campaign = CampaignConvergence(self.POLICY)
+        for i, value in enumerate(values):
+            campaign.observe("common", value)
+            if i < 3:
+                campaign.observe("rare", 5000.0 + i)
+        assert campaign.monitors["common"].converged
+        assert not campaign.monitors["rare"].fittable
+        assert campaign.converged
+
+    def test_degenerate_path_does_not_block(self):
+        values = gumbel_samples(1200, seed=23, location=1000.0, scale=20.0)
+        campaign = CampaignConvergence(self.POLICY)
+        for value in values:
+            campaign.observe("varied", value)
+            campaign.observe("plateau", 777.0)
+        assert campaign.monitors["plateau"].degenerate
+        assert campaign.converged == campaign.monitors["varied"].converged
+
+    def test_unstable_fittable_path_blocks(self):
+        """A fittable path whose estimate keeps drifting keeps the
+        campaign running even if another path has stabilized."""
+        stable = gumbel_samples(1200, seed=24, location=1000.0, scale=20.0)
+        campaign = CampaignConvergence(self.POLICY)
+        for i, value in enumerate(stable):
+            campaign.observe("stable", value)
+            # Exponential drift: every checkpoint moves ~2x the tolerance.
+            campaign.observe("drift", 100.0 * (1.002 ** i) * (1 + 0.3 * (i % 7) / 7))
+        assert campaign.monitors["stable"].converged
+        assert not campaign.monitors["drift"].converged
+        assert not campaign.converged
+
+    def test_summary_round_trip(self):
+        values = gumbel_samples(800, seed=25, location=900.0, scale=15.0)
+        campaign = CampaignConvergence(self.POLICY)
+        for value in values:
+            campaign.observe("A", value)
+        summary = campaign.summary(requested=2000)
+        restored = CampaignConvergenceSummary.from_dict(summary.to_dict())
+        assert restored.requested == 2000
+        assert restored.used == summary.used == len(values)
+        assert restored.converged == summary.converged
+        assert restored.policy == self.POLICY
+        assert restored.paths == summary.paths

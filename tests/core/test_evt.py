@@ -270,6 +270,64 @@ class TestPot:
         assert all(abs(s) < 0.25 for s in shapes)
 
 
+class TestPotTiedSamples:
+    """Regression: discrete-cycle samples are heavily tied, and values
+    *equal* to the threshold are not strict excesses.  The old guard
+    counted index positions, so a quantile candidate sitting on a
+    plateau could leave fewer than the minimum excesses."""
+
+    # 90th-percentile candidate lands on the 100.0 plateau; only the 10
+    # observations beyond it are strict excesses — fewer than the
+    # minimum of 20, so the threshold must step below the plateau.
+    TIED = (
+        [50.0 + i * 0.05 for i in range(900)]
+        + [100.0] * 90
+        + [101.0 + i * 0.5 for i in range(10)]
+    )
+
+    def test_select_threshold_steps_off_plateau(self):
+        threshold = select_threshold(self.TIED)
+        strict = sum(1 for v in self.TIED if v > threshold)
+        assert strict >= 20
+        assert threshold < 100.0  # stepped below the plateau
+
+    def test_fit_pot_succeeds_on_tied_sample(self):
+        fit = fit_pot(self.TIED)
+        assert fit.num_excesses >= 20
+
+    def test_select_threshold_rejects_untenable_sample(self):
+        # Nearly constant: only 5 observations exceed the minimum, so no
+        # threshold can leave 20 strict excesses.
+        vals = [100.0] * 95 + [101.0, 102.0, 103.0, 104.0, 105.0]
+        with pytest.raises(ValueError, match="strict excesses"):
+            select_threshold(vals)
+
+    def test_untied_selection_unchanged(self):
+        # With all-distinct values the strict-excess guard is equivalent
+        # to the old index guard: same threshold as a plain quantile.
+        vals = sorted(exponential_samples(1000, seed=38))
+        assert select_threshold(vals) == vals[900]
+
+    def test_quantile_rejects_shallow_probability(self):
+        vals = exponential_samples(2000, seed=39)
+        fit = fit_pot(vals)
+        with pytest.raises(ValueError):
+            fit.quantile(fit.exceedance_rate * 2.0)
+        with pytest.raises(ValueError):
+            fit.quantile(1.5)
+        # The boundary maps exactly to the threshold.
+        assert fit.quantile(fit.exceedance_rate) == fit.threshold
+
+    def test_pot_tail_clamps_shallow_probability(self):
+        vals = exponential_samples(2000, seed=40)
+        fit = fit_pot(vals)
+        tail = PotTail(fit=fit)
+        assert tail.quantile(min(0.9, fit.exceedance_rate * 2.0)) == fit.threshold
+        assert tail.quantile(1e-9) > fit.threshold
+        with pytest.raises(ValueError):
+            tail.quantile(0.0)
+
+
 class TestTails:
     def test_block_maxima_tail_consistency(self):
         """Per-run exceedance from the tail matches the block CDF: the

@@ -3,6 +3,8 @@
 import math
 
 import pytest
+
+pytestmark = pytest.mark.slow  # hypothesis sweeps; full CI lane only
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

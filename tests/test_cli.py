@@ -31,6 +31,25 @@ class TestParser:
         args = build_parser().parse_args(["analyse", "--cutoff", "1e-12"])
         assert args.cutoff == 1e-12
 
+    def test_adaptive_flags(self):
+        args = build_parser().parse_args(["run"])
+        assert args.until_converged is False
+        args = build_parser().parse_args(
+            ["run", "--until-converged", "--tolerance", "0.05",
+             "--conv-step", "50", "--conv-block", "5"]
+        )
+        assert args.until_converged is True
+        assert args.tolerance == 0.05
+        assert args.conv_step == 50
+        assert args.conv_block == 5
+        assert args.conv_probability == 1e-9
+
+    def test_bad_adaptive_knobs_exit_2(self, capsys):
+        code = main(["run", "--runs", "20", "--until-converged",
+                     "--conv-step", "5"])
+        assert code == 2
+        assert "step must be >= 10" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_campaign_writes_per_path_artifact(self, tmp_path, capsys):
@@ -89,6 +108,37 @@ class TestCommands:
         report = capsys.readouterr().out
         assert code == 0
         assert "pWCET" in report
+
+    def test_run_until_converged(self, tmp_path, capsys):
+        out = tmp_path / "adaptive.json"
+        code = main([
+            "run", "--runs", "2000", "--workload", "synthetic-cache",
+            "--until-converged", "--conv-block", "5", "--conv-step", "50",
+            "--out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "adaptive:" in printed
+        assert "converged" in printed
+        payload = json.loads(out.read_text())
+        assert payload["convergence"]["converged"] is True
+        assert payload["config"]["runs_requested"] == 2000
+        assert payload["config"]["runs_used"] < 2000
+        assert len(payload["records"]) == payload["config"]["runs_used"]
+
+    def test_analyse_surfaces_convergence(self, tmp_path, capsys):
+        out = tmp_path / "adaptive.json"
+        main([
+            "run", "--runs", "2000", "--workload", "synthetic-cache",
+            "--until-converged", "--conv-block", "5", "--conv-step", "50",
+            "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main(["analyse", "--sample", str(out)])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "adaptive:" in printed
+        assert "pWCET" in printed
 
     def test_compare_runs(self, capsys):
         code = main(["compare", *FAST])
