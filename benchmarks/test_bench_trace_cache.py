@@ -1,0 +1,70 @@
+"""Benchmark: memoized trace generation (the per-run expansion cache).
+
+Programs whose trace is independent of the input seed used to
+regenerate an identical trace every measured execution; the per-workload
+trace cache expands them once per process.  This bench measures the
+end-to-end campaign speedup that buys, plus the raw expansion cost the
+cache removes."""
+
+import time
+
+from conftest import emit
+
+from repro.api import CampaignConfig, CampaignRunner, create_platform, create_workload
+
+RUNS = 150
+SEED = 90210
+
+
+def _campaign_seconds(workload, runs=RUNS):
+    platform = create_platform("rand", num_cores=1, cache_kb=4)
+    runner = CampaignRunner(CampaignConfig(runs=runs, base_seed=SEED))
+    start = time.perf_counter()
+    result = runner.run(workload, platform)
+    return time.perf_counter() - start, result
+
+
+def test_static_trace_memoization_speedup():
+    """fir's trace never varies: a warm cache must beat cold expansion."""
+    platform = create_platform("rand", num_cores=1, cache_kb=4)
+
+    # Raw expansion cost: first build is a miss, repeats are hits.
+    workload = create_workload("fir")
+    workload.prepare(platform)
+    start = time.perf_counter()
+    workload.build_trace(platform, run_seed=0, input_seed=0)
+    miss_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    hit_loops = 200
+    for _ in range(hit_loops):
+        workload.build_trace(platform, run_seed=0, input_seed=0)
+    hit_seconds = (time.perf_counter() - start) / hit_loops
+    assert workload._trace_cache.hits == hit_loops
+    # A cache hit is a dict lookup; be very conservative about timers.
+    assert hit_seconds * 10 < miss_seconds
+
+    # Campaign-level effect: a fresh workload per run (cache never warm)
+    # vs the normal single workload whose cache hits from run 2 on.
+    cold_seconds = 0.0
+    runner = CampaignRunner(CampaignConfig(runs=1, base_seed=SEED))
+    start = time.perf_counter()
+    for _ in range(RUNS):
+        runner.run(create_workload("fir"), platform)
+    cold_seconds = time.perf_counter() - start
+    warm_seconds, result = _campaign_seconds(create_workload("fir"))
+    assert result.num_runs == RUNS
+
+    emit(
+        "bench_trace_cache",
+        "Trace memoization (fir kernel, trace independent of input seed)\n"
+        f"  one expansion (cache miss):        {miss_seconds * 1e3:8.2f} ms\n"
+        f"  one lookup (cache hit):            {hit_seconds * 1e6:8.2f} us\n"
+        f"  {RUNS}-run campaign, cold cache every run: "
+        f"{cold_seconds:6.2f} s\n"
+        f"  {RUNS}-run campaign, memoized:             "
+        f"{warm_seconds:6.2f} s\n"
+        f"  campaign speedup:                  x{cold_seconds / warm_seconds:.2f}",
+    )
+    # The memoized campaign must not be slower (generation cost is a
+    # meaningful slice of fir's per-run cost; allow generous CI noise).
+    assert warm_seconds < cold_seconds * 1.05

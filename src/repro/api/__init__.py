@@ -35,14 +35,20 @@ from .artifacts import (
 )
 from .registry import (
     create_platform,
+    create_scenario,
     create_workload,
     platform_names,
     register_platform,
+    register_scenario,
     register_workload,
+    scenario_description,
+    scenario_names,
     workload_names,
 )
 from .runner import CampaignRunner, default_shards
+from .scenario import Scenario
 from .workload import (
+    PreparedTrace,
     ProgramWorkload,
     RunObservation,
     SyntheticWorkload,
@@ -59,21 +65,27 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "ConvergencePolicy",
+    "PreparedTrace",
     "ProgramWorkload",
     "RunObservation",
     "RunRecord",
+    "Scenario",
     "SyntheticWorkload",
     "TvcaWorkload",
     "Workload",
     "create_platform",
+    "create_scenario",
     "create_workload",
     "default_shards",
     "load_measurements",
     "platform_fingerprint",
     "platform_names",
     "register_platform",
+    "register_scenario",
     "register_workload",
     "run_campaign",
+    "scenario_description",
+    "scenario_names",
     "seeded_env_fn",
     "workload_names",
 ]

@@ -87,9 +87,18 @@ class CampaignArtifact:
         platform: Optional[Platform] = None,
         workload: str = "",
         shards: int = 1,
+        scenario: Optional[str] = None,
     ) -> "CampaignArtifact":
-        """Capture a finished campaign (plus its provenance) as an artifact."""
+        """Capture a finished campaign (plus its provenance) as an artifact.
+
+        ``scenario`` records the contention scenario the campaign ran
+        under (None for plain single-core campaigns); the per-run
+        per-core/contention breakdown is already inside each record's
+        metadata.
+        """
         config_dict: Dict[str, Any] = {"shards": shards}
+        if scenario is not None:
+            config_dict["scenario"] = scenario
         if config is not None:
             config_dict.update(
                 runs=config.runs,
@@ -139,6 +148,12 @@ class CampaignArtifact:
         """The adaptive campaign's run cap (None for fixed budgets)."""
         requested = self.config.get("runs_requested")
         return int(requested) if requested is not None else None
+
+    @property
+    def scenario(self) -> Optional[str]:
+        """Contention scenario the campaign ran under (None = plain)."""
+        scenario = self.config.get("scenario")
+        return str(scenario) if scenario is not None else None
 
     # -- persistence ---------------------------------------------------
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -1,10 +1,16 @@
-"""String-keyed platform and workload registries.
+"""String-keyed platform, workload and scenario registries.
 
 Every scenario becomes a registry entry instead of a new driver method:
-the CLI, examples and tests resolve platforms and workloads by name, and
-new entries are one :func:`register_platform` / :func:`register_workload`
-call away.  Factories receive keyword arguments (sizes, seeds, modes)
-and must ignore nothing — unknown keys raise, so typos surface early.
+the CLI, examples and tests resolve platforms, workloads and contention
+scenarios by name, and new entries are one :func:`register_platform` /
+:func:`register_workload` / :func:`register_scenario` call away.
+Factories receive keyword arguments (sizes, seeds, modes) and must
+ignore nothing — unknown keys raise, so typos surface early.
+
+Scenario factories take the workload under analysis as their first
+argument and return a :class:`~repro.api.scenario.Scenario` (itself a
+:class:`Workload`), so ``create_scenario(name, workload)`` slots
+directly into :class:`~repro.api.runner.CampaignRunner`.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from ..platform.prng import SplitMix64
 from ..platform.soc import Platform, leon3_det, leon3_rand
 from ..workloads import kernels, synthetic
 from ..workloads.tvca.app import TvcaConfig
+from .scenario import Scenario
 from .workload import (
     ProgramWorkload,
     SyntheticWorkload,
@@ -26,17 +33,24 @@ from .workload import (
 __all__ = [
     "register_platform",
     "register_workload",
+    "register_scenario",
     "create_platform",
     "create_workload",
+    "create_scenario",
     "platform_names",
     "workload_names",
+    "scenario_names",
+    "scenario_description",
 ]
 
 PlatformFactory = Callable[..., Platform]
 WorkloadFactory = Callable[..., Workload]
+ScenarioFactory = Callable[..., Scenario]
 
 _PLATFORMS: Dict[str, PlatformFactory] = {}
 _WORKLOADS: Dict[str, WorkloadFactory] = {}
+_SCENARIOS: Dict[str, ScenarioFactory] = {}
+_SCENARIO_DESCRIPTIONS: Dict[str, str] = {}
 
 
 def register_platform(name: str, factory: PlatformFactory) -> None:
@@ -47,6 +61,18 @@ def register_platform(name: str, factory: PlatformFactory) -> None:
 def register_workload(name: str, factory: WorkloadFactory) -> None:
     """Register (or replace) a workload factory under ``name``."""
     _WORKLOADS[name] = factory
+
+
+def register_scenario(
+    name: str, factory: ScenarioFactory, description: str = ""
+) -> None:
+    """Register (or replace) a scenario factory under ``name``.
+
+    ``factory(workload, **kwargs)`` must return a
+    :class:`~repro.api.scenario.Scenario` wrapping ``workload``.
+    """
+    _SCENARIOS[name] = factory
+    _SCENARIO_DESCRIPTIONS[name] = description
 
 
 def create_platform(name: str, **kwargs: Any) -> Platform:
@@ -69,6 +95,16 @@ def create_workload(name: str, **kwargs: Any) -> Workload:
     return factory(**kwargs)
 
 
+def create_scenario(name: str, workload: Workload, **kwargs: Any) -> Scenario:
+    """Wrap ``workload`` in the scenario registered under ``name``."""
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+    return factory(workload, **kwargs)
+
+
 def platform_names() -> List[str]:
     """Registered platform names, sorted."""
     return sorted(_PLATFORMS)
@@ -77,6 +113,16 @@ def platform_names() -> List[str]:
 def workload_names() -> List[str]:
     """Registered workload names, sorted."""
     return sorted(_WORKLOADS)
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def scenario_description(name: str) -> str:
+    """One-line description of a registered scenario ('' if none)."""
+    return _SCENARIO_DESCRIPTIONS.get(name, "")
 
 
 # ----------------------------------------------------------------------
@@ -150,3 +196,37 @@ register_workload("strided", _strided)
 register_workload("table-walk", _table_walk)
 register_workload("fpu-stress", _fpu_stress)
 register_workload("synthetic-cache", _synthetic_cache)
+
+
+# ----------------------------------------------------------------------
+# Built-in contention scenarios: the isolation baseline plus one entry
+# per opponent archetype, replicated on every non-analysis core.
+# ----------------------------------------------------------------------
+def _scenario_factory(scenario_name, co_runner_name):
+    def factory(workload: Workload, **kwargs: Any) -> Scenario:
+        kwargs.setdefault("label", scenario_name)
+        return Scenario(workload, co_runner_kind=co_runner_name, **kwargs)
+
+    return factory
+
+
+register_scenario(
+    "isolation",
+    _scenario_factory("isolation", None),
+    "workload alone on the platform (co-scheduled baseline)",
+)
+register_scenario(
+    "opponent-memory-hammer",
+    _scenario_factory("opponent-memory-hammer", "memory-hammer"),
+    "memory-hammer opponents on all other cores (worst realistic bus enemy)",
+)
+register_scenario(
+    "opponent-cpu",
+    _scenario_factory("opponent-cpu", "cpu-burn"),
+    "CPU-burn opponents on all other cores (no shared-resource traffic)",
+)
+register_scenario(
+    "full-rand",
+    _scenario_factory("full-rand", "rand-mix"),
+    "random ALU/memory/FP mix opponents on all other cores (average enemy)",
+)

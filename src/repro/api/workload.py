@@ -16,12 +16,23 @@ merged by run index without changing a single observation — the property
 
 Three adapters cover the existing workload families and replace the
 duplicated ``run_tvca``/``run_program`` drivers of the old harness.
+
+Workloads whose run is a single instruction trace additionally implement
+the optional ``build_trace(platform, run_seed, input_seed) ->
+PreparedTrace`` hook: contention :class:`~repro.api.scenario.Scenario`\\ s
+use it to obtain the trace and co-schedule it against opponents via
+:meth:`~repro.platform.soc.Platform.run_concurrent`.  Trace construction
+is memoized per workload instance (keyed by the generating seed): a
+program whose trace is independent of the input seed is expanded exactly
+once per process instead of once per run — see
+``benchmarks/test_bench_trace_cache.py`` for the measured speedup.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 try:  # Python 3.8+: typing.Protocol
     from typing import Protocol, runtime_checkable
@@ -33,6 +44,7 @@ except ImportError:  # pragma: no cover - ancient interpreters
 
 from ..platform.prng import SplitMix64
 from ..platform.soc import Platform
+from ..platform.trace import Trace
 from ..programs.compiler import generate_trace
 from ..programs.dsl import Env, Program
 from ..programs.layout import LinkedImage, link
@@ -40,11 +52,17 @@ from ..workloads.tvca.app import TvcaApplication, TvcaConfig
 
 __all__ = [
     "RunObservation",
+    "PreparedTrace",
     "Workload",
     "TvcaWorkload",
     "ProgramWorkload",
     "SyntheticWorkload",
 ]
+
+#: Default cap on memoized traces per workload instance; bounds memory
+#: for seed-varying campaigns while keeping the common cases (constant
+#: inputs, small seed sets) fully cached.
+_TRACE_CACHE_SIZE = 128
 
 
 @dataclass(frozen=True)
@@ -67,6 +85,50 @@ class RunObservation:
     metadata: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class PreparedTrace:
+    """A run reduced to one executable instruction trace.
+
+    Returned by the optional ``Workload.build_trace`` hook; the trace is
+    shared (possibly cached) and must be treated as read-only by
+    executors — :class:`~repro.platform.core.CoreStepper` only reads it.
+    """
+
+    trace: Trace
+    path: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class _TraceCache:
+    """A small LRU of ``key -> PreparedTrace`` per workload instance.
+
+    Traces are pure functions of their generating seed (plus the
+    immutable program/image), so memoizing them is observation-neutral;
+    forked campaign shards each warm their own copy.
+    """
+
+    def __init__(self, capacity: int = _TRACE_CACHE_SIZE) -> None:
+        self.capacity = max(1, capacity)
+        self._entries: "OrderedDict[Any, PreparedTrace]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Optional[PreparedTrace]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: Any, value: PreparedTrace) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
 @runtime_checkable
 class Workload(Protocol):
     """Anything the measurement harness can run.
@@ -84,6 +146,12 @@ class Workload(Protocol):
     for legacy index-keyed input schemes.  The same purity rule applies
     with the index included: the index (unlike execution order) is
     stable across sharding, so the contract stays shard-deterministic.
+
+    Optional hook: ``build_trace(platform, run_seed, input_seed) ->
+    PreparedTrace``.  Workloads whose run is one instruction trace
+    expose it so contention scenarios can co-schedule the trace against
+    opponents on the other cores; implementations must keep it a pure
+    function of the seeds, like ``execute``.
     """
 
     name: str
@@ -117,6 +185,7 @@ class TvcaWorkload:
     ) -> None:
         self.config = config if config is not None else TvcaConfig()
         self._app = app
+        self._trace_cache = _TraceCache()
 
     def prepare(self, platform: Platform) -> None:
         if self._app is None:
@@ -139,6 +208,34 @@ class TvcaWorkload:
             },
         )
 
+    def build_trace(
+        self, platform: Platform, run_seed: int, input_seed: int
+    ) -> PreparedTrace:
+        """The whole run as one trace (for contention scenarios).
+
+        The closed-loop control mathematics is platform-independent, so
+        the full job sequence can be planned from ``input_seed`` alone
+        and concatenated; under co-scheduling the cycle clock runs
+        continuously across jobs (no per-job restart), which is the
+        faithful bare-metal behaviour for a busy multicore.  Plans are
+        memoized by input seed.
+        """
+        if self._app is None:
+            self.prepare(platform)
+        prepared = self._trace_cache.get(input_seed)
+        if prepared is None:
+            plan = self._app.build_plan(input_seed)
+            prepared = PreparedTrace(
+                trace=plan.concatenated_trace(),
+                path=plan.path_class,
+                metadata={
+                    "input_profile": plan.input_profile,
+                    "jobs": len(plan.jobs),
+                },
+            )
+            self._trace_cache.put(input_seed, prepared)
+        return prepared
+
 
 class ProgramWorkload:
     """An arbitrary DSL program as a :class:`Workload`.
@@ -147,6 +244,11 @@ class ProgramWorkload:
     (default: empty) — seed-keyed rather than index-keyed so the same
     run produces the same inputs no matter which shard executes it.
     The program is linked in :meth:`prepare` unless an image is given.
+
+    Trace expansion is memoized: the trace is a pure function of the
+    input environment, so a program with no ``env_fn`` (trace
+    independent of the input seed) is expanded exactly once per process
+    and seed-keyed environments are cached under their seed.
     """
 
     def __init__(
@@ -161,24 +263,52 @@ class ProgramWorkload:
         self.image = image
         self.env_fn = env_fn
         self.core_id = core_id
+        self._trace_cache = _TraceCache()
 
     def prepare(self, platform: Platform) -> None:
         if self.image is None:
             self.image = link(self.program)
 
+    def _prepared(self, input_seed: int, cache_key: Any = None) -> PreparedTrace:
+        """The run's trace, memoized by its generating key.
+
+        ``cache_key`` overrides the default key (the input seed, or a
+        constant when no ``env_fn`` makes the trace seed-independent) —
+        the legacy index-keyed adapter passes its run index.
+        """
+        if self.image is None:
+            self.image = link(self.program)
+        if cache_key is None:
+            cache_key = input_seed if self.env_fn is not None else "<static>"
+        prepared = self._trace_cache.get(cache_key)
+        if prepared is None:
+            env = self.env_fn(input_seed) if self.env_fn is not None else {}
+            trace, signature = generate_trace(self.program, self.image, env)
+            prepared = PreparedTrace(trace=trace, path=signature.as_key())
+            self._trace_cache.put(cache_key, prepared)
+        return prepared
+
+    def build_trace(
+        self, platform: Platform, run_seed: int, input_seed: int
+    ) -> PreparedTrace:
+        """The run's trace (for contention scenarios); memoized."""
+        return self._prepared(input_seed)
+
+    def _observe(
+        self, platform: Platform, prepared: PreparedTrace, run_seed: int
+    ) -> RunObservation:
+        """Measure ``prepared`` once (shared with the indexed adapter)."""
+        result = platform.run(prepared.trace, seed=run_seed, core_id=self.core_id)
+        return RunObservation(
+            cycles=float(result.cycles),
+            path=prepared.path,
+            metadata={"instructions": result.instructions},
+        )
+
     def execute(
         self, platform: Platform, run_seed: int, input_seed: int
     ) -> RunObservation:
-        if self.image is None:
-            self.prepare(platform)
-        env = self.env_fn(input_seed) if self.env_fn is not None else {}
-        trace, signature = generate_trace(self.program, self.image, env)
-        result = platform.run(trace, seed=run_seed, core_id=self.core_id)
-        return RunObservation(
-            cycles=float(result.cycles),
-            path=signature.as_key(),
-            metadata={"instructions": result.instructions},
-        )
+        return self._observe(platform, self._prepared(input_seed), run_seed)
 
 
 class SyntheticWorkload:

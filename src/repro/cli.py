@@ -1,6 +1,6 @@
 """Command-line interface over the :mod:`repro.api` facade.
 
-Four subcommands mirror the paper's workflow:
+Five subcommands mirror the paper's workflow plus the multicore axis:
 
 * ``run`` (alias ``campaign``) — run a measurement campaign for any
   registered workload/platform pair, optionally sharded across
@@ -10,7 +10,10 @@ Four subcommands mirror the paper's workflow:
   fresh campaign) and print the report; per-path grouping is preserved
   through save/load,
 * ``compare`` — the Figure-3 comparison (DET/MBTA vs RAND/MBPTA),
-* ``list`` — show the registered workloads and platforms.
+* ``contend`` — sweep the same workload over contention scenarios
+  (isolation vs co-runner opponents) and render the comparison panel,
+* ``list`` — show the registered workloads, platforms (with their
+  default core counts) and contention scenarios.
 
 ``run``, ``analyse`` and ``compare`` accept ``--until-converged``: the
 campaign then stops at the first run where the MBPTA convergence
@@ -20,13 +23,22 @@ the convergence criteria").  The decision is a pure function of the
 observation sequence in run-index order, so ``--shards`` does not change
 where an adaptive campaign stops.
 
+They also accept ``--cores N`` (size of the modelled SoC) and
+``--co-runner SCENARIO`` (a registered contention scenario): the
+workload is then co-scheduled against that scenario's opponents on the
+other cores, and per-run records carry the per-core/contention
+breakdown.
+
 Examples::
 
     python -m repro.cli run --workload tvca --runs 300 --shards 4 --out c.json
     python -m repro.cli run --runs 3000 --until-converged --out c.json
+    python -m repro.cli run --workload matmul --cores 4 \\
+        --co-runner opponent-memory-hammer --out hammer.json
     python -m repro.cli analyse --sample c.json
     python -m repro.cli analyse --runs 300 --cutoff 1e-12
     python -m repro.cli compare --runs 200 --shards 4
+    python -m repro.cli contend --workload matmul --runs 200 --cutoff 1e-9
     python -m repro.cli list
 """
 
@@ -41,14 +53,17 @@ from .api import (
     CampaignConfig,
     CampaignRunner,
     create_platform,
+    create_scenario,
     create_workload,
     load_measurements,
     platform_names,
+    scenario_description,
+    scenario_names,
     workload_names,
 )
 from .core import ConvergencePolicy, MBPTAAnalysis, MBPTAConfig, mbta_bound
-from .harness import compare_det_rand
-from .viz import figure3_panel
+from .harness import compare_det_rand, compare_scenarios
+from .viz import contention_csv, contention_panel, figure3_panel
 
 __all__ = ["main", "build_parser"]
 
@@ -60,7 +75,9 @@ def _workload_kwargs(args: argparse.Namespace) -> dict:
 
 
 def _platform(args: argparse.Namespace, kind: str):
-    return create_platform(kind, num_cores=1, cache_kb=args.cache_kb)
+    return create_platform(
+        kind, num_cores=getattr(args, "cores", 1), cache_kb=args.cache_kb
+    )
 
 
 def _policy(args: argparse.Namespace) -> Optional[ConvergencePolicy]:
@@ -88,17 +105,22 @@ def _print_convergence(summary) -> None:
 
 def _run_campaign(args: argparse.Namespace, kind: str):
     workload = create_workload(args.workload, **_workload_kwargs(args))
+    scenario = getattr(args, "co_runner", None)
+    if scenario is not None:
+        workload = create_scenario(scenario, workload)
     platform = _platform(args, kind)
     runner = CampaignRunner(
         CampaignConfig(runs=args.runs, base_seed=args.seed),
         shards=getattr(args, "shards", 1),
     )
     result = runner.run(workload, platform, convergence=_policy(args))
-    return result, runner, platform, workload
+    return result, runner, platform, workload, scenario
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    result, runner, platform, _workload = _run_campaign(args, args.platform)
+    result, runner, platform, _workload, scenario = _run_campaign(
+        args, args.platform
+    )
     sample = result.merged
     print(
         f"{result.label}: n={len(sample)} min={sample.minimum:.0f} "
@@ -115,6 +137,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             platform=platform,
             workload=args.workload,
             shards=runner.shards,
+            scenario=scenario,
         )
         artifact.save(args.out)
         print(f"campaign artifact written to {args.out}")
@@ -137,7 +160,7 @@ def cmd_analyse(args: argparse.Namespace) -> int:
             print(f"{loaded.label}:")
             _print_convergence(loaded.convergence)
     else:
-        result, _, _, _ = _run_campaign(args, "rand")
+        result, _, _, _, _ = _run_campaign(args, "rand")
         data = result.samples
         min_path = max(120, result.num_runs // 3)
         if result.convergence is not None:
@@ -163,6 +186,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         rand_platform=_platform(args, "rand"),
         shards=getattr(args, "shards", 1),
         convergence=_policy(args),
+        scenario=getattr(args, "co_runner", None),
     )
     for name, result in (("DET", comparison.det), ("RAND", comparison.rand)):
         if result.convergence is not None:
@@ -190,13 +214,56 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_contend(args: argparse.Namespace) -> int:
+    scenarios = args.scenarios
+    if args.co_runner is not None:
+        # Shorthand: --co-runner X sweeps isolation against X.
+        if scenarios is not None:
+            raise ValueError(
+                "pass either --scenarios or --co-runner, not both"
+            )
+        scenarios = ["isolation", args.co_runner]
+    if scenarios is None:
+        scenarios = ["isolation", "opponent-memory-hammer"]
+    comparison = compare_scenarios(
+        args.workload,
+        scenarios=scenarios,
+        platform_name=args.platform,
+        runs=args.runs,
+        base_seed=args.seed,
+        shards=getattr(args, "shards", 1),
+        workload_kwargs=_workload_kwargs(args),
+        platform_kwargs={"num_cores": args.cores, "cache_kb": args.cache_kb},
+        convergence=_policy(args),
+    )
+    summary = comparison.summary(cutoff=args.cutoff)
+    print(contention_panel(summary))
+    if args.cutoff:
+        print(f"\n('pwcet' row = estimate at P(exceed) = {args.cutoff:g})")
+    for name, result in sorted(comparison.by_scenario.items()):
+        if result.convergence is not None:
+            print(f"{name}:")
+            _print_convergence(result.convergence)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(contention_csv(summary) + "\n")
+        print(f"contention comparison CSV written to {args.out}")
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads:")
     for name in workload_names():
         print(f"  {name}")
     print("platforms:")
     for name in platform_names():
-        print(f"  {name}")
+        cores = create_platform(name).config.num_cores
+        print(f"  {name} (default cores: {cores})")
+    print("scenarios (--co-runner):")
+    for name in scenario_names():
+        description = scenario_description(name)
+        suffix = f" — {description}" if description else ""
+        print(f"  {name}{suffix}")
     return 0
 
 
@@ -218,6 +285,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--cache-kb", type=int, default=4,
             help="L1 size in KB (16 = the paper's board; 4 = scaled pressure)",
+        )
+        p.add_argument(
+            "--cores", type=int, default=1,
+            help="cores of the modelled SoC (the paper's board has 4; "
+            "co-runner scenarios need >= 2)",
+        )
+        p.add_argument(
+            "--co-runner", choices=tuple(scenario_names()), default=None,
+            help="co-schedule the workload against this contention "
+            "scenario's opponents on the other cores (see `list`)",
         )
         p.add_argument(
             "--estimator-dim", type=int, default=20,
@@ -285,7 +362,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compare.set_defaults(func=cmd_compare)
 
-    p_list = sub.add_parser("list", help="list registered workloads and platforms")
+    p_contend = sub.add_parser(
+        "contend", help="contention-vs-isolation scenario comparison"
+    )
+    common(p_contend)
+    p_contend.set_defaults(cores=4)
+    p_contend.add_argument(
+        "--workload", default="matmul",
+        help="registered workload name (see `list`)",
+    )
+    p_contend.add_argument(
+        "--platform", choices=tuple(platform_names()), default="rand"
+    )
+    p_contend.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help="scenario names to sweep (isolation first for the baseline; "
+        "default: isolation vs opponent-memory-hammer — or pass "
+        "--co-runner X as shorthand for isolation vs X)",
+    )
+    p_contend.add_argument(
+        "--cutoff", type=float,
+        help="also estimate the per-scenario pWCET at this probability",
+    )
+    p_contend.add_argument(
+        "--out", help="write the comparison as CSV to this file"
+    )
+    p_contend.set_defaults(func=cmd_contend)
+
+    p_list = sub.add_parser(
+        "list",
+        help="list registered workloads, platforms and contention scenarios",
+    )
     p_list.set_defaults(func=cmd_list)
     return parser
 

@@ -1,7 +1,12 @@
 """Measurement harness: run protocol, sample containers, experiments."""
 
 from .campaign import CampaignConfig, CampaignResult, MeasurementCampaign
-from .experiment import DetRandComparison, compare_det_rand
+from .experiment import (
+    DetRandComparison,
+    ScenarioComparison,
+    compare_det_rand,
+    compare_scenarios,
+)
 from .measurements import ExecutionTimeSample, PathSamples
 from .records import RunRecord
 
@@ -13,5 +18,7 @@ __all__ = [
     "MeasurementCampaign",
     "PathSamples",
     "RunRecord",
+    "ScenarioComparison",
     "compare_det_rand",
+    "compare_scenarios",
 ]

@@ -166,9 +166,16 @@ class _IndexedProgramWorkload:
     def execute_indexed(
         self, platform: Platform, run_index: int, run_seed: int, input_seed: int
     ) -> "RunObservation":
+        inner = self._inner
         if self._env_fn is not None:
-            self._inner.env_fn = lambda _seed: self._env_fn(run_index)
-        return self._inner.execute(platform, run_seed, input_seed)
+            # Index-keyed environments must not share the seed-keyed
+            # trace cache (with vary_inputs=False every run carries the
+            # same input seed but a different env) — key by run index.
+            inner.env_fn = lambda _seed: self._env_fn(run_index)
+            prepared = inner._prepared(input_seed, cache_key=("idx", run_index))
+        else:
+            prepared = inner._prepared(input_seed)
+        return inner._observe(platform, prepared, run_seed)
 
 
 class MeasurementCampaign:

@@ -12,12 +12,18 @@ Figure 3 of the paper puts side by side, for the same application:
 platforms with **identical workload-input seeds** (so only the platform
 differs) and returns the raw material for that comparison; the analysis
 layer (:mod:`repro.core`) turns the RAND sample into pWCET estimates.
+
+:func:`compare_scenarios` opens the second comparison axis of a
+multicore MBPTA story: the same workload, same platform, same seeds —
+only the *co-runners* differ.  Isolation is the baseline; each
+contention scenario's sample sits at or above it, and the gap is the
+measured contention the pWCET must absorb.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from ..platform.soc import Platform, leon3_det, leon3_rand
 from ..workloads.tvca.app import TvcaApplication, TvcaConfig
@@ -27,7 +33,12 @@ from .measurements import ExecutionTimeSample
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
     from ..core.convergence import ConvergencePolicy
 
-__all__ = ["DetRandComparison", "compare_det_rand"]
+__all__ = [
+    "DetRandComparison",
+    "compare_det_rand",
+    "ScenarioComparison",
+    "compare_scenarios",
+]
 
 
 @dataclass
@@ -78,6 +89,7 @@ def compare_det_rand(
     progress: Optional[Callable[[str, int, int], None]] = None,
     shards: int = 1,
     convergence: Optional["ConvergencePolicy"] = None,
+    scenario: Optional[str] = None,
 ) -> DetRandComparison:
     """Run the TVCA campaign on the DET and RAND platforms.
 
@@ -89,9 +101,15 @@ def compare_det_rand(
     (each stops at its own convergence point, ``runs`` being the cap) —
     the platforms may then use different run counts, which is fine: the
     comparison is between converged estimates, not raw samples.
+
+    ``scenario`` (a registered contention scenario name) co-schedules
+    the TVCA against that scenario's opponents on both platforms — the
+    Figure-3 comparison under multicore contention; the supplied
+    platforms must then have at least 2 cores.
     """
+    from ..api.registry import create_scenario
     from ..api.runner import CampaignRunner
-    from ..api.workload import TvcaWorkload
+    from ..api.workload import TvcaWorkload, Workload
 
     app = TvcaApplication(app_config or TvcaConfig())
     runner = CampaignRunner(
@@ -105,11 +123,127 @@ def compare_det_rand(
             return None
         return lambda done, total: progress(name, done, total)
 
-    workload = TvcaWorkload(app=app)
+    def workload() -> Workload:
+        base = TvcaWorkload(app=app)
+        if scenario is None:
+            return base
+        return create_scenario(scenario, base)
+
     det_result = runner.run(
-        workload, det, progress=wrap("DET"), convergence=convergence
+        workload(), det, progress=wrap("DET"), convergence=convergence
     )
     rand_result = runner.run(
-        workload, rand, progress=wrap("RAND"), convergence=convergence
+        workload(), rand, progress=wrap("RAND"), convergence=convergence
     )
     return DetRandComparison(det=det_result, rand=rand_result)
+
+
+@dataclass
+class ScenarioComparison:
+    """One workload measured under several contention scenarios."""
+
+    workload: str
+    by_scenario: Dict[str, CampaignResult]
+
+    @property
+    def isolation(self) -> Optional[CampaignResult]:
+        """The isolation baseline, when it was part of the sweep."""
+        return self.by_scenario.get("isolation")
+
+    def sample(self, scenario: str) -> ExecutionTimeSample:
+        """Pooled execution times of one scenario."""
+        return self.by_scenario[scenario].merged
+
+    def slowdown(self, scenario: str) -> float:
+        """mean(scenario) / mean(isolation) — requires the baseline."""
+        baseline = self.isolation
+        if baseline is None:
+            raise ValueError("sweep did not include the isolation scenario")
+        return self.sample(scenario).mean / baseline.merged.mean
+
+    def summary(
+        self, cutoff: Optional[float] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-scenario headline numbers (mean, hwm, mean slowdown).
+
+        With ``cutoff`` each row additionally carries ``pwcet`` — the
+        MBPTA estimate at that exceedance probability, fitted on the
+        scenario's per-path samples.  Scenarios whose sample cannot be
+        fitted (too few observations per path) simply omit the row, so
+        one thin scenario never sinks the whole comparison.
+        """
+        has_baseline = self.isolation is not None
+        out: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self.by_scenario):
+            sample = self.sample(name)
+            row = {"mean": sample.mean, "hwm": sample.hwm}
+            if has_baseline:
+                row["slowdown"] = self.slowdown(name)
+            if cutoff is not None:
+                estimate = self._pwcet(name, cutoff)
+                if estimate is not None:
+                    row["pwcet"] = estimate
+            out[name] = row
+        return out
+
+    def _pwcet(self, scenario: str, cutoff: float) -> Optional[float]:
+        """The scenario's pWCET at ``cutoff`` (None if unfittable)."""
+        from ..core.mbpta import MBPTAAnalysis, MBPTAConfig
+
+        result = self.by_scenario[scenario]
+        analysis = MBPTAAnalysis(
+            MBPTAConfig(
+                min_path_samples=max(120, result.num_runs // 3),
+                check_convergence=False,
+            )
+        )
+        try:
+            return analysis.analyse(result.samples).quantile(cutoff)
+        except (ValueError, RuntimeError):
+            return None
+
+
+def compare_scenarios(
+    workload_name: str,
+    scenarios: Sequence[str] = ("isolation", "opponent-memory-hammer"),
+    platform_name: str = "rand",
+    runs: int = 300,
+    base_seed: int = 2017,
+    shards: int = 1,
+    workload_kwargs: Optional[dict] = None,
+    platform_kwargs: Optional[dict] = None,
+    progress: Optional[Callable[[str, int, int], None]] = None,
+    convergence: Optional["ConvergencePolicy"] = None,
+) -> ScenarioComparison:
+    """Measure one workload under several contention scenarios.
+
+    Every scenario campaign uses the same base seed, hence identical
+    per-run platform seeds and workload inputs — only the co-runners
+    differ, so the sample gap *is* the contention.  A fresh platform and
+    workload instance are built per scenario (scenario execution mutates
+    platform state and the workload's trace cache; isolation between
+    campaigns keeps them shard-safe and order-independent).
+    """
+    from ..api.registry import create_platform, create_scenario, create_workload
+    from ..api.runner import CampaignRunner
+
+    platform_kwargs = dict(platform_kwargs or {})
+    platform_kwargs.setdefault("num_cores", 4)
+    results: Dict[str, CampaignResult] = {}
+    for name in scenarios:
+        scenario = create_scenario(
+            name, create_workload(workload_name, **(workload_kwargs or {}))
+        )
+        platform = create_platform(platform_name, **platform_kwargs)
+        runner = CampaignRunner(
+            CampaignConfig(runs=runs, base_seed=base_seed), shards=shards
+        )
+        wrapped = None
+        if progress is not None:
+            wrapped = (
+                lambda done, total, _name=name: progress(_name, done, total)
+            )
+        results[name] = runner.run(
+            scenario, platform, progress=wrapped, convergence=convergence
+        )
+    return ScenarioComparison(workload=workload_name, by_scenario=results)

@@ -14,7 +14,7 @@ measured run under the flush/reset/reseed protocol.
 
 from .bus import Bus, BusConfig, BusStats
 from .cache import Cache, CacheConfig, CacheStats
-from .core import Core, CoreConfig, RunResult
+from .core import Core, CoreConfig, CoreStepper, RunResult
 from .fpu import FpOp, Fpu, FpuConfig, FpuMode, FpuStats, operand_class_of
 from .memory import MemoryConfig, MemoryController, MemoryStats
 from .pipeline import PipelineConfig, PipelineModel, PipelineStats
@@ -41,7 +41,13 @@ from .replacement import (
     RoundRobinReplacement,
     make_replacement,
 )
-from .soc import Platform, PlatformConfig, leon3_det, leon3_rand
+from .soc import (
+    ConcurrentRunResult,
+    Platform,
+    PlatformConfig,
+    leon3_det,
+    leon3_rand,
+)
 from .tlb import Tlb, TlbConfig, TlbStats
 from .trace import Instruction, InstrKind, Trace, TraceBuilder
 
@@ -53,8 +59,10 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "CombinedLfsrPrng",
+    "ConcurrentRunResult",
     "Core",
     "CoreConfig",
+    "CoreStepper",
     "FpOp",
     "Fpu",
     "FpuConfig",

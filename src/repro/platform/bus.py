@@ -14,15 +14,40 @@ issues a transaction that pays
 For the single-active-core experiments of the paper (TVCA runs on one
 core of the 4-core SoC, bare metal), contention is zero and the bus adds
 a constant per-transaction cost — a *jitterless* resource, hence MBPTA
-compliant without modification.  The model still implements multi-master
-round-robin contention so that multicore experiments (and the contention
-ablation) exercise a real arbiter.
+compliant without modification.  The model implements multi-master
+round-robin contention so that co-scheduled runs
+(:meth:`repro.platform.soc.Platform.run_concurrent`) exercise a real
+arbiter.
+
+Arbitration model and its bound
+-------------------------------
+
+Masters issue blocking requests (a core stalls on its own miss), so at
+most one transaction per master is outstanding and the bus grants
+strictly in request order.  The model keeps a single ``busy_until``
+horizon: a request arriving at ``now`` waits ``max(0, busy_until - now)``
+for every earlier grant to drain — that term accounts exactly for the
+transfer time of all masters queued ahead.  What the horizon *cannot*
+reproduce is the arbiter's per-hop decision latency when the grant has
+to walk the round-robin pointer past several idle masters.  The default
+model charges a flat ``arbitration_cycles`` whenever the requester is
+not at the pointer, which **understates** the walk by at most
+``(num_masters - 2) * arbitration_cycles`` per transaction (the walk is
+at most ``num_masters - 1`` hops and at least one is charged).  Set
+``strict_rr_arbitration=True`` to charge the full cyclic distance — a
+conservative per-grant-ordering model for contention studies; the
+default preserves the historical single-core timings bit for bit.
+
+Grant windows never overlap under either mode: every grant starts at or
+after the previous ``busy_until`` (set ``record_grants=True`` to log
+``(master, start, end)`` windows and check — the multi-master property
+tests do).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 __all__ = ["BusConfig", "BusStats", "Bus"]
 
@@ -42,12 +67,24 @@ class BusConfig:
         32-bit bus = 8 beats).
     word_transfer_cycles:
         Beats for a single write-through store word.
+    strict_rr_arbitration:
+        Charge the full round-robin pointer walk (``distance *
+        arbitration_cycles``) instead of the flat one-decision
+        approximation — conservative, for contention studies.  The
+        default (False) keeps single-core timings bit-identical to the
+        historical model (see module docstring for the bound).
+    record_grants:
+        Keep a per-run log of ``(master, start, end)`` grant windows on
+        :attr:`Bus.grant_log` — used by the arbitration property tests;
+        off by default to keep campaigns lean.
     """
 
     num_masters: int = 4
     arbitration_cycles: int = 1
     line_transfer_cycles: int = 8
     word_transfer_cycles: int = 1
+    strict_rr_arbitration: bool = False
+    record_grants: bool = False
 
     def __post_init__(self) -> None:
         if self.num_masters < 1:
@@ -56,17 +93,50 @@ class BusConfig:
 
 @dataclass
 class BusStats:
-    """Per-run bus activity counters."""
+    """Per-run bus activity counters.
+
+    ``contention_by_master`` / ``transactions_by_master`` split the
+    aggregate counters by requesting core id; the aggregate is always
+    the exact sum of the per-master entries.
+    """
 
     transactions: int = 0
     contention_cycles: int = 0
     transfer_cycles: int = 0
+    contention_by_master: Dict[int, int] = field(default_factory=dict)
+    transactions_by_master: Dict[int, int] = field(default_factory=dict)
 
     def reset(self) -> None:
         """Zero the counters."""
         self.transactions = 0
         self.contention_cycles = 0
         self.transfer_cycles = 0
+        self.contention_by_master = {}
+        self.transactions_by_master = {}
+
+    def copy(self) -> "BusStats":
+        """Independent snapshot (per-master maps deep-copied)."""
+        return BusStats(
+            transactions=self.transactions,
+            contention_cycles=self.contention_cycles,
+            transfer_cycles=self.transfer_cycles,
+            contention_by_master=dict(self.contention_by_master),
+            transactions_by_master=dict(self.transactions_by_master),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (artifact metadata; keys stringified)."""
+        return {
+            "transactions": self.transactions,
+            "contention_cycles": self.contention_cycles,
+            "transfer_cycles": self.transfer_cycles,
+            "contention_by_master": {
+                str(k): v for k, v in sorted(self.contention_by_master.items())
+            },
+            "transactions_by_master": {
+                str(k): v for k, v in sorted(self.transactions_by_master.items())
+            },
+        }
 
 
 class Bus:
@@ -77,11 +147,14 @@ class Bus:
     stalls (arbitration + waiting for the bus to free + transfer).  The
     model keeps a single ``busy_until`` horizon plus a round-robin grant
     pointer; with one active master it degenerates to a constant cost.
+    See the module docstring for the arbitration approximation and its
+    bound.
     """
 
     def __init__(self, config: BusConfig) -> None:
         self.config = config
         self.stats = BusStats()
+        self.grant_log: List[Tuple[int, int, int]] = []
         self._busy_until = 0
         self._grant_pointer = 0
 
@@ -89,6 +162,7 @@ class Bus:
         """Clear bus state between runs."""
         self._busy_until = 0
         self._grant_pointer = 0
+        self.grant_log = []
 
     def reset_stats(self) -> None:
         """Zero activity counters."""
@@ -101,11 +175,17 @@ class Bus:
         if self.config.num_masters == 1:
             return 0
         distance = (master_id - self._grant_pointer) % self.config.num_masters
-        # Only already-queued masters matter; the simple horizon model
-        # folds that into busy_until, so the residual grant delay is the
-        # arbiter's decision latency scaled by the cyclic distance of the
-        # requester from the pointer (0 when it is its turn).
-        return 0 if distance == 0 else self.config.arbitration_cycles
+        if distance == 0:
+            return 0
+        # Already-queued masters are folded into busy_until by the
+        # horizon model; the residual grant delay is the arbiter's
+        # decision latency.  Strict mode walks the pointer hop by hop
+        # (conservative); the default charges one decision, which
+        # understates the walk by at most (num_masters - 2) cycles per
+        # transaction but reproduces the historical timings.
+        if self.config.strict_rr_arbitration:
+            return distance * self.config.arbitration_cycles
+        return self.config.arbitration_cycles
 
     def request(self, master_id: int, now: int, is_line: bool) -> int:
         """Issue one transaction; return stall cycles seen by the master.
@@ -134,7 +214,18 @@ class Bus:
         transfer += self.config.arbitration_cycles
         self._busy_until = now + wait + transfer
         self._grant_pointer = (master_id + 1) % self.config.num_masters
-        self.stats.transactions += 1
-        self.stats.contention_cycles += wait
-        self.stats.transfer_cycles += transfer
+        stats = self.stats
+        stats.transactions += 1
+        stats.contention_cycles += wait
+        stats.transfer_cycles += transfer
+        stats.transactions_by_master[master_id] = (
+            stats.transactions_by_master.get(master_id, 0) + 1
+        )
+        stats.contention_by_master[master_id] = (
+            stats.contention_by_master.get(master_id, 0) + wait
+        )
+        if self.config.record_grants:
+            self.grant_log.append(
+                (master_id, self._busy_until - transfer, self._busy_until)
+            )
         return wait + transfer

@@ -11,6 +11,15 @@ instruction :class:`~repro.platform.trace.Trace`, charging cycles for
   core stalls only when the buffer is full),
 * FP operation latencies (mode-dependent for FDIV/FSQRT).
 
+Execution is factored into a resumable :class:`CoreStepper`: one stepper
+owns the cursor of one trace on one core and can either drain the trace
+in a single burst (:meth:`Core.execute`, the single-core path — one
+``advance`` call with every hot reference hoisted to locals, so the cost
+profile of the old monolithic loop is preserved) or be advanced one
+instruction at a time, which is how
+:meth:`repro.platform.soc.Platform.run_concurrent` interleaves several
+cores in cycle order so their bus transactions genuinely overlap.
+
 Micro-architectural shortcuts, all timing-neutral or conservative:
 
 * sequential fetches within one cache line hit a line (stream) buffer
@@ -35,7 +44,7 @@ from .prng import CombinedLfsrPrng, derive_seed
 from .tlb import Tlb, TlbConfig, TlbStats
 from .trace import InstrKind, Trace
 
-__all__ = ["CoreConfig", "RunResult", "Core"]
+__all__ = ["CoreConfig", "RunResult", "Core", "CoreStepper"]
 
 
 #: InstrKind -> FpOp mapping for the FPU-executed kinds.
@@ -70,7 +79,14 @@ class CoreConfig:
 
 @dataclass(frozen=True)
 class RunResult:
-    """Outcome of executing one trace on one core."""
+    """Outcome of executing one trace on one core.
+
+    ``core_id`` records which core ran the trace and
+    ``bus_contention_cycles`` how many cycles this core's transactions
+    spent waiting for the shared bus (its slice of
+    :attr:`~repro.platform.bus.BusStats.contention_by_master`) — zero in
+    isolation, the per-core contention breakdown in co-scheduled runs.
+    """
 
     cycles: int
     instructions: int
@@ -80,6 +96,8 @@ class RunResult:
     dtlb: TlbStats
     fpu: FpuStats
     pipeline: PipelineStats
+    core_id: int = 0
+    bus_contention_cycles: int = 0
 
     @property
     def cpi(self) -> float:
@@ -147,42 +165,136 @@ class Core:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def stepper(
+        self, trace: Trace, start_cycle: int = 0, loop: bool = False
+    ) -> "CoreStepper":
+        """A resumable execution of ``trace`` on this core."""
+        return CoreStepper(self, trace, start_cycle=start_cycle, loop=loop)
+
     def execute(self, trace: Trace, start_cycle: int = 0) -> RunResult:
         """Execute ``trace`` to completion; return cycles and statistics."""
-        cfg = self.config
-        icache = self.icache
-        dcache = self.dcache
-        itlb = self.itlb
-        dtlb = self.dtlb
-        fpu = self.fpu
-        pipeline = self.pipeline
-        bus = self.bus
-        memory = self.memory
-        core_id = self.core_id
+        stepper = CoreStepper(self, trace, start_cycle=start_cycle)
+        stepper.advance(len(trace))
+        return stepper.result()
+
+
+class CoreStepper:
+    """Resumable execution of one trace on one core.
+
+    The stepper owns the per-trace cursor — instruction index, local
+    cycle count and the fetch/translation locality state — while the
+    parent :class:`Core` owns the hardware state (caches, TLBs, FPU,
+    store buffer).  :meth:`advance` executes a bounded burst with every
+    hot reference hoisted to locals, so draining a whole trace in one
+    call costs the same as the historical monolithic loop, while
+    :meth:`repro.platform.soc.Platform.run_concurrent` advances several
+    steppers one instruction at a time in cycle order.
+
+    ``loop=True`` restarts the trace from the top when it runs off the
+    end — used for co-runner opponents that must stay active for the
+    whole co-scheduled run; a looping stepper never reports ``done``.
+    """
+
+    __slots__ = (
+        "core",
+        "trace",
+        "start_cycle",
+        "loop",
+        "now",
+        "index",
+        "instructions",
+        "_last_iline",
+        "_last_ipage",
+        "_last_dpage",
+        "_contention_base",
+    )
+
+    def __init__(
+        self,
+        core: Core,
+        trace: Trace,
+        start_cycle: int = 0,
+        loop: bool = False,
+    ) -> None:
+        self.core = core
+        self.trace = trace
+        self.start_cycle = start_cycle
+        self.loop = loop and len(trace) > 0
+        self.now = start_cycle
+        self.index = 0
+        self.instructions = 0
+        self._last_iline = -1
+        self._last_ipage = -1
+        self._last_dpage = -1
+        self._contention_base = core.bus.stats.contention_by_master.get(
+            core.core_id, 0
+        )
+
+    @property
+    def done(self) -> bool:
+        """True once the trace is exhausted (never for looping steppers)."""
+        return not self.loop and self.index >= len(self.trace.kinds)
+
+    def step(self) -> bool:
+        """Execute one instruction; return False when the trace is done."""
+        return self.advance(1) == 1
+
+    def advance(self, max_instructions: int) -> int:
+        """Execute up to ``max_instructions``; return the number executed.
+
+        Stops early only when the trace ends (non-looping steppers).
+        State is written back to the stepper on exit, so execution can
+        resume at any time — including after other cores have advanced
+        and moved the shared bus / DRAM state.
+        """
+        if max_instructions <= 0 or self.done:
+            return 0
+        core = self.core
+        cfg = core.config
+        icache = core.icache
+        dcache = core.dcache
+        itlb = core.itlb
+        dtlb = core.dtlb
+        fpu = core.fpu
+        pipeline = core.pipeline
+        bus = core.bus
+        memory = core.memory
+        core_id = core.core_id
         buffer_depth = cfg.store_buffer_depth
 
         iline_shift = icache.config.line_shift
         ipage_shift = itlb.config.page_shift
         dpage_shift = dtlb.config.page_shift
 
+        trace = self.trace
         kinds = trace.kinds
         pcs = trace.pcs
         addrs = trace.addrs
         op_classes = trace.operand_classes
         deps = trace.dep_distances
         takens = trace.takens
+        length = len(kinds)
+        if length == 0:
+            return 0
 
         load_kind = int(InstrKind.LOAD)
         store_kind = int(InstrKind.STORE)
         fp_ops = _FP_OPS
 
-        now = start_cycle
-        last_iline = -1
-        last_ipage = -1
-        last_dpage = -1
-        store_buffer = self._store_buffer_ready
+        now = self.now
+        index = self.index
+        last_iline = self._last_iline
+        last_ipage = self._last_ipage
+        last_dpage = self._last_dpage
+        looping = self.loop
+        store_buffer = core._store_buffer_ready
 
-        for index in range(len(kinds)):
+        executed = 0
+        while executed < max_instructions:
+            if index >= length:
+                if not looping:
+                    break
+                index = 0
             kind = kinds[index]
             pc = pcs[index]
 
@@ -233,14 +345,35 @@ class Core:
                     # Overlap the pipeline base cycle with the FP start.
                     now += fpu.latency(fp_op, op_classes[index]) - 1
 
-        self._store_buffer_ready = store_buffer
+            index += 1
+            executed += 1
+
+        self.now = now
+        self.index = index
+        self._last_iline = last_iline
+        self._last_ipage = last_ipage
+        self._last_dpage = last_dpage
+        self.instructions += executed
+        core._store_buffer_ready = store_buffer
+        return executed
+
+    def result(self) -> RunResult:
+        """Snapshot the execution outcome (valid mid-run for co-runners
+        halted when the analysis core finished)."""
+        core = self.core
+        waited = (
+            core.bus.stats.contention_by_master.get(core.core_id, 0)
+            - self._contention_base
+        )
         return RunResult(
-            cycles=now - start_cycle,
-            instructions=len(kinds),
-            icache=replace(icache.stats),
-            dcache=replace(dcache.stats),
-            itlb=replace(itlb.stats),
-            dtlb=replace(dtlb.stats),
-            fpu=replace(fpu.stats),
-            pipeline=replace(pipeline.stats),
+            cycles=self.now - self.start_cycle,
+            instructions=self.instructions,
+            icache=replace(core.icache.stats),
+            dcache=replace(core.dcache.stats),
+            itlb=replace(core.itlb.stats),
+            dtlb=replace(core.dtlb.stats),
+            fpu=replace(core.fpu.stats),
+            pipeline=replace(core.pipeline.stats),
+            core_id=core.core_id,
+            bus_contention_cycles=waited,
         )

@@ -12,6 +12,15 @@ to.  It owns the run protocol of the paper's campaign:
 seed installation, then trace execution — and returns the end-to-end
 cycle count plus per-resource statistics.
 
+:meth:`Platform.run_concurrent` opens the multicore axis: it co-schedules
+one trace per core and interleaves the cores' resumable steppers in
+cycle order (always advancing the core with the smallest local time, ties
+broken by core id), so the shared bus and DRAM controller see genuinely
+overlapping masters.  Co-runner traces can loop so they stay active for
+the whole run of the core under analysis; the result carries per-core
+:class:`~repro.platform.core.RunResult`\\ s plus the bus/memory
+contention breakdown.
+
 Two factory presets mirror the paper's two platforms:
 
 * :func:`leon3_rand` — the MBPTA-compliant configuration: random modulo
@@ -24,13 +33,13 @@ Two factory presets mirror the paper's two platforms:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-from .bus import Bus, BusConfig
+from .bus import Bus, BusConfig, BusStats
 from .cache import CacheConfig
-from .core import Core, CoreConfig, RunResult
+from .core import Core, CoreConfig, CoreStepper, RunResult
 from .fpu import FpuConfig, FpuMode
-from .memory import MemoryConfig, MemoryController
+from .memory import MemoryConfig, MemoryController, MemoryStats
 from .prng import CombinedLfsrPrng, derive_seed, run_health_tests
 from .tlb import TlbConfig
 from .trace import Trace
@@ -38,6 +47,7 @@ from .trace import Trace
 __all__ = [
     "PlatformConfig",
     "Platform",
+    "ConcurrentRunResult",
     "leon3_rand",
     "leon3_det",
 ]
@@ -83,6 +93,60 @@ class PlatformConfig:
         )
 
 
+@dataclass(frozen=True)
+class ConcurrentRunResult:
+    """Outcome of one co-scheduled execution on several cores.
+
+    ``per_core`` maps core id to that core's
+    :class:`~repro.platform.core.RunResult` (the co-runners' results are
+    snapshots taken when the analysis core finished); ``bus`` and
+    ``memory`` are the shared-resource counters of the whole run,
+    including the per-master contention split.
+    """
+
+    analysis_core: int
+    per_core: Dict[int, RunResult]
+    bus: BusStats
+    memory: MemoryStats
+
+    @property
+    def analysis(self) -> RunResult:
+        """The result of the core under analysis."""
+        return self.per_core[self.analysis_core]
+
+    @property
+    def cycles(self) -> int:
+        """End-to-end cycles of the core under analysis."""
+        return self.analysis.cycles
+
+    @property
+    def contention_by_core(self) -> Dict[int, int]:
+        """Cycles each core spent waiting for the shared bus."""
+        return {
+            core_id: result.bus_contention_cycles
+            for core_id, result in sorted(self.per_core.items())
+        }
+
+    def to_metadata(self) -> Dict[str, Any]:
+        """JSON-safe per-core/contention breakdown for run records."""
+        return {
+            "analysis_core": self.analysis_core,
+            "cores": sorted(self.per_core),
+            "per_core_cycles": {
+                str(cid): r.cycles for cid, r in sorted(self.per_core.items())
+            },
+            "per_core_instructions": {
+                str(cid): r.instructions
+                for cid, r in sorted(self.per_core.items())
+            },
+            "contention_by_core": {
+                str(cid): wait
+                for cid, wait in self.contention_by_core.items()
+            },
+            "bus": self.bus.to_dict(),
+        }
+
+
 class Platform:
     """The modelled SoC: ``num_cores`` cores, one bus, one DRAM controller."""
 
@@ -126,6 +190,72 @@ class Platform:
             raise ValueError(f"core_id {core_id} out of range")
         self.reset(seed)
         return self.cores[core_id].execute(trace)
+
+    def run_concurrent(
+        self,
+        traces_by_core: Mapping[int, Trace],
+        seed: int,
+        analysis_core: Optional[int] = None,
+        loop_co_runners: bool = True,
+    ) -> ConcurrentRunResult:
+        """One measured execution with workloads co-scheduled on cores.
+
+        Each entry of ``traces_by_core`` runs on its core; the cores'
+        resumable steppers are interleaved in cycle order (smallest local
+        time first, ties broken by core id — a deterministic policy, so
+        co-scheduled runs are exactly reproducible from ``seed`` and the
+        traces).  The run ends when ``analysis_core`` (default: the
+        lowest scheduled core) finishes its trace; with
+        ``loop_co_runners=True`` (default) the other traces restart from
+        the top whenever they run out, so contention is sustained for the
+        whole measured interval.  Co-runner results are snapshots at the
+        halt point.
+
+        A single-entry mapping degenerates to :meth:`run` exactly — same
+        reset, same instruction sequence, bit-identical cycle counts.
+        """
+        if not traces_by_core:
+            raise ValueError("traces_by_core must not be empty")
+        for core_id in traces_by_core:
+            if not 0 <= core_id < len(self.cores):
+                raise ValueError(f"core_id {core_id} out of range")
+        if analysis_core is None:
+            analysis_core = min(traces_by_core)
+        elif analysis_core not in traces_by_core:
+            raise ValueError(
+                f"analysis_core {analysis_core} has no scheduled trace"
+            )
+        self.reset(seed)
+        steppers = {
+            core_id: CoreStepper(
+                self.cores[core_id],
+                trace,
+                loop=loop_co_runners and core_id != analysis_core,
+            )
+            for core_id, trace in sorted(traces_by_core.items())
+        }
+        analysis_stepper = steppers[analysis_core]
+        active = [s for s in steppers.values() if not s.done]
+        while not analysis_stepper.done and active:
+            best = active[0]
+            for stepper in active[1:]:
+                if (stepper.now, stepper.core.core_id) < (
+                    best.now,
+                    best.core.core_id,
+                ):
+                    best = stepper
+            best.advance(1)
+            if best.done:
+                active.remove(best)
+        return ConcurrentRunResult(
+            analysis_core=analysis_core,
+            per_core={
+                core_id: stepper.result()
+                for core_id, stepper in steppers.items()
+            },
+            bus=self.bus.stats.copy(),
+            memory=replace(self.memory.stats),
+        )
 
 
 def _l1_config(placement: str, replacement: str, cache_kb: int) -> CacheConfig:

@@ -2,6 +2,8 @@
 
 from .figures import (
     ascii_bar,
+    contention_csv,
+    contention_panel,
     figure2_csv,
     figure2_panel,
     figure3_csv,
@@ -10,6 +12,8 @@ from .figures import (
 
 __all__ = [
     "ascii_bar",
+    "contention_csv",
+    "contention_panel",
     "figure2_csv",
     "figure2_panel",
     "figure3_csv",

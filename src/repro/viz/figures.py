@@ -19,7 +19,15 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["ascii_bar", "figure2_panel", "figure2_csv", "figure3_panel", "figure3_csv"]
+__all__ = [
+    "ascii_bar",
+    "figure2_panel",
+    "figure2_csv",
+    "figure3_panel",
+    "figure3_csv",
+    "contention_panel",
+    "contention_csv",
+]
 
 
 def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
@@ -123,6 +131,65 @@ def figure3_panel(
         lines.append(
             f"{label:>16} |{ascii_bar(value, maximum, width)}| {value:,.0f}"
         )
+    return "\n".join(lines)
+
+
+def contention_panel(
+    by_scenario: Dict[str, Dict[str, float]],
+    baseline: str = "isolation",
+    width: int = 40,
+) -> str:
+    """Contention-vs-isolation comparison: per-scenario mean/HWM bars.
+
+    ``by_scenario`` maps scenario name to a row of statistics — ``mean``
+    and ``hwm`` required, ``pwcet`` optional (shown when present, e.g.
+    the estimate at a fixed cutoff).  The ``baseline`` scenario (when
+    present) is listed first and every other row is annotated with its
+    mean slowdown relative to it.
+    """
+    if not by_scenario:
+        raise ValueError("no scenarios to render")
+    names = sorted(by_scenario)
+    if baseline in by_scenario:
+        names.remove(baseline)
+        names.insert(0, baseline)
+    series = ["mean", "hwm"]
+    if any("pwcet" in by_scenario[name] for name in names):
+        series.append("pwcet")
+    maximum = max(
+        by_scenario[name][key]
+        for name in names
+        for key in series
+        if key in by_scenario[name]
+    )
+    base_mean = (
+        by_scenario[baseline]["mean"] if baseline in by_scenario else None
+    )
+    lines = []
+    for name in names:
+        row = by_scenario[name]
+        suffix = ""
+        if base_mean and name != baseline:
+            suffix = f"  (x{row['mean'] / base_mean:.3f} vs {baseline})"
+        lines.append(f"{name}:{suffix}")
+        for key in series:
+            if key not in row:
+                continue
+            value = row[key]
+            lines.append(
+                f"{key:>16} |{ascii_bar(value, maximum, width)}| {value:,.0f}"
+            )
+    return "\n".join(lines)
+
+
+def contention_csv(
+    by_scenario: Dict[str, Dict[str, float]],
+) -> str:
+    """CSV rows: scenario,statistic,value."""
+    lines = ["scenario,statistic,value"]
+    for name in sorted(by_scenario):
+        for key in sorted(by_scenario[name]):
+            lines.append(f"{name},{key},{by_scenario[name][key]:.1f}")
     return "\n".join(lines)
 
 

@@ -1,12 +1,18 @@
-"""Workloads: the TVCA case study, ablation kernels and synthetic samples."""
+"""Workloads: the TVCA case study, ablation kernels, synthetic samples
+and contention opponents (co-runners)."""
 
-from . import kernels, synthetic
+from . import kernels, opponents, synthetic
+from .opponents import CoRunner, co_runner, co_runner_names
 from .tvca import TvcaApplication, TvcaConfig, TvcaRunResult
 
 __all__ = [
+    "CoRunner",
     "TvcaApplication",
     "TvcaConfig",
     "TvcaRunResult",
+    "co_runner",
+    "co_runner_names",
     "kernels",
+    "opponents",
     "synthetic",
 ]

@@ -1,0 +1,240 @@
+"""Synthetic opponent (co-runner) workloads for contention scenarios.
+
+Multicore MBPTA campaigns co-schedule the workload under analysis with
+*opponents* on the other cores — resource-stressing kernels whose only
+job is to contend for the shared bus and DRAM controller (the classic
+"resource stressing kernel" technique of contention-bound analysis on
+COTS multicores).  Three archetypes are provided:
+
+* :func:`memory_hammer_trace` — a tight load loop striding line by line
+  over a footprint far larger than the L1, so essentially every access
+  misses and becomes a bus transaction: the worst realistic bus enemy.
+* :func:`cpu_burn_trace` — pure ALU/IMUL work in a tiny code loop: warms
+  nothing shared, issues (almost) no bus traffic; the friendly opponent
+  that bounds the scheduling overhead of co-execution itself.
+* :func:`full_rand_trace` — a seeded random mix of ALU, memory and FP
+  work over a medium footprint: an "average enemy" between the two.
+
+All generators are pure functions of their arguments (the seed drives a
+:class:`~repro.platform.prng.SplitMix64`), so co-scheduled campaigns
+stay deterministic and shard-invariant.  Opponent code and data live in
+per-core address regions (disjoint from the linker's program/data
+segments) purely for reporting hygiene — cores have private L1s, and the
+shared resources are timing-modelled, not content-modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..platform.prng import SplitMix64
+from ..platform.trace import InstrKind, Trace
+
+__all__ = [
+    "CoRunner",
+    "memory_hammer_trace",
+    "cpu_burn_trace",
+    "full_rand_trace",
+    "co_runner",
+    "co_runner_names",
+]
+
+#: Base of the opponent data region (above any linked program segment).
+_DATA_REGION_BASE = 0x8000_0000
+#: Bytes reserved per core for opponent data.
+_DATA_REGION_SPAN = 0x0100_0000
+#: Base of the opponent code region.
+_CODE_REGION_BASE = 0x5000_0000
+#: Bytes reserved per core for opponent code.
+_CODE_REGION_SPAN = 0x0010_0000
+
+_INSTRUCTION_BYTES = 4
+
+
+def _regions(core_id: int) -> tuple:
+    """(code base, data base) of the opponent running on ``core_id``."""
+    if core_id < 0:
+        raise ValueError("core_id must be >= 0")
+    return (
+        _CODE_REGION_BASE + core_id * _CODE_REGION_SPAN,
+        _DATA_REGION_BASE + core_id * _DATA_REGION_SPAN,
+    )
+
+
+def memory_hammer_trace(
+    instructions: int,
+    seed: int,
+    core_id: int = 1,
+    stride_bytes: int = 32,
+    footprint_bytes: int = 1 << 20,
+    loop_ops: int = 8,
+) -> Trace:
+    """A load/store loop striding over a footprint no L1 can hold.
+
+    Each iteration issues one load followed by write-through stores,
+    ``stride_bytes`` apart (one per cache line at the default stride),
+    and ends with a taken loop branch; the footprint wraps at
+    ``footprint_bytes``.  The load misses and the stores become bus
+    transactions that drain through the store buffer *without stalling
+    the hammer itself* — which is exactly what makes it the worst
+    realistic enemy: a pure load loop stalls on every miss and occupies
+    the bus at a ~50% duty cycle, while the store-dominant mix keeps
+    issuing until the write buffer throttles it at the bus's own rate.
+    The starting offset is seeded so different runs hammer different
+    lines.
+    """
+    if instructions < 1:
+        raise ValueError("instructions must be >= 1")
+    code_base, data_base = _regions(core_id)
+    rng = SplitMix64(seed)
+    offset = int(rng.random() * (footprint_bytes // stride_bytes)) * stride_bytes
+    trace = Trace()
+    body_pcs = [
+        code_base + i * _INSTRUCTION_BYTES for i in range(loop_ops + 1)
+    ]
+    emitted = 0
+    while emitted < instructions:
+        for slot in range(loop_ops):
+            if emitted >= instructions:
+                break
+            addr = data_base + offset
+            offset = (offset + stride_bytes) % footprint_bytes
+            kind = InstrKind.LOAD if slot == 0 else InstrKind.STORE
+            trace.append(kind, body_pcs[slot], addr=addr)
+            emitted += 1
+        if emitted < instructions:
+            trace.append(InstrKind.BRANCH, body_pcs[loop_ops], taken=True)
+            emitted += 1
+    return trace
+
+
+def cpu_burn_trace(
+    instructions: int,
+    seed: int,
+    core_id: int = 1,
+    loop_ops: int = 12,
+) -> Trace:
+    """Pure integer work in a tiny loop: no data-memory traffic at all.
+
+    After the first fetch of the loop body the instruction stream hits
+    the line buffer/IL1, so the opponent occupies its core without
+    touching the shared bus — the baseline enemy that isolates the cost
+    of co-scheduling itself.  The seed varies the IMUL sprinkling.
+    """
+    if instructions < 1:
+        raise ValueError("instructions must be >= 1")
+    code_base, _ = _regions(core_id)
+    rng = SplitMix64(seed)
+    body_pcs = [code_base + i * _INSTRUCTION_BYTES for i in range(loop_ops + 1)]
+    mul_slot = int(rng.random() * loop_ops)
+    trace = Trace()
+    emitted = 0
+    while emitted < instructions:
+        for slot in range(loop_ops):
+            if emitted >= instructions:
+                break
+            kind = InstrKind.IMUL if slot == mul_slot else InstrKind.ALU
+            trace.append(kind, body_pcs[slot])
+            emitted += 1
+        if emitted < instructions:
+            trace.append(InstrKind.BRANCH, body_pcs[loop_ops], taken=True)
+            emitted += 1
+    return trace
+
+
+def full_rand_trace(
+    instructions: int,
+    seed: int,
+    core_id: int = 1,
+    footprint_bytes: int = 1 << 16,
+    code_lines: int = 64,
+) -> Trace:
+    """A seeded random mix of ALU, loads, stores, branches and FP work.
+
+    Loads and stores hit uniformly random word addresses inside
+    ``footprint_bytes`` (several times a scaled L1, so a realistic miss
+    mix), the program counter walks a ``code_lines``-instruction region
+    and wraps (some IL1 locality), and branches take random directions.
+    The kind mix is roughly 45% ALU, 25% load, 10% store, 10% branch,
+    10% FP — an "average enemy" between the hammer and the burner.
+    """
+    if instructions < 1:
+        raise ValueError("instructions must be >= 1")
+    code_base, data_base = _regions(core_id)
+    rng = SplitMix64(seed)
+    words = max(1, footprint_bytes // 4)
+    trace = Trace()
+    fp_kinds = (InstrKind.FADD, InstrKind.FMUL, InstrKind.FSUB)
+    for i in range(instructions):
+        pc = code_base + (i % code_lines) * _INSTRUCTION_BYTES
+        draw = rng.random()
+        if draw < 0.45:
+            trace.append(InstrKind.ALU, pc)
+        elif draw < 0.70:
+            addr = data_base + int(rng.random() * words) * 4
+            trace.append(InstrKind.LOAD, pc, addr=addr)
+        elif draw < 0.80:
+            addr = data_base + int(rng.random() * words) * 4
+            trace.append(InstrKind.STORE, pc, addr=addr)
+        elif draw < 0.90:
+            trace.append(InstrKind.BRANCH, pc, taken=rng.random() < 0.5)
+        else:
+            kind = fp_kinds[int(rng.random() * len(fp_kinds)) % len(fp_kinds)]
+            trace.append(kind, pc)
+    return trace
+
+
+@dataclass(frozen=True)
+class CoRunner:
+    """A named opponent kind: ``build(instructions, seed, core_id)``."""
+
+    name: str
+    build: Callable[[int, int, int], Trace]
+    description: str = ""
+
+
+_CO_RUNNERS: Dict[str, CoRunner] = {}
+
+
+def _register(runner: CoRunner) -> None:
+    _CO_RUNNERS[runner.name] = runner
+
+
+_register(
+    CoRunner(
+        name="memory-hammer",
+        build=lambda n, seed, core_id: memory_hammer_trace(n, seed, core_id),
+        description="line-stride load loop over a 1 MB footprint "
+        "(every access misses: worst realistic bus enemy)",
+    )
+)
+_register(
+    CoRunner(
+        name="cpu-burn",
+        build=lambda n, seed, core_id: cpu_burn_trace(n, seed, core_id),
+        description="pure ALU/IMUL loop (no shared-resource traffic)",
+    )
+)
+_register(
+    CoRunner(
+        name="rand-mix",
+        build=lambda n, seed, core_id: full_rand_trace(n, seed, core_id),
+        description="seeded random ALU/memory/FP mix over a 64 KB "
+        "footprint (average enemy)",
+    )
+)
+
+
+def co_runner(name: str) -> CoRunner:
+    """The registered opponent kind called ``name``."""
+    try:
+        return _CO_RUNNERS[name]
+    except KeyError:
+        known = ", ".join(co_runner_names())
+        raise KeyError(f"unknown co-runner {name!r} (known: {known})") from None
+
+
+def co_runner_names() -> List[str]:
+    """Registered opponent kinds, sorted."""
+    return sorted(_CO_RUNNERS)

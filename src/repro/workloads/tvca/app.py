@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ...platform.soc import Platform
 from ...platform.prng import derive_seed
+from ...platform.trace import Trace
 from ...programs.compiler import generate_trace
 from ...programs.layout import LayoutConfig, LinkedImage, link
 from ...programs.dsl import Block, Call, Program, alu
@@ -51,7 +52,7 @@ from .tasks import (
     build_sensor_task,
 )
 
-__all__ = ["TvcaConfig", "TvcaRunResult", "TvcaApplication"]
+__all__ = ["TvcaConfig", "TvcaRunResult", "TvcaRunPlan", "TvcaApplication"]
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,39 @@ class TvcaRunResult:
     instructions: int
 
 
+@dataclass(frozen=True)
+class TvcaRunPlan:
+    """The platform-independent half of one measured TVCA execution.
+
+    The closed-loop control mathematics (plant, sensor processing, PID
+    updates) is pure Python and depends only on the input seed — never
+    on platform timing — so the complete sequence of per-job instruction
+    traces can be built ahead of execution.  :meth:`TvcaApplication.
+    run_once` executes the plan job by job under the paper's protocol;
+    contention scenarios concatenate it into a single trace and
+    co-schedule it against opponents.
+    """
+
+    jobs: Tuple
+    traces: Tuple[Trace, ...]
+    signatures: Tuple[str, ...]
+    path_class: str
+    input_profile: str
+
+    @property
+    def full_signature(self) -> str:
+        """Exact concatenated DSL signature of the whole run."""
+        return "|".join(self.signatures)
+
+    def concatenated_trace(self) -> Trace:
+        """All job traces back to back, in release order — the form a
+        co-scheduled (contention-scenario) run executes."""
+        merged = Trace()
+        for trace in self.traces:
+            merged.extend(trace)
+        return merged
+
+
 class TvcaApplication:
     """The complete TVCA case study, ready to run on a platform."""
 
@@ -179,24 +213,17 @@ class TvcaApplication:
         return min(int(scale * top), top)
 
     # ------------------------------------------------------------------
-    # One measured execution
+    # Trace planning (platform-independent)
     # ------------------------------------------------------------------
-    def run_once(
-        self, platform: Platform, run_seed: int, input_seed: Optional[int] = None
-    ) -> TvcaRunResult:
-        """Execute one full measurement run under the paper's protocol.
+    def build_plan(self, input_seed: int) -> TvcaRunPlan:
+        """Run the closed control loop and build every job's trace.
 
-        ``run_seed`` drives the *platform* randomization (cache seeds),
-        ``input_seed`` the *workload* inputs (initial attitude errors,
-        gusts, sensor noise); they default to independent derivations of
-        the same value so a single integer reproduces the run.
+        Pure function of ``input_seed``: the plant, sensor processing and
+        controller mathematics never observe platform timing, so the
+        traces (and the executed path) are fully determined before a
+        single instruction is simulated.
         """
         cfg = self.config
-        if input_seed is None:
-            input_seed = derive_seed(run_seed, 0xA11CE)
-        platform.reset(run_seed)
-        core = platform.cores[0]
-
         plant = TvcPlant(cfg.plant, input_seed)
         sensor_proc = SensorProcessor()
         sensor_proc.prime(plant.sense_x(), plant.sense_y())
@@ -206,17 +233,13 @@ class TvcaApplication:
         horizon = cfg.hyperperiods * cfg.actuator_period_cycles
         jobs = build_jobs(self.tasks, horizon=horizon)
 
-        total_cycles = 0
-        total_instructions = 0
-        per_task_cycles: Dict[str, int] = {t.name: 0 for t in self.tasks}
-        per_task_max: Dict[str, int] = {t.name: 0 for t in self.tasks}
+        traces: List[Trace] = []
         signatures: List[str] = []
         any_fault = False
         any_sat_x = False
         any_sat_y = False
         max_steps_x = 0
         max_steps_y = 0
-        executions: Dict[object, int] = {}
 
         dt = cfg.actuator_period_s / 2.0
         command_x = 0.0
@@ -264,15 +287,70 @@ class TvcaApplication:
                 }
 
             trace, signature = generate_trace(self._programs[name], self.image, env)
+            traces.append(trace)
+            signatures.append(f"{name}[{job.index}]:{signature.as_key()}")
+
+        path_class = f"fault={'T' if any_fault else 'F'}"
+        input_profile = (
+            f"sx={'T' if any_sat_x else 'F'};"
+            f"sy={'T' if any_sat_y else 'F'};"
+            f"gsx={max_steps_x};gsy={max_steps_y}"
+        )
+        return TvcaRunPlan(
+            jobs=tuple(jobs),
+            traces=tuple(traces),
+            signatures=tuple(signatures),
+            path_class=path_class,
+            input_profile=input_profile,
+        )
+
+    # ------------------------------------------------------------------
+    # One measured execution
+    # ------------------------------------------------------------------
+    def run_once(
+        self, platform: Platform, run_seed: int, input_seed: Optional[int] = None
+    ) -> TvcaRunResult:
+        """Execute one full measurement run under the paper's protocol.
+
+        ``run_seed`` drives the *platform* randomization (cache seeds),
+        ``input_seed`` the *workload* inputs (initial attitude errors,
+        gusts, sensor noise); they default to independent derivations of
+        the same value so a single integer reproduces the run.  The run
+        plan (job traces, path) is built first — it is a pure function
+        of ``input_seed`` — and then executed job by job on core 0.
+
+        Historical timing semantics, preserved bit for bit: each job's
+        cycle clock restarts at zero while shared-resource state (the
+        bus busy horizon, the store buffer's drain times) carries over
+        from the previous job, so jobs after the first absorb some
+        residual stall from their predecessor's tail.  Contention
+        scenarios instead execute :meth:`TvcaRunPlan.concatenated_trace`
+        on a continuous clock; the two paths are therefore not
+        cycle-comparable — compare scenarios against the *isolation*
+        scenario, not against this method.
+        """
+        if input_seed is None:
+            input_seed = derive_seed(run_seed, 0xA11CE)
+        plan = self.build_plan(input_seed)
+        platform.reset(run_seed)
+        core = platform.cores[0]
+
+        total_cycles = 0
+        total_instructions = 0
+        per_task_cycles: Dict[str, int] = {t.name: 0 for t in self.tasks}
+        per_task_max: Dict[str, int] = {t.name: 0 for t in self.tasks}
+        executions: Dict[object, int] = {}
+
+        for job, trace in zip(plan.jobs, plan.traces):
+            name = job.task.name
             result = core.execute(trace)
             total_cycles += result.cycles
             total_instructions += result.instructions
             per_task_cycles[name] += result.cycles
             per_task_max[name] = max(per_task_max[name], result.cycles)
             executions[job] = result.cycles
-            signatures.append(f"{name}[{job.index}]:{signature.as_key()}")
 
-        outcomes = simulate_timeline(jobs, executions)
+        outcomes = simulate_timeline(plan.jobs, executions)
         deadlines_met = all(o.deadline_met for o in outcomes)
         max_response = max(o.response for o in outcomes)
         # The task set has huge slack at these rates; preemption-free
@@ -282,17 +360,11 @@ class TvcaApplication:
             "sensor inter-release gap"
         )
 
-        path_class = f"fault={'T' if any_fault else 'F'}"
-        input_profile = (
-            f"sx={'T' if any_sat_x else 'F'};"
-            f"sy={'T' if any_sat_y else 'F'};"
-            f"gsx={max_steps_x};gsy={max_steps_y}"
-        )
         return TvcaRunResult(
             cycles=total_cycles,
-            path_class=path_class,
-            input_profile=input_profile,
-            full_signature="|".join(signatures),
+            path_class=plan.path_class,
+            input_profile=plan.input_profile,
+            full_signature=plan.full_signature,
             per_task_cycles=per_task_cycles,
             per_task_max_job_cycles=per_task_max,
             max_response_cycles=max_response,

@@ -74,6 +74,97 @@ class TestProgramWorkload:
         assert env_fn(7) != env_fn(8)
 
 
+class TestTraceMemoization:
+    """Per-run trace generation is cached by its generating seed."""
+
+    def test_static_program_expands_trace_once(self):
+        workload = ProgramWorkload(matmul_kernel(dim=3))
+        platform = leon3_det(num_cores=1)
+        workload.prepare(platform)
+        first = workload.build_trace(platform, run_seed=1, input_seed=10)
+        second = workload.build_trace(platform, run_seed=2, input_seed=20)
+        # Trace independent of the input seed: one cache entry, reused.
+        assert second.trace is first.trace
+        assert workload._trace_cache.misses == 1
+        assert workload._trace_cache.hits == 1
+
+    def test_cached_trace_does_not_change_observations(self):
+        uncached = ProgramWorkload(matmul_kernel(dim=3))
+        cached = ProgramWorkload(matmul_kernel(dim=3))
+        platform = leon3_det(num_cores=1)
+        for workload in (uncached, cached):
+            workload.prepare(platform)
+        baseline = uncached.execute(platform, run_seed=3, input_seed=4)
+        cached.execute(platform, run_seed=99, input_seed=4)  # warm
+        warm = cached.execute(platform, run_seed=3, input_seed=4)
+        assert warm.cycles == baseline.cycles
+        assert warm.path == baseline.path
+
+    def test_env_fn_traces_keyed_by_input_seed(self):
+        workload = create_workload("table-walk", entries=64, lookups=16)
+        platform = leon3_rand(num_cores=1)
+        workload.prepare(platform)
+        a1 = workload.build_trace(platform, run_seed=0, input_seed=1)
+        b = workload.build_trace(platform, run_seed=0, input_seed=2)
+        a2 = workload.build_trace(platform, run_seed=0, input_seed=1)
+        assert a2.trace is a1.trace
+        assert b.trace is not a1.trace
+        assert workload._trace_cache.misses == 2
+        assert workload._trace_cache.hits == 1
+
+    def test_cache_capacity_is_bounded(self):
+        workload = create_workload("table-walk", entries=16, lookups=4)
+        platform = leon3_rand(num_cores=1)
+        workload.prepare(platform)
+        capacity = workload._trace_cache.capacity
+        for seed in range(capacity + 10):
+            workload.build_trace(platform, run_seed=0, input_seed=seed)
+        assert len(workload._trace_cache._entries) == capacity
+
+    def test_tvca_plan_cached_by_input_seed(self):
+        platform = leon3_rand(num_cores=4)
+        workload = TvcaWorkload(SMALL_TVCA)
+        workload.prepare(platform)
+        first = workload.build_trace(platform, run_seed=1, input_seed=5)
+        again = workload.build_trace(platform, run_seed=2, input_seed=5)
+        other = workload.build_trace(platform, run_seed=1, input_seed=6)
+        assert again.trace is first.trace
+        assert other.trace is not first.trace
+        assert first.metadata["jobs"] > 0
+
+    def test_indexed_envs_not_poisoned_by_constant_input_seed(self):
+        """vary_inputs=False keeps one input seed for every run; the
+        legacy index-keyed env adapter must still get per-index traces
+        (regression test for the trace-cache key)."""
+        from repro.harness import CampaignConfig as HarnessConfig
+        from repro.harness import MeasurementCampaign
+        from repro.programs.dsl import Block, Loop, Program, alu
+        from repro.programs.layout import link
+
+        program = Program(
+            name="varying",
+            body=[
+                Loop(
+                    name="n",
+                    count=lambda env: env["n"],
+                    body=[Block([alu(4)])],
+                )
+            ],
+        )
+        campaign = MeasurementCampaign(
+            HarnessConfig(runs=4, base_seed=3, vary_inputs=False)
+        )
+        result = campaign.run_program(
+            leon3_det(num_cores=1),
+            program,
+            link(program),
+            env_fn=lambda index: {"n": 4 + 4 * index},
+        )
+        cycles = [record.cycles for record in result.run_details]
+        assert len(set(cycles)) == 4  # strictly growing work per index
+        assert cycles == sorted(cycles)
+
+
 class TestSyntheticWorkload:
     def test_draws_one_value_per_run(self):
         workload = SyntheticWorkload(cache_like_samples, name="syn")

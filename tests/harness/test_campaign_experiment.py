@@ -123,3 +123,36 @@ class TestCompareDetRand:
         comparison = compare_det_rand(runs=6, base_seed=11, app_config=SMALL_TVCA)
         # Same number of observations on both platforms.
         assert len(comparison.det_sample) == len(comparison.rand_sample) == 6
+
+
+class TestCompareScenarios:
+    def test_isolation_vs_hammer_sweep(self):
+        from repro.harness import compare_scenarios
+
+        comparison = compare_scenarios(
+            "table-walk",
+            scenarios=("isolation", "opponent-memory-hammer"),
+            runs=8,
+            base_seed=55,
+            platform_kwargs={"num_cores": 4, "cache_kb": 4},
+        )
+        summary = comparison.summary()
+        assert set(summary) == {"isolation", "opponent-memory-hammer"}
+        assert summary["opponent-memory-hammer"]["slowdown"] >= 1.0
+        assert comparison.slowdown("isolation") == 1.0
+        # Same seeds across scenarios: the per-run seeds line up.
+        iso = comparison.by_scenario["isolation"].run_details
+        ham = comparison.by_scenario["opponent-memory-hammer"].run_details
+        assert [r.platform_seed for r in iso] == [r.platform_seed for r in ham]
+
+    def test_slowdown_requires_baseline(self):
+        from repro.harness import compare_scenarios
+
+        comparison = compare_scenarios(
+            "matmul",
+            scenarios=("opponent-cpu",),
+            runs=2,
+            platform_kwargs={"num_cores": 2, "cache_kb": 4},
+        )
+        with pytest.raises(ValueError):
+            comparison.slowdown("opponent-cpu")

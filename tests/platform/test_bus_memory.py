@@ -57,6 +57,85 @@ class TestBus:
         assert bus.request(0, 0, is_line=True) == bus.request(0, 1000, is_line=True)
 
 
+class TestBusArbitrationAccounting:
+    """Round-robin accounting: per-master split, grant ordering, modes."""
+
+    def _queue_four(self, bus):
+        for master in range(4):
+            bus.request(master, 0, is_line=True)
+
+    def test_contention_split_by_master_sums_to_total(self):
+        bus = Bus(BusConfig(num_masters=4))
+        self._queue_four(bus)
+        stats = bus.stats
+        assert sum(stats.contention_by_master.values()) == stats.contention_cycles
+        assert sum(stats.transactions_by_master.values()) == stats.transactions
+        # Masters queued later in the same window wait strictly longer.
+        waits = [stats.contention_by_master[m] for m in range(4)]
+        assert waits == sorted(waits)
+        assert waits[0] == 0 and waits[-1] > 0
+
+    def test_reset_stats_clears_per_master_split(self):
+        bus = Bus(BusConfig(num_masters=4))
+        self._queue_four(bus)
+        bus.reset_stats()
+        assert bus.stats.contention_by_master == {}
+        assert bus.stats.transactions_by_master == {}
+
+    def test_stats_copy_is_independent(self):
+        bus = Bus(BusConfig(num_masters=2))
+        bus.request(0, 0, is_line=True)
+        snapshot = bus.stats.copy()
+        bus.request(1, 0, is_line=True)
+        assert snapshot.transactions == 1
+        assert 1 not in snapshot.contention_by_master
+
+    def test_grant_log_records_non_overlapping_windows(self):
+        bus = Bus(BusConfig(num_masters=4, record_grants=True))
+        self._queue_four(bus)
+        bus.request(2, 5, is_line=False)
+        log = bus.grant_log
+        assert len(log) == 5
+        ordered = sorted(log, key=lambda grant: grant[1])
+        for (_, _, prev_end), (_, start, _) in zip(ordered, ordered[1:]):
+            assert start >= prev_end
+
+    def test_grant_log_off_by_default_and_cleared_on_reset(self):
+        bus = Bus(BusConfig(num_masters=4))
+        self._queue_four(bus)
+        assert bus.grant_log == []
+        bus = Bus(BusConfig(num_masters=4, record_grants=True))
+        self._queue_four(bus)
+        assert bus.grant_log
+        bus.reset()
+        assert bus.grant_log == []
+
+    def test_strict_rr_charges_full_pointer_walk(self):
+        flat = Bus(BusConfig(num_masters=4))
+        strict = Bus(BusConfig(num_masters=4, strict_rr_arbitration=True))
+        # After master 0's grant the pointer sits at 1; a new request
+        # from master 0 is 3 hops away.
+        flat.request(0, 0, is_line=True)
+        strict.request(0, 0, is_line=True)
+        flat_cost = flat.request(0, 1000, is_line=True)
+        strict_cost = strict.request(0, 1000, is_line=True)
+        assert strict_cost == flat_cost + 2  # 3*arb instead of 1*arb
+        # At the pointer, both modes charge nothing extra.
+        assert (
+            Bus(BusConfig(num_masters=4, strict_rr_arbitration=True)).request(
+                0, 0, is_line=True
+            )
+            == Bus(BusConfig(num_masters=4)).request(0, 0, is_line=True)
+        )
+
+    def test_single_master_bus_has_no_arbitration_charge(self):
+        bus = Bus(BusConfig(num_masters=1))
+        first = bus.request(0, 0, is_line=True)
+        spaced = bus.request(0, 10_000, is_line=True)
+        assert first == spaced
+        assert bus.stats.contention_cycles == 0
+
+
 class TestMemoryClosedPage:
     def test_constant_read_latency(self):
         mem = MemoryController(MemoryConfig(page_policy="closed"))

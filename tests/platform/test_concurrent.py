@@ -1,0 +1,194 @@
+"""Tests for co-scheduled execution (Platform.run_concurrent) and the
+resumable CoreStepper."""
+
+import pytest
+
+from repro.platform import (
+    BusConfig,
+    CoreStepper,
+    Platform,
+    PlatformConfig,
+    leon3_rand,
+)
+from repro.programs.compiler import generate_trace
+from repro.programs.layout import link
+from repro.workloads import kernels
+from repro.workloads.opponents import (
+    cpu_burn_trace,
+    full_rand_trace,
+    memory_hammer_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def kernel_trace():
+    program = kernels.matmul_kernel(dim=6)
+    trace, _ = generate_trace(program, link(program), {})
+    return trace
+
+
+@pytest.fixture(scope="module")
+def varied_trace():
+    program = kernels.table_walk_kernel(entries=256, lookups=48)
+    trace, _ = generate_trace(
+        program, link(program), {"indices": [(i * 37) % 256 for i in range(48)]}
+    )
+    return trace
+
+
+def _platform(num_cores=4, **bus_kwargs):
+    platform = leon3_rand(num_cores=num_cores, cache_kb=4)
+    if bus_kwargs:
+        config = PlatformConfig(
+            name=platform.config.name,
+            num_cores=num_cores,
+            core=platform.config.core,
+            bus=BusConfig(**bus_kwargs),
+        )
+        platform = Platform(config)
+    return platform
+
+
+class TestStepper:
+    def test_stepwise_matches_burst(self, kernel_trace):
+        burst = _platform().run(kernel_trace, seed=11)
+        platform = _platform()
+        platform.reset(11)
+        stepper = CoreStepper(platform.cores[0], kernel_trace)
+        while stepper.step():
+            pass
+        stepwise = stepper.result()
+        assert stepwise.cycles == burst.cycles
+        assert stepwise.instructions == burst.instructions
+        assert stepwise.icache == burst.icache
+        assert stepwise.dcache == burst.dcache
+
+    def test_advance_in_chunks_matches_burst(self, kernel_trace):
+        burst = _platform().run(kernel_trace, seed=5)
+        platform = _platform()
+        platform.reset(5)
+        stepper = CoreStepper(platform.cores[0], kernel_trace)
+        while not stepper.done:
+            stepper.advance(17)
+        assert stepper.result().cycles == burst.cycles
+
+    def test_looping_stepper_never_done(self, kernel_trace):
+        platform = _platform()
+        platform.reset(0)
+        stepper = CoreStepper(platform.cores[0], kernel_trace, loop=True)
+        executed = stepper.advance(len(kernel_trace) + 100)
+        assert executed == len(kernel_trace) + 100
+        assert not stepper.done
+        assert stepper.instructions == executed
+
+    def test_empty_trace_is_done(self):
+        from repro.platform.trace import Trace
+
+        platform = _platform()
+        platform.reset(0)
+        stepper = CoreStepper(platform.cores[0], Trace(), loop=True)
+        assert stepper.done
+        assert stepper.advance(10) == 0
+
+
+class TestRunConcurrent:
+    def test_single_entry_matches_run(self, kernel_trace):
+        isolated = _platform().run(kernel_trace, seed=42)
+        concurrent = _platform().run_concurrent({0: kernel_trace}, seed=42)
+        result = concurrent.analysis
+        assert result.cycles == isolated.cycles
+        assert result.instructions == isolated.instructions
+        assert result.icache == isolated.icache
+        assert result.dcache == isolated.dcache
+        assert result.itlb == isolated.itlb
+        assert result.fpu == isolated.fpu
+
+    def test_single_entry_on_other_core(self, kernel_trace):
+        isolated = _platform().run(kernel_trace, seed=9, core_id=2)
+        concurrent = _platform().run_concurrent({2: kernel_trace}, seed=9)
+        assert concurrent.analysis_core == 2
+        assert concurrent.cycles == isolated.cycles
+
+    def test_deterministic(self, kernel_trace):
+        def one():
+            opponents = {
+                core: memory_hammer_trace(500, seed=core, core_id=core)
+                for core in (1, 2, 3)
+            }
+            traces = {0: kernel_trace, **opponents}
+            return _platform().run_concurrent(traces, seed=77)
+
+        a, b = one(), one()
+        assert a.cycles == b.cycles
+        assert a.contention_by_core == b.contention_by_core
+        assert a.bus.to_dict() == b.bus.to_dict()
+
+    def test_memory_hammer_slows_analysis_core(self, kernel_trace):
+        isolated = _platform().run(kernel_trace, seed=3)
+        traces = {0: kernel_trace}
+        for core in (1, 2, 3):
+            traces[core] = memory_hammer_trace(1000, seed=100 + core, core_id=core)
+        contended = _platform().run_concurrent(traces, seed=3)
+        assert contended.cycles > isolated.cycles
+        assert contended.analysis.bus_contention_cycles > 0
+
+    def test_co_runners_loop_to_cover_run(self, kernel_trace):
+        short = memory_hammer_trace(16, seed=1, core_id=1)
+        result = _platform().run_concurrent(
+            {0: kernel_trace, 1: short}, seed=3
+        )
+        # The 16-instruction opponent must have wrapped many times.
+        assert result.per_core[1].instructions > len(short)
+
+    def test_non_loop_co_runner_finishes(self, kernel_trace):
+        short = cpu_burn_trace(16, seed=1, core_id=1)
+        result = _platform().run_concurrent(
+            {0: kernel_trace, 1: short}, seed=3, loop_co_runners=False
+        )
+        assert result.per_core[1].instructions == len(short)
+
+    def test_contention_breakdown_sums(self, kernel_trace, varied_trace):
+        traces = {
+            0: kernel_trace,
+            1: varied_trace,
+            2: memory_hammer_trace(800, seed=8, core_id=2),
+        }
+        result = _platform().run_concurrent(traces, seed=12)
+        by_core = result.contention_by_core
+        # Co-runner snapshots are taken when the analysis core halts, so
+        # every per-core wait is part of the shared-bus aggregate.
+        assert sum(by_core.values()) == result.bus.contention_cycles
+        assert result.bus.contention_cycles == sum(
+            result.bus.contention_by_master.values()
+        )
+
+    def test_grants_never_overlap_under_contention(self, kernel_trace):
+        platform = _platform(num_masters=4, record_grants=True)
+        traces = {0: kernel_trace}
+        for core in (1, 2, 3):
+            traces[core] = full_rand_trace(1500, seed=core, core_id=core)
+        platform.run_concurrent(traces, seed=21)
+        log = platform.bus.grant_log
+        assert len(log) > 10
+        ordered = sorted(log, key=lambda grant: grant[1])
+        for (_, _, prev_end), (_, start, _) in zip(ordered, ordered[1:]):
+            assert start >= prev_end
+
+    def test_metadata_is_json_safe(self, kernel_trace):
+        import json
+
+        traces = {0: kernel_trace, 1: cpu_burn_trace(64, seed=2, core_id=1)}
+        result = _platform().run_concurrent(traces, seed=1)
+        payload = json.loads(json.dumps(result.to_metadata()))
+        assert payload["analysis_core"] == 0
+        assert payload["cores"] == [0, 1]
+        assert set(payload["per_core_cycles"]) == {"0", "1"}
+
+    def test_validation(self, kernel_trace):
+        platform = _platform()
+        with pytest.raises(ValueError):
+            platform.run_concurrent({}, seed=0)
+        with pytest.raises(ValueError):
+            platform.run_concurrent({7: kernel_trace}, seed=0)
+        with pytest.raises(ValueError):
+            platform.run_concurrent({0: kernel_trace}, seed=0, analysis_core=1)

@@ -1,0 +1,44 @@
+"""Single-core cycle counts are regression-pinned across refactors.
+
+The co-scheduled execution engine (CoreStepper + Platform.run_concurrent)
+replaced the monolithic ``Core.execute`` loop; the contract is that
+single-core campaigns stay **bit-identical** to the pre-refactor engine.
+The expected values below were captured from the seed implementation
+(before the stepper refactor) — if any of them moves, the platform's
+timing semantics changed and every published campaign is invalidated.
+"""
+
+import pytest
+
+from repro.api import run_campaign
+
+#: (workload, platform) -> exact per-run cycles for runs=5, base_seed=20177,
+#: num_cores=1, cache_kb=4 (tvca: estimator_dim=12, aero_window=16).
+PINNED = {
+    ("matmul", "rand"): [8593.0, 8593.0, 8593.0, 8593.0, 8593.0],
+    ("matmul", "det"): [8593.0, 8593.0, 8593.0, 8593.0, 8593.0],
+    ("fir", "rand"): [30084.0, 30084.0, 30084.0, 30084.0, 30084.0],
+    ("table-walk", "rand"): [4455.0, 4591.0, 4591.0, 4625.0, 4523.0],
+    ("tvca", "rand"): [91811.0, 91977.0, 94097.0, 93607.0, 92061.0],
+    ("tvca", "det"): [91791.0, 91957.0, 91881.0, 92507.0, 92050.0],
+}
+
+
+@pytest.mark.parametrize(
+    "workload,platform", sorted(PINNED), ids=lambda value: str(value)
+)
+def test_single_core_cycles_bit_identical_to_seed_engine(workload, platform):
+    kwargs = (
+        {"estimator_dim": 12, "aero_window": 16} if workload == "tvca" else {}
+    )
+    result = run_campaign(
+        workload,
+        platform,
+        runs=5,
+        base_seed=20177,
+        workload_kwargs=kwargs,
+        platform_kwargs={"num_cores": 1, "cache_kb": 4},
+    )
+    assert [record.cycles for record in result.run_details] == PINNED[
+        (workload, platform)
+    ]

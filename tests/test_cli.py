@@ -50,6 +50,27 @@ class TestParser:
         assert code == 2
         assert "step must be >= 10" in capsys.readouterr().err
 
+    def test_contention_flags(self):
+        args = build_parser().parse_args(["run"])
+        assert args.cores == 1
+        assert args.co_runner is None
+        args = build_parser().parse_args(
+            ["run", "--cores", "4", "--co-runner", "opponent-memory-hammer"]
+        )
+        assert args.cores == 4
+        assert args.co_runner == "opponent-memory-hammer"
+
+    def test_contend_defaults(self):
+        args = build_parser().parse_args(["contend"])
+        assert args.cores == 4
+        assert args.workload == "matmul"
+        assert args.scenarios is None
+        assert args.co_runner is None
+
+    def test_unknown_co_runner_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--co-runner", "nope"])
+
 
 class TestCommands:
     def test_campaign_writes_per_path_artifact(self, tmp_path, capsys):
@@ -154,3 +175,77 @@ class TestCommands:
         assert "tvca" in out
         assert "rand" in out
         assert "det" in out
+
+    def test_list_shows_scenarios_and_core_counts(self, capsys):
+        code = main(["list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenarios (--co-runner):" in out
+        assert "opponent-memory-hammer" in out
+        assert "isolation" in out
+        assert "default cores: 4" in out
+
+    def test_run_with_co_runner_records_scenario(self, tmp_path, capsys):
+        out = tmp_path / "contended.json"
+        code = main([
+            "run", "--workload", "matmul", "--runs", "5", "--cores", "4",
+            "--co-runner", "opponent-memory-hammer", "--out", str(out),
+        ])
+        assert code == 0
+        assert "matmul_8+opponent-memory-hammer@RAND" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["config"]["scenario"] == "opponent-memory-hammer"
+        assert payload["platform"]["num_cores"] == 4
+        record = payload["records"][0]
+        assert record["metadata"]["co_runner"] == "memory-hammer"
+        assert set(record["metadata"]["per_core_cycles"]) == {"0", "1", "2", "3"}
+
+    def test_unsupported_workload_for_co_scheduling_exits_2(self, capsys):
+        code = main([
+            "run", "--workload", "synthetic-cache", "--runs", "2",
+            "--cores", "2", "--co-runner", "opponent-cpu",
+        ])
+        assert code == 2
+        assert "co-scheduling" in capsys.readouterr().err
+
+    def test_co_runner_needs_multicore_platform(self, capsys):
+        code = main([
+            "run", "--workload", "matmul", "--runs", "2",
+            "--co-runner", "opponent-cpu",
+        ])
+        assert code == 2
+        assert "at least 2 cores" in capsys.readouterr().err
+
+    def test_contend_co_runner_shorthand(self, capsys):
+        code = main([
+            "contend", "--workload", "matmul", "--runs", "4",
+            "--co-runner", "opponent-cpu",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "isolation:" in printed
+        assert "opponent-cpu:" in printed
+        assert "opponent-memory-hammer" not in printed
+
+    def test_contend_rejects_scenarios_plus_co_runner(self, capsys):
+        code = main([
+            "contend", "--runs", "2", "--scenarios", "isolation",
+            "--co-runner", "opponent-cpu",
+        ])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_contend_renders_comparison(self, tmp_path, capsys):
+        out = tmp_path / "contend.csv"
+        code = main([
+            "contend", "--workload", "table-walk", "--runs", "20",
+            "--out", str(out),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "isolation:" in printed
+        assert "opponent-memory-hammer:" in printed
+        assert "vs isolation" in printed
+        csv = out.read_text()
+        assert csv.startswith("scenario,statistic,value")
+        assert "opponent-memory-hammer,mean," in csv

@@ -4,6 +4,8 @@ import pytest
 
 from repro.viz import (
     ascii_bar,
+    contention_csv,
+    contention_panel,
     figure2_csv,
     figure2_panel,
     figure3_csv,
@@ -85,3 +87,64 @@ class TestFigure3:
         assert lines[0] == "series,cutoff,value"
         assert any(line.startswith("mbta_bound") for line in lines)
         assert any(line.startswith("pwcet,1e-06") for line in lines)
+
+
+class TestContentionPanel:
+    BY_SCENARIO = {
+        "isolation": {"mean": 1000.0, "hwm": 1100.0, "pwcet": 1300.0},
+        "opponent-memory-hammer": {
+            "mean": 1500.0, "hwm": 1700.0, "pwcet": 2100.0,
+        },
+        "opponent-cpu": {"mean": 1001.0, "hwm": 1101.0},
+    }
+
+    def test_baseline_listed_first_with_slowdowns(self):
+        panel = contention_panel(self.BY_SCENARIO)
+        lines = panel.splitlines()
+        assert lines[0].startswith("isolation:")
+        assert "x1.500 vs isolation" in panel
+        assert "x1.001 vs isolation" in panel
+
+    def test_pwcet_row_only_when_present(self):
+        # Rendered order: baseline first, then alphabetical.
+        panel = contention_panel(self.BY_SCENARIO)
+        cpu_block = panel.split("opponent-cpu:")[1].split(
+            "opponent-memory-hammer:"
+        )[0]
+        hammer_block = panel.split("opponent-memory-hammer:")[1]
+        assert "pwcet" in hammer_block
+        assert "pwcet" not in cpu_block
+
+    def test_bars_scale_with_values(self):
+        panel = contention_panel(self.BY_SCENARIO)
+        lines = panel.splitlines()
+
+        def bar_len(block, key):
+            started = False
+            for line in lines:
+                if line.startswith(block + ":"):
+                    started = True
+                elif started and key in line:
+                    return line.count("#")
+            raise AssertionError(f"{block}/{key} not found")
+
+        assert bar_len("opponent-memory-hammer", "mean") > bar_len(
+            "isolation", "mean"
+        )
+
+    def test_without_baseline(self):
+        panel = contention_panel(
+            {"full-rand": {"mean": 10.0, "hwm": 12.0}}
+        )
+        assert "vs isolation" not in panel
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            contention_panel({})
+
+    def test_csv(self):
+        csv = contention_csv(self.BY_SCENARIO)
+        lines = csv.splitlines()
+        assert lines[0] == "scenario,statistic,value"
+        assert "isolation,mean,1000.0" in lines
+        assert "opponent-memory-hammer,pwcet,2100.0" in lines
