@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""CI benchmark regression gate for the ``BENCH_*.json`` trajectories.
+
+Compares freshly emitted benchmark JSON (``benchmarks/results/``)
+against the committed baselines (``benchmarks/baselines/``) and fails
+when throughput regressed more than the tolerance (default 20%).
+
+The gated metric is the **scalar-normalized speedup** — batch
+runs-per-second divided by scalar runs-per-second, both measured in the
+same session.  Normalizing by the in-session scalar backend cancels
+host speed, so a baseline captured on one machine meaningfully gates a
+run on another; absolute runs/sec are printed for context and only
+enforced with ``--absolute`` (meant for the weekly scheduled lane,
+where the runner class is fixed and the baseline is refreshed in the
+same job).
+
+Exit status: 0 when every gated entry passes, 1 otherwise.  A commit
+whose message (or PR title) contains ``[bench-skip]`` skips the CI
+job entirely — the escape hatch for changes that knowingly trade
+throughput; refresh the baseline in the same PR when using it (see
+``benchmarks/README.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+
+def load_entries(path: Path) -> dict:
+    """``entry name -> entry`` of one BENCH json file."""
+    payload = json.loads(path.read_text())
+    return {entry["name"]: entry for entry in payload.get("entries", [])}
+
+
+def gate_file(
+    baseline_path: Path,
+    results_dir: Path,
+    tolerance: float,
+    absolute: bool,
+) -> list:
+    """Gate one baseline file; returns a list of failure strings."""
+    failures = []
+    fresh_path = results_dir / baseline_path.name
+    if not fresh_path.is_file():
+        return [
+            f"{baseline_path.name}: no fresh result at {fresh_path} "
+            "(did the benchmark job run?)"
+        ]
+    baseline = load_entries(baseline_path)
+    fresh = load_entries(fresh_path)
+    for name, base_entry in sorted(baseline.items()):
+        fresh_entry = fresh.get(name)
+        if fresh_entry is None:
+            failures.append(f"{name}: missing from fresh results")
+            continue
+        base_speedup = float(base_entry["speedup"])
+        speedup = float(fresh_entry["speedup"])
+        floor = base_speedup * (1.0 - tolerance)
+        status = "ok" if speedup >= floor else "REGRESSED"
+        print(
+            f"  {name:24s} speedup {speedup:7.1f}x "
+            f"(baseline {base_speedup:.1f}x, floor {floor:.1f}x) {status}"
+        )
+        print(
+            f"  {'':24s} scalar {fresh_entry['scalar_runs_per_s']:8.1f} r/s "
+            f"(baseline {base_entry['scalar_runs_per_s']:.1f}), "
+            f"batch {fresh_entry['batch_runs_per_s']:8.1f} r/s "
+            f"(baseline {base_entry['batch_runs_per_s']:.1f})"
+        )
+        if speedup < floor:
+            failures.append(
+                f"{name}: normalized speedup {speedup:.2f}x regressed "
+                f"below {floor:.2f}x (baseline {base_speedup:.2f}x, "
+                f"tolerance {tolerance:.0%})"
+            )
+        if absolute:
+            for metric in ("scalar_runs_per_s", "batch_runs_per_s"):
+                base_rate = float(base_entry[metric])
+                rate = float(fresh_entry[metric])
+                if rate < base_rate * (1.0 - tolerance):
+                    failures.append(
+                        f"{name}: {metric} {rate:.1f} regressed below "
+                        f"{base_rate * (1.0 - tolerance):.1f} "
+                        f"(baseline {base_rate:.1f})"
+                    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", type=Path, default=HERE / "results",
+        help="directory with freshly emitted BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=HERE / "baselines",
+        help="directory with committed baseline BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional regression before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--absolute", action="store_true",
+        help="additionally gate absolute runs/sec (same-host lanes only)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_files = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"bench-gate: no baselines under {args.baselines}", file=sys.stderr)
+        return 1
+    failures = []
+    for baseline_path in baseline_files:
+        print(f"bench-gate: {baseline_path.name}")
+        failures.extend(
+            gate_file(baseline_path, args.results, args.tolerance, args.absolute)
+        )
+    if failures:
+        print("\nbench-gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        print(
+            "\nIf the regression is intended, refresh the baseline "
+            "(benchmarks/README.md) or mark the commit [bench-skip].",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nbench-gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

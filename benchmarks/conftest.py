@@ -14,7 +14,6 @@ full-size TVCA working set instead of the scaled-pressure configuration
 from __future__ import annotations
 
 import os
-import sys
 from pathlib import Path
 
 import pytest

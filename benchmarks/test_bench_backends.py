@@ -1,0 +1,131 @@
+"""B1 — execution-backend throughput: scalar interpreter vs batch engine.
+
+Measures campaign runs/sec under ``backend="scalar"`` and
+``backend="batch"`` on the two paper-reproduction campaign shapes:
+
+* ``fig2_pwcet_rand`` — TVCA on the RAND platform, the Figure-2 pWCET
+  campaign.  The batch engine advances all replications of the trace
+  simultaneously with numpy array state.
+* ``fig3_det_baseline`` — TVCA on the DET baseline (the other half of
+  the Figure-3 comparison).  A deterministic platform consumes no
+  per-run randomness, so the engine's degenerate path measures one
+  reference run and broadcasts it.
+
+Both campaigns fix the workload inputs (``vary_inputs=False``): platform
+randomization — the axis MBPTA analyses — is exactly the variation
+batching accelerates, because all replications then share one trace.
+With per-run varied inputs every run owns a distinct trace and the
+``auto`` backend falls back to the scalar interpreter (bit-identically),
+so the backend comparison is made where batch applies.
+
+Emits ``BENCH_backends.json`` — the machine-readable trajectory the CI
+bench-gate compares against the committed baseline (see
+``benchmarks/README.md``) — plus a human-readable table, and asserts
+the ISSUE's floor: >= 5x runs/sec on the Fig. 2 campaign with
+bit-identical samples.
+"""
+
+import json
+import os
+import platform as host_platform
+import time
+
+import pytest
+
+from repro.api import CampaignRunner, TvcaWorkload, create_platform
+from repro.harness import CampaignConfig
+from repro.platform.batch import numpy_available
+
+from conftest import APP_CONFIG, BASE_SEED, CACHE_KB, RESULTS_DIR, emit
+
+#: Campaign size for the backend comparison; scaled down in the CI
+#: bench-gate job and up in the weekly baseline refresh.
+BACKEND_RUNS = int(os.environ.get("REPRO_BENCH_BACKEND_RUNS", "300"))
+
+#: The acceptance floor on the Fig. 2 campaign.
+MIN_FIG2_SPEEDUP = 5.0
+
+CAMPAIGNS = (
+    ("fig2_pwcet_rand", "rand"),
+    ("fig3_det_baseline", "det"),
+)
+
+
+def _measure(platform_name: str, backend: str):
+    runner = CampaignRunner(
+        CampaignConfig(
+            runs=BACKEND_RUNS, base_seed=BASE_SEED, vary_inputs=False
+        ),
+        backend=backend,
+    )
+    platform = create_platform(platform_name, num_cores=1, cache_kb=CACHE_KB)
+    workload = TvcaWorkload(config=APP_CONFIG)
+    started = time.perf_counter()
+    result = runner.run(workload, platform)
+    wall = time.perf_counter() - started
+    return result, wall
+
+
+@pytest.mark.skipif(
+    not numpy_available(), reason="batch backend requires numpy"
+)
+def test_bench_backend_throughput():
+    entries = []
+    lines = [
+        "B1: campaign throughput by execution backend "
+        f"(TVCA, {BACKEND_RUNS} runs, fixed inputs)",
+        "",
+        f"  {'campaign':22s} {'scalar r/s':>11s} {'batch r/s':>11s} "
+        f"{'speedup':>8s}",
+    ]
+    speedups = {}
+    for name, platform_name in CAMPAIGNS:
+        scalar_result, scalar_wall = _measure(platform_name, "scalar")
+        batch_result, batch_wall = _measure(platform_name, "batch")
+        # The optimization is only admissible because it changes nothing:
+        assert scalar_result.run_details == batch_result.run_details, (
+            f"{name}: batch backend diverged from the scalar interpreter"
+        )
+        assert batch_result.backend == "batch"
+        scalar_rate = BACKEND_RUNS / scalar_wall
+        batch_rate = BACKEND_RUNS / batch_wall
+        speedup = batch_rate / scalar_rate
+        speedups[name] = speedup
+        entries.append(
+            {
+                "name": name,
+                "workload": "tvca",
+                "platform": platform_name,
+                "runs": BACKEND_RUNS,
+                "scalar_wall_s": round(scalar_wall, 4),
+                "scalar_runs_per_s": round(scalar_rate, 3),
+                "batch_wall_s": round(batch_wall, 4),
+                "batch_runs_per_s": round(batch_rate, 3),
+                "speedup": round(speedup, 3),
+            }
+        )
+        lines.append(
+            f"  {name:22s} {scalar_rate:11.1f} {batch_rate:11.1f} "
+            f"{speedup:7.1f}x"
+        )
+    payload = {
+        "schema": "repro.bench.backends/1",
+        "runs": BACKEND_RUNS,
+        "host": host_platform.machine(),
+        "entries": entries,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_backends.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    lines += [
+        "",
+        "  (gated metric: speedup = batch / scalar runs-per-second,",
+        "   normalized in-session so the gate is host-independent)",
+    ]
+    emit("BENCH_backends", "\n".join(lines))
+
+    assert speedups["fig2_pwcet_rand"] >= MIN_FIG2_SPEEDUP, (
+        f"Fig. 2 campaign speedup {speedups['fig2_pwcet_rand']:.1f}x is "
+        f"below the {MIN_FIG2_SPEEDUP:.0f}x floor"
+    )

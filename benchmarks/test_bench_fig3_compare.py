@@ -17,7 +17,7 @@ is smaller, so the measured ratio is reported rather than asserted (see
 EXPERIMENTS.md).
 """
 
-from repro.core import STANDARD_CUTOFFS, mbta_bound
+from repro.core import mbta_bound
 from repro.viz import figure3_csv, figure3_panel
 
 from conftest import emit

@@ -33,6 +33,12 @@ from .artifacts import (
     load_measurements,
     platform_fingerprint,
 )
+from .backend import (
+    BACKENDS,
+    BatchMeasurement,
+    BatchPlan,
+    resolve_backend,
+)
 from .registry import (
     create_platform,
     create_scenario,
@@ -58,7 +64,10 @@ from .workload import (
 )
 
 __all__ = [
+    "BACKENDS",
     "ArtifactStore",
+    "BatchMeasurement",
+    "BatchPlan",
     "CampaignArtifact",
     "CampaignConfig",
     "CampaignConvergenceSummary",
@@ -83,6 +92,7 @@ __all__ = [
     "register_platform",
     "register_scenario",
     "register_workload",
+    "resolve_backend",
     "run_campaign",
     "scenario_description",
     "scenario_names",
@@ -103,6 +113,7 @@ def run_campaign(
     platform_kwargs: Optional[Dict[str, Any]] = None,
     until_converged: bool = False,
     convergence: Optional[ConvergencePolicy] = None,
+    backend: str = "auto",
 ) -> CampaignResult:
     """One-call facade: resolve, run, return the campaign result.
 
@@ -114,6 +125,10 @@ def run_campaign(
     ``until_converged=True`` (or an explicit ``convergence`` policy)
     makes the campaign adaptive: it stops once the MBPTA convergence
     criterion holds, with ``runs`` as the cap.
+
+    ``backend`` selects the execution backend (scalar interpreter vs
+    vectorized batching; default ``"auto"``) — bit-identical results
+    either way.
     """
     if isinstance(workload, str):
         workload = create_workload(workload, **(workload_kwargs or {}))
@@ -128,5 +143,6 @@ def run_campaign(
     runner = CampaignRunner(
         CampaignConfig(runs=runs, base_seed=base_seed, vary_inputs=vary_inputs),
         shards=shards,
+        backend=backend,
     )
     return runner.run(workload, platform, progress=progress, convergence=convergence)

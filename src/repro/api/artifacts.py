@@ -99,6 +99,10 @@ class CampaignArtifact:
         config_dict: Dict[str, Any] = {"shards": shards}
         if scenario is not None:
             config_dict["scenario"] = scenario
+        if getattr(result, "backend", None) is not None:
+            # Provenance only: scalar and batch backends are
+            # bit-identical, so records/samples never depend on it.
+            config_dict["backend"] = result.backend
         if config is not None:
             config_dict.update(
                 runs=config.runs,
@@ -154,6 +158,12 @@ class CampaignArtifact:
         """Contention scenario the campaign ran under (None = plain)."""
         scenario = self.config.get("scenario")
         return str(scenario) if scenario is not None else None
+
+    @property
+    def backend(self) -> Optional[str]:
+        """Execution backend the campaign used (provenance only)."""
+        backend = self.config.get("backend")
+        return str(backend) if backend is not None else None
 
     # -- persistence ---------------------------------------------------
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -1,0 +1,314 @@
+"""Execution backends: scalar interpretation vs vectorized batching.
+
+A campaign's inner loop can run two ways:
+
+* ``"scalar"`` — the historical path: every run interprets its trace
+  through :class:`~repro.platform.core.CoreStepper`, one instruction
+  at a time.
+* ``"batch"`` — runs that share an identical instruction trace are
+  grouped and executed together by the vectorized engine
+  (:mod:`repro.platform.batch`), which advances all replications of
+  one trace simultaneously with numpy array state.  Bit-identical to
+  the scalar path (same seeds, same PRNG draw sequences, same cycle
+  counts), typically an order of magnitude faster when groups are
+  large.
+* ``"auto"`` (the default) — batch where it pays: groups smaller than
+  :data:`AUTO_MIN_GROUP` runs, workloads without a batch description,
+  co-scheduled contention scenarios and platforms the engine does not
+  vectorize all fall back to the scalar loop.  Because both paths are
+  bit-identical, auto-selection never changes a single observation.
+
+A workload opts in by implementing the optional hook
+``plan_batch(platform, run_index, run_seed, input_seed) ->
+Optional[BatchPlan]``: it describes the run as a tuple of trace
+segments plus a ``finalize`` callback that converts the measured
+per-segment cycles back into the exact
+:class:`~repro.api.workload.RunObservation` its ``execute`` would have
+produced.  Runs whose plans share ``group_key`` are guaranteed by the
+workload to carry identical segment traces — that is what makes them
+batchable.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..harness.records import RunRecord
+from ..platform.soc import Platform
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..harness.campaign import CampaignConfig
+    from ..platform.trace import Trace
+    from .workload import RunObservation, Workload
+
+__all__ = [
+    "AUTO_MIN_GROUP",
+    "BACKENDS",
+    "BatchMeasurement",
+    "BatchPlan",
+    "execute_batch_indices",
+    "execute_one",
+    "pin_worker_threads",
+    "resolve_backend",
+    "validate_backend",
+]
+
+#: Accepted ``backend=`` spellings.
+BACKENDS = ("scalar", "batch", "auto")
+
+#: Under ``backend="auto"``, trace groups smaller than this run scalar:
+#: the numpy dispatch overhead of the vector engine only amortizes once
+#: several replications advance per event.
+AUTO_MIN_GROUP = 8
+
+
+def validate_backend(backend: str) -> str:
+    """Reject unknown backend names at construction time."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def resolve_backend(
+    backend: str, workload: "Workload", platform: Platform
+) -> str:
+    """The backend this campaign will actually use (``scalar``/``batch``).
+
+    ``batch`` and ``auto`` both require the workload to describe its
+    runs via ``plan_batch`` and the platform to be vectorizable; when
+    either is missing the campaign silently runs scalar — results are
+    identical either way, so the fallback is safe by construction.
+    """
+    validate_backend(backend)
+    if backend == "scalar":
+        return "scalar"
+    if getattr(workload, "plan_batch", None) is None:
+        return "scalar"
+    from ..platform.batch import batch_unsupported_reason
+
+    if batch_unsupported_reason(platform) is not None:
+        return "scalar"
+    return "batch"
+
+
+@dataclass(frozen=True)
+class BatchMeasurement:
+    """Measured outcome of one run inside a batched group.
+
+    ``segment_cycles`` holds the run's per-segment cycle counts (the
+    cycle clock restarts per segment, matching the scalar multi-job
+    protocol); ``instructions`` is the trace-pure total instruction
+    count of all segments.
+    """
+
+    segment_cycles: Tuple[int, ...]
+    instructions: int
+
+    @property
+    def total_cycles(self) -> int:
+        """All segments summed — a whole-run execution time."""
+        return sum(self.segment_cycles)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One run reduced to batchable trace segments.
+
+    Two plans with equal ``group_key`` MUST carry identical segment
+    traces (the workload's contract): the runner batches such runs
+    into one vectorized pass.  ``finalize`` converts the measurement
+    back into exactly the :class:`RunObservation` the workload's
+    ``execute`` would have returned for the same seeds.
+    """
+
+    segments: Tuple["Trace", ...]
+    group_key: Hashable
+    finalize: Callable[[BatchMeasurement], "RunObservation"]
+    core_id: int = 0
+
+
+def execute_one(
+    workload: "Workload",
+    platform: Platform,
+    config: "CampaignConfig",
+    run_index: int,
+) -> RunRecord:
+    """Execute run ``run_index`` through the scalar interpreter."""
+    run_seed = config.platform_seed(run_index)
+    input_seed = config.input_seed(run_index)
+    execute_indexed = getattr(workload, "execute_indexed", None)
+    if execute_indexed is not None:
+        obs = execute_indexed(platform, run_index, run_seed, input_seed)
+    else:
+        obs = workload.execute(platform, run_seed, input_seed)
+    return RunRecord(
+        index=run_index,
+        cycles=float(obs.cycles),
+        path=obs.path,
+        platform_seed=run_seed,
+        input_seed=input_seed,
+        metadata=dict(obs.metadata),
+    )
+
+
+def _measure_plan_scalar(
+    platform: Platform, plan: BatchPlan, run_seed: int
+) -> BatchMeasurement:
+    """Measure one plan through the scalar interpreter.
+
+    Exactly the scalar run protocol — full platform reset, then every
+    segment drained by a fresh stepper — so ``plan.finalize`` sees the
+    same measurement a scalar ``execute`` would have taken.  Used for
+    runs whose trace group is too small to amortize the vector engine:
+    their plan is already built, so re-deriving it through
+    ``workload.execute`` would only duplicate work.
+    """
+    platform.reset(run_seed)
+    core = platform.cores[plan.core_id]
+    segment_cycles = tuple(
+        core.execute(segment).cycles for segment in plan.segments
+    )
+    instructions = sum(len(segment) for segment in plan.segments)
+    return BatchMeasurement(
+        segment_cycles=segment_cycles, instructions=instructions
+    )
+
+
+def execute_batch_indices(
+    workload: "Workload",
+    platform: Platform,
+    config: "CampaignConfig",
+    indices: Sequence[int],
+    min_group: int = 1,
+    on_record: Optional[Callable[[RunRecord], None]] = None,
+) -> List[RunRecord]:
+    """Execute ``indices`` batching runs that share a trace group.
+
+    Runs are grouped by their plan's ``group_key``; each group executes
+    as one vectorized pass.  Groups below ``min_group`` and groups the
+    engine rejects execute their (already-built) plans through the
+    scalar interpreter instead; runs without a plan fall back to the
+    workload's own ``execute``.  The produced record *set* is
+    bit-identical to the scalar path in every case; only the emission
+    order differs (grouped, then plan-less residue by index) — callers
+    that need index order sort afterwards, exactly as the sharded merge
+    already does.
+    """
+    from ..platform import batch as batch_engine
+
+    groups: "OrderedDict[Hashable, List[Tuple[int, int, BatchPlan]]]" = (
+        OrderedDict()
+    )
+    planless_indices: List[int] = []
+    records: List[RunRecord] = []
+    for run_index in indices:
+        run_seed = config.platform_seed(run_index)
+        input_seed = config.input_seed(run_index)
+        plan = workload.plan_batch(platform, run_index, run_seed, input_seed)
+        if plan is None:
+            planless_indices.append(run_index)
+        else:
+            groups.setdefault(plan.group_key, []).append(
+                (run_index, run_seed, plan)
+            )
+
+    def emit(record: RunRecord) -> None:
+        records.append(record)
+        if on_record is not None:
+            on_record(record)
+
+    def emit_measured(
+        run_index: int, run_seed: int, plan: BatchPlan,
+        measurement: BatchMeasurement,
+    ) -> None:
+        observation = plan.finalize(measurement)
+        emit(
+            RunRecord(
+                index=run_index,
+                cycles=float(observation.cycles),
+                path=observation.path,
+                platform_seed=run_seed,
+                input_seed=config.input_seed(run_index),
+                metadata=dict(observation.metadata),
+            )
+        )
+
+    for members in groups.values():
+        lead_plan = members[0][2]
+        outcome = None
+        if (
+            len(members) >= min_group
+            and batch_engine.batch_unsupported_reason(
+                platform, lead_plan.core_id
+            )
+            is None
+        ):
+            try:
+                outcome = batch_engine.run_batch_segments(
+                    platform,
+                    lead_plan.segments,
+                    [member[1] for member in members],
+                    lead_plan.core_id,
+                )
+            except batch_engine.BatchUnsupported:
+                outcome = None
+        if outcome is not None:
+            for (run_index, run_seed, plan), segment_cycles in zip(
+                members, outcome.segment_cycles
+            ):
+                emit_measured(
+                    run_index, run_seed, plan,
+                    BatchMeasurement(
+                        segment_cycles=tuple(segment_cycles),
+                        instructions=outcome.instructions,
+                    ),
+                )
+        else:
+            for run_index, run_seed, plan in members:
+                emit_measured(
+                    run_index, run_seed, plan,
+                    _measure_plan_scalar(platform, plan, run_seed),
+                )
+    for run_index in sorted(planless_indices):
+        emit(execute_one(workload, platform, config, run_index))
+    return records
+
+
+def pin_worker_threads() -> None:
+    """Pin threaded-math pools to one thread in a forked shard worker.
+
+    Each shard is already an independent process running its own
+    simulation; letting numpy's BLAS/OpenMP pools default to one thread
+    *per core* inside every shard multiplies into ``shards x cores``
+    runnable threads and wrecks batched-campaign wall times.
+
+    Pool sizes are frozen when the BLAS library first loads, so the
+    primary pinning happens in :mod:`repro.platform.batch` *before* its
+    numpy import — children forked afterwards inherit the
+    single-threaded configuration.  This worker-side re-pin is defense
+    in depth: it covers the case where the parent never touched the
+    batch module (scalar backend) and the child imports numpy lazily,
+    and it is a no-op when the library is already configured.  The
+    batch engine is elementwise — it gains nothing from intra-op
+    threading either way.
+    """
+    for variable in (
+        "OMP_NUM_THREADS",
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+        "NUMEXPR_NUM_THREADS",
+    ):
+        os.environ[variable] = "1"

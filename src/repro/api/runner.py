@@ -34,6 +34,20 @@ Parallelism uses the ``fork`` start method (workloads hold linked
 program images with closures that do not pickle; forked children inherit
 them for free).  Where ``fork`` is unavailable the runner silently
 degrades to serial execution — results are identical either way.
+
+**Execution backends** (``backend="scalar"|"batch"|"auto"``): runs whose
+workload describes them as trace segments (``Workload.plan_batch``) can
+execute on the vectorized batch engine (:mod:`repro.platform.batch`),
+which advances every replication of one trace simultaneously.  The
+batch path is bit-identical to the scalar interpreter and composes with
+fork-sharding — each shard batches its own index stride — and with
+adaptive campaigns, which batch in blocks and discard overshoot beyond
+the convergence point exactly as the sharded scalar path already does.
+``"auto"`` (the default) batches only groups large enough to amortize
+the vector dispatch overhead and falls back to scalar everywhere else
+(co-scheduled scenarios, deterministic-unsupported configurations,
+missing numpy); since both paths agree bit for bit, backend selection
+never changes an observation.
 """
 
 from __future__ import annotations
@@ -52,6 +66,14 @@ from ..harness.campaign import CampaignConfig, CampaignResult
 from ..harness.measurements import PathSamples
 from ..harness.records import RunRecord
 from ..platform.soc import Platform
+from .backend import (
+    AUTO_MIN_GROUP,
+    execute_batch_indices,
+    execute_one as _execute_one,
+    pin_worker_threads,
+    resolve_backend,
+    validate_backend,
+)
 from .workload import Workload
 
 __all__ = ["CampaignRunner", "default_shards"]
@@ -65,28 +87,10 @@ def default_shards(runs: int) -> int:
     return max(1, min(cores, runs))
 
 
-def _execute_one(
-    workload: Workload,
-    platform: Platform,
-    config: CampaignConfig,
-    run_index: int,
-) -> RunRecord:
-    """Execute run ``run_index`` under the campaign's seeding discipline."""
-    run_seed = config.platform_seed(run_index)
-    input_seed = config.input_seed(run_index)
-    execute_indexed = getattr(workload, "execute_indexed", None)
-    if execute_indexed is not None:
-        obs = execute_indexed(platform, run_index, run_seed, input_seed)
-    else:
-        obs = workload.execute(platform, run_seed, input_seed)
-    return RunRecord(
-        index=run_index,
-        cycles=float(obs.cycles),
-        path=obs.path,
-        platform_seed=run_seed,
-        input_seed=input_seed,
-        metadata=dict(obs.metadata),
-    )
+#: Adaptive batch campaigns execute in index blocks of at least this
+#: many runs between convergence re-checks; overshoot past the stopping
+#: point is discarded, so the block size never changes the result.
+_MIN_ADAPTIVE_BLOCK = 16
 
 
 def _execute_range(
@@ -105,15 +109,25 @@ def _execute_range(
     return records
 
 
-def _shard_worker(queue, workload, platform, config, shard_id, indices, report):
+def _shard_worker(
+    queue, workload, platform, config, shard_id, indices, report,
+    backend, min_group,
+):
     """Child-process body: execute one shard and ship its records back."""
+    pin_worker_threads()
     try:
         def on_run():
             queue.put(("progress", shard_id))
 
-        records = _execute_range(
-            workload, platform, config, indices, on_run if report else None
-        )
+        if backend == "batch":
+            records = execute_batch_indices(
+                workload, platform, config, indices, min_group,
+                (lambda _record: on_run()) if report else None,
+            )
+        else:
+            records = _execute_range(
+                workload, platform, config, indices, on_run if report else None
+            )
         queue.put(("done", shard_id, records, None))
     except BaseException as exc:  # surface the failure in the parent
         queue.put(("done", shard_id, [], repr(exc)))
@@ -136,15 +150,39 @@ def _note_dead_workers(workers, reported, errors) -> None:
             )
 
 
-def _adaptive_worker(queue, stop_event, workload, platform, config, shard_id, indices):
+def _adaptive_worker(
+    queue, stop_event, workload, platform, config, shard_id, indices,
+    backend, min_group, block,
+):
     """Child-process body for adaptive campaigns: stream records back one
-    by one and bail out as soon as the parent signals convergence."""
+    by one and bail out as soon as the parent signals convergence.
+
+    The batch backend executes the shard's stride in index blocks —
+    records still stream back per run (in index order within a block),
+    and the stop event is honoured between blocks; the parent discards
+    everything at or beyond the stopping point, so the overshoot a block
+    may add never reaches the surviving record set.
+    """
+    pin_worker_threads()
     try:
-        for run_index in indices:
-            if stop_event.is_set():
-                break
-            record = _execute_one(workload, platform, config, run_index)
-            queue.put(("record", shard_id, record))
+        if backend == "batch":
+            stride = list(indices)
+            for start in range(0, len(stride), block):
+                if stop_event.is_set():
+                    break
+                chunk_records = execute_batch_indices(
+                    workload, platform, config,
+                    stride[start:start + block], min_group,
+                )
+                chunk_records.sort(key=lambda record: record.index)
+                for record in chunk_records:
+                    queue.put(("record", shard_id, record))
+        else:
+            for run_index in indices:
+                if stop_event.is_set():
+                    break
+                record = _execute_one(workload, platform, config, run_index)
+                queue.put(("record", shard_id, record))
         queue.put(("done", shard_id, None))
     except BaseException as exc:  # surface the failure in the parent
         queue.put(("done", shard_id, repr(exc)))
@@ -160,15 +198,27 @@ class CampaignRunner:
     shards:
         Worker processes; 1 (default) runs in-process.  Sharded and
         serial campaigns produce identical results.
+    backend:
+        ``"scalar"``, ``"batch"`` or ``"auto"`` (default).  The batch
+        backend executes trace-sharing runs together on the vectorized
+        engine — bit-identical to scalar, so the choice never changes
+        an observation; ``auto`` batches only where it pays.
+        ``"batch"`` forces the engine even for tiny groups (useful for
+        parity testing); workloads or platforms the engine cannot
+        describe still fall back to scalar.
     """
 
     def __init__(
-        self, config: CampaignConfig = CampaignConfig(), shards: int = 1
+        self,
+        config: CampaignConfig = CampaignConfig(),
+        shards: int = 1,
+        backend: str = "auto",
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.config = config
         self.shards = shards
+        self.backend = validate_backend(backend)
 
     # ------------------------------------------------------------------
     def run(
@@ -193,22 +243,41 @@ class CampaignRunner:
         """
         cfg = self.config
         workload.prepare(platform)
+        backend = resolve_backend(self.backend, workload, platform)
+        min_group = 1 if self.backend == "batch" else AUTO_MIN_GROUP
         shards = min(self.shards, cfg.runs)
         use_fork = shards > 1 and "fork" in mp.get_all_start_methods()
         summary: Optional[CampaignConvergenceSummary] = None
         if convergence is not None:
             tracker = CampaignConvergence(convergence)
+            block = max(_MIN_ADAPTIVE_BLOCK, convergence.step)
             if use_fork:
                 records = self._run_adaptive_sharded(
-                    workload, platform, shards, tracker, progress
+                    workload, platform, shards, tracker, progress,
+                    backend, min_group, block,
                 )
             else:
                 records = self._run_adaptive_serial(
-                    workload, platform, tracker, progress
+                    workload, platform, tracker, progress,
+                    backend, min_group, block,
                 )
             summary = tracker.summary(requested=cfg.runs)
         elif use_fork:
-            records = self._run_sharded(workload, platform, shards, progress)
+            records = self._run_sharded(
+                workload, platform, shards, progress, backend, min_group
+            )
+        elif backend == "batch":
+            done = [0]
+
+            def on_record(_record: RunRecord) -> None:
+                done[0] += 1
+                if progress is not None:
+                    progress(done[0], cfg.runs)
+
+            records = execute_batch_indices(
+                workload, platform, cfg, range(cfg.runs), min_group,
+                on_record if progress is not None else None,
+            )
         else:
             done = [0]
 
@@ -232,6 +301,7 @@ class CampaignRunner:
             run_details=records,
             runs_requested=cfg.runs if convergence is not None else None,
             convergence=summary,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -241,10 +311,34 @@ class CampaignRunner:
         platform: Platform,
         tracker: CampaignConvergence,
         progress: Optional[Progress],
+        backend: str,
+        min_group: int,
+        block: int,
     ) -> List[RunRecord]:
-        """Execute runs in index order, stopping at convergence."""
+        """Execute runs in index order, stopping at convergence.
+
+        The batch backend measures index blocks at a time and replays
+        them through the tracker in index order, returning exactly the
+        prefix a scalar adaptive campaign would keep (runs measured
+        past the stopping point are discarded unobserved).
+        """
         cfg = self.config
         records: List[RunRecord] = []
+        if backend == "batch":
+            for start in range(0, cfg.runs, block):
+                chunk_records = execute_batch_indices(
+                    workload, platform, cfg,
+                    range(start, min(start + block, cfg.runs)), min_group,
+                )
+                chunk_records.sort(key=lambda record: record.index)
+                for record in chunk_records:
+                    records.append(record)
+                    converged = tracker.observe(record.path, record.cycles)
+                    if progress is not None:
+                        progress(len(records), cfg.runs)
+                    if converged:
+                        return records
+            return records
         for run_index in range(cfg.runs):
             record = _execute_one(workload, platform, cfg, run_index)
             records.append(record)
@@ -263,6 +357,9 @@ class CampaignRunner:
         shards: int,
         tracker: CampaignConvergence,
         progress: Optional[Progress],
+        backend: str,
+        min_group: int,
+        block: int,
     ) -> List[RunRecord]:
         """Adaptive campaign across forked shards (see module docstring).
 
@@ -283,6 +380,7 @@ class CampaignRunner:
                 args=(
                     result_queue, stop_event, workload, platform, cfg,
                     shard_id, range(shard_id, cfg.runs, shards),
+                    backend, min_group, block,
                 ),
             )
             for shard_id in range(shards)
@@ -345,6 +443,8 @@ class CampaignRunner:
         platform: Platform,
         shards: int,
         progress: Optional[Progress],
+        backend: str,
+        min_group: int,
     ) -> List[RunRecord]:
         cfg = self.config
         ctx = mp.get_context("fork")
@@ -355,7 +455,7 @@ class CampaignRunner:
                 target=_shard_worker,
                 args=(
                     result_queue, workload, platform, cfg, shard_id, chunk,
-                    progress is not None,
+                    progress is not None, backend, min_group,
                 ),
             )
             for shard_id, chunk in enumerate(chunks)

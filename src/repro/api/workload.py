@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional
 
 try:  # Python 3.8+: typing.Protocol
     from typing import Protocol, runtime_checkable
@@ -48,7 +48,9 @@ from ..platform.trace import Trace
 from ..programs.compiler import generate_trace
 from ..programs.dsl import Env, Program
 from ..programs.layout import LinkedImage, link
-from ..workloads.tvca.app import TvcaApplication, TvcaConfig
+from ..workloads.tvca.app import TvcaApplication, TvcaConfig, TvcaRunPlan
+from ..workloads.tvca.scheduler import simulate_timeline
+from .backend import BatchMeasurement, BatchPlan
 
 __all__ = [
     "RunObservation",
@@ -100,20 +102,21 @@ class PreparedTrace:
 
 
 class _TraceCache:
-    """A small LRU of ``key -> PreparedTrace`` per workload instance.
+    """A small LRU of ``key -> prepared trace/plan`` per workload.
 
-    Traces are pure functions of their generating seed (plus the
-    immutable program/image), so memoizing them is observation-neutral;
-    forked campaign shards each warm their own copy.
+    Traces and run plans are pure functions of their generating seed
+    (plus the immutable program/image), so memoizing them is
+    observation-neutral; forked campaign shards each warm their own
+    copy.
     """
 
     def __init__(self, capacity: int = _TRACE_CACHE_SIZE) -> None:
         self.capacity = max(1, capacity)
-        self._entries: "OrderedDict[Any, PreparedTrace]" = OrderedDict()
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: Any) -> Optional[PreparedTrace]:
+    def get(self, key: Any) -> Optional[Any]:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
@@ -122,7 +125,7 @@ class _TraceCache:
             self.misses += 1
         return entry
 
-    def put(self, key: Any, value: PreparedTrace) -> None:
+    def put(self, key: Any, value: Any) -> None:
         self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -152,6 +155,14 @@ class Workload(Protocol):
     expose it so contention scenarios can co-schedule the trace against
     opponents on the other cores; implementations must keep it a pure
     function of the seeds, like ``execute``.
+
+    Optional hook: ``plan_batch(platform, run_index, run_seed,
+    input_seed) -> Optional[BatchPlan]``.  Workloads whose run reduces
+    to a sequence of trace segments expose it so the runner can execute
+    trace-sharing runs together on the vectorized batch backend; the
+    plan's ``finalize`` must reproduce exactly the observation
+    ``execute`` would return, and plans sharing a ``group_key`` must
+    carry identical segments.
     """
 
     name: str
@@ -186,10 +197,19 @@ class TvcaWorkload:
         self.config = config if config is not None else TvcaConfig()
         self._app = app
         self._trace_cache = _TraceCache()
+        self._plan_cache = _TraceCache()
 
     def prepare(self, platform: Platform) -> None:
         if self._app is None:
             self._app = TvcaApplication(self.config)
+
+    def _plan(self, input_seed: int) -> TvcaRunPlan:
+        """The run plan for ``input_seed``, memoized (pure function)."""
+        plan = self._plan_cache.get(input_seed)
+        if plan is None:
+            plan = self._app.build_plan(input_seed)
+            self._plan_cache.put(input_seed, plan)
+        return plan
 
     def execute(
         self, platform: Platform, run_seed: int, input_seed: int
@@ -224,7 +244,7 @@ class TvcaWorkload:
             self.prepare(platform)
         prepared = self._trace_cache.get(input_seed)
         if prepared is None:
-            plan = self._app.build_plan(input_seed)
+            plan = self._plan(input_seed)
             prepared = PreparedTrace(
                 trace=plan.concatenated_trace(),
                 path=plan.path_class,
@@ -235,6 +255,52 @@ class TvcaWorkload:
             )
             self._trace_cache.put(input_seed, prepared)
         return prepared
+
+    def plan_batch(
+        self, platform: Platform, run_index: int, run_seed: int, input_seed: int
+    ) -> Optional[BatchPlan]:
+        """The run as batchable per-job segments (vectorized backend).
+
+        Segment semantics mirror :meth:`TvcaApplication.run_once` bit
+        for bit: each job's cycle clock restarts while cache/bus/store-
+        buffer state carries over, and the schedule outcome (response
+        times, deadlines) is recomputed from the measured per-job
+        cycles.  Plans are keyed by the input seed, so all runs of a
+        fixed-input campaign share one trace group.
+        """
+        if self._app is None:
+            self.prepare(platform)
+        plan = self._plan(input_seed)
+
+        def finalize(measurement: BatchMeasurement) -> RunObservation:
+            executions: Dict[Any, int] = {}
+            total_cycles = 0
+            for job, cycles in zip(plan.jobs, measurement.segment_cycles):
+                total_cycles += cycles
+                executions[job] = cycles
+            outcomes = simulate_timeline(plan.jobs, executions)
+            deadlines_met = all(o.deadline_met for o in outcomes)
+            max_response = max(o.response for o in outcomes)
+            assert all(o.preemptions == 0 for o in outcomes), (
+                "unexpected preemption: job execution times exceed the "
+                "sensor inter-release gap"
+            )
+            return RunObservation(
+                cycles=float(total_cycles),
+                path=plan.path_class,
+                metadata={
+                    "input_profile": plan.input_profile,
+                    "instructions": measurement.instructions,
+                    "deadlines_met": deadlines_met,
+                    "max_response_cycles": max_response,
+                },
+            )
+
+        return BatchPlan(
+            segments=plan.traces,
+            group_key=(self.name, input_seed),
+            finalize=finalize,
+        )
 
 
 class ProgramWorkload:
@@ -293,6 +359,46 @@ class ProgramWorkload:
     ) -> PreparedTrace:
         """The run's trace (for contention scenarios); memoized."""
         return self._prepared(input_seed)
+
+    def batch_plan_for(
+        self, prepared: PreparedTrace, group_key: Any
+    ) -> BatchPlan:
+        """A single-segment :class:`BatchPlan` measuring ``prepared``.
+
+        ``finalize`` reproduces :meth:`_observe` exactly — cycles are
+        the run's end-to-end count, metadata carries the instruction
+        count — so the batch and scalar paths emit equal records.
+        """
+
+        def finalize(measurement: BatchMeasurement) -> RunObservation:
+            return RunObservation(
+                cycles=float(measurement.total_cycles),
+                path=prepared.path,
+                metadata={"instructions": measurement.instructions},
+            )
+
+        return BatchPlan(
+            segments=(prepared.trace,),
+            group_key=group_key,
+            finalize=finalize,
+            core_id=self.core_id,
+        )
+
+    def plan_batch(
+        self, platform: Platform, run_index: int, run_seed: int, input_seed: int
+    ) -> Optional[BatchPlan]:
+        """The run as one batchable trace segment.
+
+        Programs without an ``env_fn`` have a seed-independent trace, so
+        every run of the campaign lands in one batch group; seed-keyed
+        environments group by input seed (``vary_inputs=False`` then
+        still yields a single group).
+        """
+        prepared = self._prepared(input_seed)
+        cache_key = input_seed if self.env_fn is not None else "<static>"
+        return self.batch_plan_for(
+            prepared, (self.name, self.core_id, cache_key)
+        )
 
     def _observe(
         self, platform: Platform, prepared: PreparedTrace, run_seed: int

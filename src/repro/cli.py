@@ -112,6 +112,7 @@ def _run_campaign(args: argparse.Namespace, kind: str):
     runner = CampaignRunner(
         CampaignConfig(runs=args.runs, base_seed=args.seed),
         shards=getattr(args, "shards", 1),
+        backend=getattr(args, "backend", "auto"),
     )
     result = runner.run(workload, platform, convergence=_policy(args))
     return result, runner, platform, workload, scenario
@@ -124,7 +125,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     sample = result.merged
     print(
         f"{result.label}: n={len(sample)} min={sample.minimum:.0f} "
-        f"mean={sample.mean:.0f} hwm={sample.hwm:.0f}"
+        f"mean={sample.mean:.0f} hwm={sample.hwm:.0f} "
+        f"backend={result.backend}"
     )
     for path, count in sorted(result.samples.counts().items()):
         print(f"  path {path}: {count} runs")
@@ -187,6 +189,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         shards=getattr(args, "shards", 1),
         convergence=_policy(args),
         scenario=getattr(args, "co_runner", None),
+        backend=getattr(args, "backend", "auto"),
     )
     for name, result in (("DET", comparison.det), ("RAND", comparison.rand)):
         if result.convergence is not None:
@@ -235,6 +238,7 @@ def cmd_contend(args: argparse.Namespace) -> int:
         workload_kwargs=_workload_kwargs(args),
         platform_kwargs={"num_cores": args.cores, "cache_kb": args.cache_kb},
         convergence=_policy(args),
+        backend=getattr(args, "backend", "auto"),
     )
     summary = comparison.summary(cutoff=args.cutoff)
     print(contention_panel(summary))
@@ -281,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--shards", type=int, default=1,
             help="parallel worker processes (results are shard-invariant)",
+        )
+        p.add_argument(
+            "--backend", choices=("scalar", "batch", "auto"), default="auto",
+            help="execution backend: the scalar interpreter, the "
+            "vectorized batch engine, or auto-selection (batch where "
+            "it pays; results are bit-identical either way)",
         )
         p.add_argument(
             "--cache-kb", type=int, default=4,

@@ -20,9 +20,8 @@ adaptive mode.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .evt.block_maxima import MIN_MAXIMA, RollingBlockMaxima, block_maxima
 from .evt.gumbel import IncrementalPwm, fit_pwm

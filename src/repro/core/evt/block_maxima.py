@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..stats.anderson_darling import anderson_darling_test
-from .gumbel import GumbelDistribution, fit_pwm
+from .gumbel import fit_pwm
 
 __all__ = [
     "BlockMaxima",

@@ -18,7 +18,6 @@ Threshold selection diagnostics implemented:
 
 from __future__ import annotations
 
-import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple

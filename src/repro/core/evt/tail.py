@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Union
 
 from .gev import GevDistribution
 from .gumbel import GumbelDistribution

@@ -19,8 +19,7 @@ Entry point: :class:`MBPTAAnalysis` (configure once, ``analyse`` many).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..harness.measurements import ExecutionTimeSample, PathSamples

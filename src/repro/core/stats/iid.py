@@ -16,8 +16,8 @@ the Wald-Wolfowitz runs test as converging (non-gating) evidence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from .ks import KsResult, ks_two_sample, split_half
 from .ljung_box import PortmanteauResult, ljung_box_test

@@ -16,7 +16,6 @@ variant without the finite-sample correction.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

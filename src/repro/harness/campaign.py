@@ -89,6 +89,10 @@ class CampaignResult:
     that was asked for) and ``convergence`` (the stopping decision with
     per-path checkpoint histories); fixed-budget campaigns leave both
     ``None``.
+
+    ``backend`` records which execution backend the runner resolved to
+    (``"scalar"`` or ``"batch"``) — provenance only: the two backends
+    are bit-identical, so it never affects the observations.
     """
 
     label: str
@@ -96,6 +100,7 @@ class CampaignResult:
     run_details: List[RunRecord] = field(default_factory=list)
     runs_requested: Optional[int] = None
     convergence: Optional["CampaignConvergenceSummary"] = None
+    backend: Optional[str] = None
 
     @property
     def records(self) -> List[RunRecord]:
@@ -166,23 +171,52 @@ class _IndexedProgramWorkload:
     def execute_indexed(
         self, platform: Platform, run_index: int, run_seed: int, input_seed: int
     ) -> "RunObservation":
+        return self._inner._observe(
+            platform, self._prepared_indexed(run_index, input_seed), run_seed
+        )
+
+    def _prepared_indexed(self, run_index: int, input_seed: int):
         inner = self._inner
         if self._env_fn is not None:
             # Index-keyed environments must not share the seed-keyed
             # trace cache (with vary_inputs=False every run carries the
             # same input seed but a different env) — key by run index.
             inner.env_fn = lambda _seed: self._env_fn(run_index)
-            prepared = inner._prepared(input_seed, cache_key=("idx", run_index))
+            return inner._prepared(input_seed, cache_key=("idx", run_index))
+        return inner._prepared(input_seed)
+
+    def plan_batch(
+        self, platform: Platform, run_index: int, run_seed: int, input_seed: int
+    ):
+        """Batchable form of :meth:`execute_indexed`.
+
+        Index-keyed environments yield per-run singleton groups (each
+        run has its own trace); without an ``env_fn`` the trace is
+        constant and the whole campaign shares one group.
+        """
+        prepared = self._prepared_indexed(run_index, input_seed)
+        if self._env_fn is not None:
+            group_key = (self.name, self._inner.core_id, "idx", run_index)
         else:
-            prepared = inner._prepared(input_seed)
-        return inner._observe(platform, prepared, run_seed)
+            group_key = (self.name, self._inner.core_id, "<static>")
+        return self._inner.batch_plan_for(prepared, group_key)
 
 
 class MeasurementCampaign:
-    """Serial convenience facade over :class:`repro.api.CampaignRunner`."""
+    """Serial convenience facade over :class:`repro.api.CampaignRunner`.
 
-    def __init__(self, config: CampaignConfig = CampaignConfig()) -> None:
+    ``backend`` selects the execution backend (``"auto"`` default —
+    trace-sharing runs batch on the vectorized engine, bit-identically
+    to the scalar interpreter).
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig = CampaignConfig(),
+        backend: str = "auto",
+    ) -> None:
         self.config = config
+        self.backend = backend
 
     def run_tvca(
         self,
@@ -203,7 +237,7 @@ class MeasurementCampaign:
         from ..api.workload import TvcaWorkload
 
         workload = TvcaWorkload(app=app) if app is not None else TvcaWorkload()
-        runner = CampaignRunner(self.config)
+        runner = CampaignRunner(self.config, backend=self.backend)
         return runner.run(
             workload, platform, progress=progress, convergence=convergence
         )
@@ -228,7 +262,7 @@ class MeasurementCampaign:
         from ..api.runner import CampaignRunner
 
         workload = _IndexedProgramWorkload(program, image, env_fn, core_id)
-        runner = CampaignRunner(self.config)
+        runner = CampaignRunner(self.config, backend=self.backend)
         return runner.run(
             workload, platform, progress=progress, convergence=convergence
         )

@@ -23,7 +23,7 @@ measured contention the pWCET must absorb.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Sequence, TYPE_CHECKING
 
 from ..platform.soc import Platform, leon3_det, leon3_rand
 from ..workloads.tvca.app import TvcaApplication, TvcaConfig
@@ -90,6 +90,7 @@ def compare_det_rand(
     shards: int = 1,
     convergence: Optional["ConvergencePolicy"] = None,
     scenario: Optional[str] = None,
+    backend: str = "auto",
 ) -> DetRandComparison:
     """Run the TVCA campaign on the DET and RAND platforms.
 
@@ -113,7 +114,9 @@ def compare_det_rand(
 
     app = TvcaApplication(app_config or TvcaConfig())
     runner = CampaignRunner(
-        CampaignConfig(runs=runs, base_seed=base_seed), shards=shards
+        CampaignConfig(runs=runs, base_seed=base_seed),
+        shards=shards,
+        backend=backend,
     )
     det = det_platform or leon3_det()
     rand = rand_platform or leon3_rand()
@@ -214,6 +217,7 @@ def compare_scenarios(
     platform_kwargs: Optional[dict] = None,
     progress: Optional[Callable[[str, int, int], None]] = None,
     convergence: Optional["ConvergencePolicy"] = None,
+    backend: str = "auto",
 ) -> ScenarioComparison:
     """Measure one workload under several contention scenarios.
 
@@ -236,13 +240,14 @@ def compare_scenarios(
         )
         platform = create_platform(platform_name, **platform_kwargs)
         runner = CampaignRunner(
-            CampaignConfig(runs=runs, base_seed=base_seed), shards=shards
+            CampaignConfig(runs=runs, base_seed=base_seed),
+            shards=shards,
+            backend=backend,
         )
         wrapped = None
         if progress is not None:
-            wrapped = (
-                lambda done, total, _name=name: progress(_name, done, total)
-            )
+            def wrapped(done, total, _name=name):
+                progress(_name, done, total)
         results[name] = runner.run(
             scenario, platform, progress=wrapped, convergence=convergence
         )

@@ -12,6 +12,14 @@ platforms compared in the paper; :class:`Platform.run` executes one
 measured run under the flush/reset/reseed protocol.
 """
 
+from .batch import (
+    BatchRunOutcome,
+    BatchUnsupported,
+    batch_unsupported_reason,
+    numpy_available,
+    run_batch,
+    run_batch_segments,
+)
 from .bus import Bus, BusConfig, BusStats
 from .cache import Cache, CacheConfig, CacheStats
 from .core import Core, CoreConfig, CoreStepper, RunResult
@@ -52,6 +60,8 @@ from .tlb import Tlb, TlbConfig, TlbStats
 from .trace import Instruction, InstrKind, Trace, TraceBuilder
 
 __all__ = [
+    "BatchRunOutcome",
+    "BatchUnsupported",
     "Bus",
     "BusConfig",
     "BusStats",
@@ -96,11 +106,15 @@ __all__ = [
     "TlbStats",
     "Trace",
     "TraceBuilder",
+    "batch_unsupported_reason",
     "derive_seed",
     "leon3_det",
     "leon3_rand",
     "make_placement",
     "make_replacement",
+    "numpy_available",
     "operand_class_of",
+    "run_batch",
+    "run_batch_segments",
     "run_health_tests",
 ]

@@ -1,0 +1,1003 @@
+"""Vectorized batch execution of randomized replications.
+
+A pWCET campaign executes the *same* instruction trace thousands of
+times, varying only the per-run platform randomization (placement
+seeds, replacement victims).  The scalar interpreter
+(:class:`~repro.platform.core.CoreStepper`) pays the Python
+per-instruction dispatch cost once per run; this module reshapes the
+computation so it is paid once per *trace*: all ``R`` replications
+advance through the trace together, with numpy arrays holding the
+per-run divergent state —
+
+* cache tag stores ``(R, sets, ways)`` and TLB entry stores ``(R,
+  entries)``,
+* the per-run LFSR states of the platform PRNG (victim draws advance
+  only the lanes that actually miss into a full set, so every run
+  consumes exactly the draw sequence the scalar interpreter would),
+* per-run cycle accumulators, the bus busy horizon and the
+  write-through store-buffer ring.
+
+Everything *trace-pure* — fetch/line/page locality, pipeline hazards,
+FPU latencies — is precompiled once per trace into an event list with
+static-cost gaps, so only instructions that touch per-run state (fetch
+probes on new lines, loads, stores) cost vector work.
+
+Bit-identity contract
+---------------------
+
+For every supported configuration the engine reproduces the scalar
+interpreter *exactly*: per-run cycle counts, hit/miss/eviction
+counters and PRNG draw sequences are equal bit for bit to
+``[platform.run(trace, seed, core_id) for seed in seeds]`` (verified
+by ``tests/platform/test_batch_backend.py``).  Per-run randomization
+streams are keyed, as in the scalar path, by the derivation chain
+``derive_seed(run_seed, core_id + 101)`` → per-component sub-seeds, so
+a run's results depend only on ``(run_seed, trace)`` — never on which
+runs share its batch.
+
+Deterministic platforms (``PlatformConfig.is_randomized`` false) are
+handled by a degenerate fast path: one scalar reference execution is
+measured and broadcast, which is exact because no component of such a
+platform consumes the per-run seed.
+
+Unsupported shapes — tree-PLRU replacement on a randomized platform,
+or numpy missing — raise :class:`BatchUnsupported`; callers
+(:mod:`repro.api.backend`) fall back to the scalar path, as they do
+for multicore co-scheduled scenarios, which this engine deliberately
+does not model.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from .cache import CacheConfig, CacheStats
+from .core import _FP_OPS, CoreConfig, RunResult
+from .fpu import Fpu, FpuStats
+from .pipeline import PipelineModel, PipelineStats
+from .prng import _MAXIMAL_TAPS, CombinedLfsrPrng, SplitMix64, derive_seed
+from .soc import Platform
+from .tlb import TlbConfig, TlbStats
+from .trace import InstrKind, Trace
+
+# The batch engine is elementwise and campaigns parallelize across
+# forked shard processes, so intra-op BLAS/OpenMP threading can only
+# oversubscribe (shards x pool-size runnable threads).  Pool sizes are
+# frozen when the BLAS library first loads, which is why the knobs must
+# be set *before* our numpy import — forked shard workers then inherit
+# both the loaded library and this single-threaded configuration.
+# ``setdefault`` keeps any explicit user configuration authoritative,
+# and an already-imported numpy is left untouched (pinning after load
+# would be a silent no-op anyway; the worker-side re-pin in
+# repro.api.backend covers children that import numpy lazily).
+if "numpy" not in sys.modules:
+    for _var in (
+        "OMP_NUM_THREADS",
+        "OPENBLAS_NUM_THREADS",
+        "MKL_NUM_THREADS",
+        "NUMEXPR_NUM_THREADS",
+    ):
+        os.environ.setdefault(_var, "1")
+
+try:  # numpy is optional: without it every campaign stays scalar.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+__all__ = [
+    "BatchUnsupported",
+    "BatchRunOutcome",
+    "batch_unsupported_reason",
+    "numpy_available",
+    "run_batch",
+    "run_batch_segments",
+]
+
+_M64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+#: Replacement policies the vectorized state machines cover.  Tree-PLRU
+#: is only reachable on deterministic platforms (it consumes no
+#: randomness), which the degenerate path already handles.
+_VEC_REPLACEMENTS = frozenset({"random", "lru", "round_robin"})
+_VEC_PLACEMENTS = frozenset({"modulo", "random_modulo", "hash_random"})
+
+
+class BatchUnsupported(RuntimeError):
+    """The batch engine cannot reproduce this configuration; run scalar."""
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized path can run at all."""
+    return _np is not None
+
+
+def batch_unsupported_reason(
+    platform: Platform, core_id: int = 0
+) -> Optional[str]:
+    """Why ``platform`` cannot be batch-executed (None = supported)."""
+    cfg = platform.config
+    if not 0 <= core_id < cfg.num_cores:
+        return f"core_id {core_id} out of range [0, {cfg.num_cores})"
+    if core_id >= cfg.bus.num_masters:
+        return f"core_id {core_id} is not a bus master"
+    if not cfg.is_randomized:
+        # Deterministic platform: the degenerate path needs no numpy.
+        return None
+    if _np is None:
+        return "numpy is not available"
+    core = cfg.core
+    for label, cache in (("icache", core.icache), ("dcache", core.dcache)):
+        if cache.placement not in _VEC_PLACEMENTS:
+            return f"{label} placement {cache.placement!r} is not vectorized"
+        if cache.replacement not in _VEC_REPLACEMENTS:
+            return f"{label} replacement {cache.replacement!r} is not vectorized"
+    for label, tlb in (("itlb", core.itlb), ("dtlb", core.dtlb)):
+        if tlb.replacement not in _VEC_REPLACEMENTS:
+            return f"{label} replacement {tlb.replacement!r} is not vectorized"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Trace compilation (trace-pure preprocessing, shared by all runs)
+# ----------------------------------------------------------------------
+
+#: Event memory kinds.
+_EV_NONE, _EV_LOAD, _EV_STORE = 0, 1, 2
+
+
+@dataclass
+class _CompiledSegment:
+    """One trace reduced to its per-run-divergent events.
+
+    ``events`` tuples are ``(gap, fetch_pc, itlb_page, mem_kind, addr,
+    dtlb_page, pre_cost)``: ``gap`` is the static cycle cost since the
+    previous event (pipeline + FPU of the instructions in between,
+    including the post-fetch cost of fetch-only events), ``fetch_pc``
+    is the fetched byte address when the instruction probes the IL1
+    (-1 otherwise), ``itlb_page``/``dtlb_page`` are the virtual pages
+    probed on page changes (-1 otherwise) and ``pre_cost`` is the
+    event instruction's own pipeline cost, charged between its fetch
+    and its data access exactly as the scalar interpreter does.
+    """
+
+    events: List[Tuple[int, int, int, int, int, int, int]]
+    tail: int
+    length: int
+    pipeline: PipelineStats
+    fpu: FpuStats
+
+
+#: Memoized compiled segments.  Keyed by object identity of the
+#: (trace, core config) pair; the cached value keeps strong references
+#: to both, so an ``is`` check on lookup makes id-reuse after garbage
+#: collection impossible while an entry lives.  Compilation costs about
+#: one scalar pass over the trace — without the memo, adaptive batch
+#: campaigns (which build one engine per index block) and sharded
+#: campaigns would pay it once per block/shard instead of once per
+#: trace.
+_SEGMENT_CACHE: "OrderedDict" = OrderedDict()
+_SEGMENT_CACHE_SIZE = 256
+
+
+def _compiled_segment(trace: Trace, core_cfg: CoreConfig) -> "_CompiledSegment":
+    """Memoizing wrapper around :func:`_compile_segment`."""
+    key = (id(trace), id(core_cfg))
+    entry = _SEGMENT_CACHE.get(key)
+    if entry is not None:
+        cached_trace, cached_cfg, compiled = entry
+        if cached_trace is trace and cached_cfg is core_cfg:
+            _SEGMENT_CACHE.move_to_end(key)
+            return compiled
+    compiled = _compile_segment(trace, core_cfg)
+    _SEGMENT_CACHE[key] = (trace, core_cfg, compiled)
+    _SEGMENT_CACHE.move_to_end(key)
+    while len(_SEGMENT_CACHE) > _SEGMENT_CACHE_SIZE:
+        _SEGMENT_CACHE.popitem(last=False)
+    return compiled
+
+
+def _compile_segment(trace: Trace, core_cfg: CoreConfig) -> _CompiledSegment:
+    """Fold the trace-pure costs of ``trace`` into an event list.
+
+    Reuses the real :class:`PipelineModel` and :class:`Fpu` so per-
+    instruction costs (and their stats) are the scalar ones by
+    construction.  Locality state (line buffer, micro-TLBs) restarts
+    per segment, matching a fresh :class:`CoreStepper`.
+    """
+    pipeline = PipelineModel(core_cfg.pipeline)
+    fpu = Fpu(core_cfg.fpu)
+    iline_shift = core_cfg.icache.line_shift
+    ipage_shift = core_cfg.itlb.page_shift
+    dpage_shift = core_cfg.dtlb.page_shift
+    load_kind = int(InstrKind.LOAD)
+    store_kind = int(InstrKind.STORE)
+    fp_ops = _FP_OPS
+
+    kinds = trace.kinds
+    pcs = trace.pcs
+    addrs = trace.addrs
+    op_classes = trace.operand_classes
+    deps = trace.dep_distances
+    takens = trace.takens
+
+    events: List[Tuple[int, int, int, int, int, int, int]] = []
+    gap = 0
+    last_iline = -1
+    last_ipage = -1
+    last_dpage = -1
+    for i in range(len(kinds)):
+        kind = kinds[i]
+        pc = pcs[i]
+        fetch_pc = -1
+        itlb_page = -1
+        iline = pc >> iline_shift
+        if iline != last_iline:
+            last_iline = iline
+            fetch_pc = pc
+            ipage = pc >> ipage_shift
+            if ipage != last_ipage:
+                last_ipage = ipage
+                itlb_page = ipage
+        pipe = pipeline.issue(kind, deps[i], takens[i])
+        if kind == load_kind or kind == store_kind:
+            addr = addrs[i]
+            dpage = addr >> dpage_shift
+            if dpage != last_dpage:
+                last_dpage = dpage
+                dtlb_page = dpage
+            else:
+                dtlb_page = -1
+            mem_kind = _EV_LOAD if kind == load_kind else _EV_STORE
+            events.append(
+                (gap, fetch_pc, itlb_page, mem_kind, addr, dtlb_page, pipe)
+            )
+            gap = 0
+        else:
+            fp_op = fp_ops.get(kind)
+            extra = fpu.latency(fp_op, op_classes[i]) - 1 if fp_op is not None else 0
+            if fetch_pc >= 0:
+                events.append((gap, fetch_pc, itlb_page, _EV_NONE, -1, -1, 0))
+                gap = pipe + extra
+            else:
+                gap += pipe + extra
+    return _CompiledSegment(
+        events=events,
+        tail=gap,
+        length=len(kinds),
+        pipeline=replace(pipeline.stats),
+        fpu=replace(fpu.stats),
+    )
+
+
+# ----------------------------------------------------------------------
+# Vectorized platform components
+# ----------------------------------------------------------------------
+
+
+class _VecPrng:
+    """Per-run :class:`CombinedLfsrPrng` lanes advanced under a mask.
+
+    Seeding reproduces ``CombinedLfsrPrng.reseed`` per lane; a masked
+    draw advances only the masked lanes, so every lane's bit stream is
+    exactly the scalar one regardless of how misses interleave across
+    runs.
+    """
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        np = _np
+        degrees = CombinedLfsrPrng.DEGREES
+        columns: List[List[int]] = [[] for _ in degrees]
+        for seed in seeds:
+            expander = SplitMix64(seed)
+            for slot, degree in enumerate(degrees):
+                state = expander.next_u64() & ((1 << degree) - 1)
+                columns[slot].append(state if state else 1)
+        self._states = [np.array(col, dtype=np.uint32) for col in columns]
+        # Tap positions straight from the scalar Lfsr configuration
+        # (per-tap shift/XOR keeps the engine portable across numpy
+        # generations — no popcount intrinsic required).
+        self._tap_shifts = []
+        self._out_shifts = []
+        self._full_masks = []
+        for degree in degrees:
+            self._tap_shifts.append(
+                tuple(np.uint32(tap - 1) for tap in _MAXIMAL_TAPS[degree])
+            )
+            self._out_shifts.append(np.uint32(degree - 1))
+            self._full_masks.append(np.uint32((1 << degree) - 1))
+
+    def next_bits(self, nbits: int, mask) -> "object":
+        """``n``-bit draws for the masked lanes (others keep their state)."""
+        np = _np
+        one = np.uint32(1)
+        value = np.zeros(len(self._states[0]), dtype=np.int64)
+        for _ in range(nbits):
+            combined = np.zeros(len(value), dtype=np.uint32)
+            for slot in range(len(self._states)):
+                state = self._states[slot]
+                shifts = self._tap_shifts[slot]
+                feedback = (state >> shifts[0]) & one
+                for shift in shifts[1:]:
+                    feedback = feedback ^ ((state >> shift) & one)
+                out = (state >> self._out_shifts[slot]) & one
+                advanced = ((state << one) & self._full_masks[slot]) | feedback
+                self._states[slot] = np.where(mask, advanced, state)
+                combined ^= out
+            value = (value << 1) | combined.astype(np.int64)
+        return value
+
+    def randint(self, n: int, mask) -> "object":
+        """Masked uniform draw in ``[0, n)``; per-lane rejection exactly
+        as the scalar ``CombinedLfsrPrng.randint``."""
+        np = _np
+        if n == 1:
+            return np.zeros(len(self._states[0]), dtype=np.int64)
+        bits = (n - 1).bit_length()
+        out = np.zeros(len(self._states[0]), dtype=np.int64)
+        pending = mask.copy()
+        while pending.any():
+            draw = self.next_bits(bits, pending)
+            accept = pending & (draw < n)
+            out[accept] = draw[accept]
+            pending &= ~accept
+        return out
+
+
+class _VecRandomRepl:
+    """Random replacement: victims drawn from the per-run PRNG lanes."""
+
+    def __init__(self, prng: _VecPrng, num_ways: int) -> None:
+        self._prng = prng
+        self._ways = num_ways
+
+    def touch(self, set_index, way, mask) -> None:
+        return None
+
+    fill = touch
+
+    def victim(self, set_index, mask):
+        return self._prng.randint(self._ways, mask)
+
+
+class _VecLruRepl:
+    """True LRU via per-way last-touch sequence numbers.
+
+    Initial timestamps equal the way index (the scalar policy's initial
+    recency order) and every touch installs a strictly increasing
+    counter, so ``argmin`` over a set reproduces ``order[0]`` exactly.
+    """
+
+    def __init__(self, runs: int, num_sets: int, num_ways: int) -> None:
+        np = _np
+        self._ts = np.tile(
+            np.arange(num_ways, dtype=np.int64), (runs, num_sets, 1)
+        )
+        self._counter = num_ways
+        self._rows = np.arange(runs)
+
+    def touch(self, set_index, way, mask) -> None:
+        np = _np
+        lanes = np.flatnonzero(mask)
+        if lanes.size:
+            sets = set_index if isinstance(set_index, int) else set_index[lanes]
+            self._ts[lanes, sets, way[lanes]] = self._counter
+        self._counter += 1
+
+    fill = touch
+
+    def victim(self, set_index, mask):
+        if isinstance(set_index, int):
+            per_set = self._ts[:, set_index]
+        else:
+            per_set = self._ts[self._rows, set_index]
+        return per_set.argmin(axis=1)
+
+
+class _VecRoundRobinRepl:
+    """FIFO-like rotation: per-run per-set victim pointer."""
+
+    def __init__(self, runs: int, num_sets: int, num_ways: int) -> None:
+        np = _np
+        self._ptr = np.zeros((runs, num_sets), dtype=np.int64)
+        self._ways = num_ways
+        self._rows = np.arange(runs)
+
+    def touch(self, set_index, way, mask) -> None:
+        return None
+
+    fill = touch
+
+    def victim(self, set_index, mask):
+        np = _np
+        if isinstance(set_index, int):
+            way = self._ptr[:, set_index].copy()
+            lanes = np.flatnonzero(mask)
+            self._ptr[lanes, set_index] = (way[lanes] + 1) % self._ways
+        else:
+            way = self._ptr[self._rows, set_index].copy()
+            lanes = np.flatnonzero(mask)
+            self._ptr[lanes, set_index[lanes]] = (way[lanes] + 1) % self._ways
+        return way
+
+
+def _make_vec_replacement(name, runs, num_sets, num_ways, prng):
+    if name == "random":
+        return _VecRandomRepl(prng, num_ways)
+    if name == "lru":
+        return _VecLruRepl(runs, num_sets, num_ways)
+    if name == "round_robin":
+        return _VecRoundRobinRepl(runs, num_sets, num_ways)
+    raise BatchUnsupported(f"replacement {name!r} is not vectorized")
+
+
+def _mix_lanes(value: int, seeds_u64):
+    """Vectorized ``placement._mix``: one 64-bit finalizer per lane."""
+    np = _np
+    base = np.uint64((value * _GOLDEN) & _M64)
+    z = base + seeds_u64  # uint64 arithmetic wraps mod 2**64, as required
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+    return z ^ (z >> np.uint64(31))
+
+
+class _VecCache:
+    """Set-associative cache with per-run tag stores.
+
+    Per-run placement seeds rotate set indices lane-wise (random modulo
+    / hash placement); the tag store fills lowest-way-first, so the
+    first free way of a set is always ``valid_count`` — the same
+    invariant the scalar ``Cache._allocate`` scan relies on.
+    """
+
+    def __init__(self, cfg: CacheConfig, seeds: Sequence[int], runs: int) -> None:
+        np = _np
+        self.cfg = cfg
+        self.num_sets = cfg.num_sets
+        self.ways = cfg.ways
+        self.line_shift = cfg.line_shift
+        self._rows = np.arange(runs)
+        self.tags = np.full((runs, self.num_sets, self.ways), -1, dtype=np.int64)
+        self.valid = np.zeros((runs, self.num_sets), dtype=np.int64)
+        self._placement = cfg.placement
+        self._seeds = np.array([s & _M64 for s in seeds], dtype=np.uint64)
+        self._rotations: dict = {}
+        prng = _VecPrng(seeds) if cfg.replacement == "random" else None
+        self.repl = _make_vec_replacement(
+            cfg.replacement, runs, self.num_sets, self.ways, prng
+        )
+        self.read_hits = np.zeros(runs, dtype=np.int64)
+        self.read_misses = np.zeros(runs, dtype=np.int64)
+        self.write_hits = np.zeros(runs, dtype=np.int64)
+        self.write_misses = np.zeros(runs, dtype=np.int64)
+        self.evictions = np.zeros(runs, dtype=np.int64)
+
+    # -- placement -----------------------------------------------------
+    def _set_index(self, line: int):
+        """Set index of ``line`` — an int (modulo) or an (R,) array."""
+        np = _np
+        sets = self.num_sets
+        if self._placement == "modulo":
+            return line % sets
+        if self._placement == "random_modulo":
+            tag, index = divmod(line, sets)
+            rotation = self._rotations.get(tag)
+            if rotation is None:
+                rotation = (_mix_lanes(tag, self._seeds) % np.uint64(sets)).astype(
+                    np.int64
+                )
+                self._rotations[tag] = rotation
+            return (index + rotation) % sets
+        cached = self._rotations.get(line)
+        if cached is None:
+            cached = (_mix_lanes(line, self._seeds) % np.uint64(sets)).astype(
+                np.int64
+            )
+            self._rotations[line] = cached
+        return cached
+
+    def _gather_ways(self, set_index):
+        if isinstance(set_index, int):
+            return self.tags[:, set_index]
+        return self.tags[self._rows, set_index]
+
+    # -- accesses ------------------------------------------------------
+    def _allocate(self, set_index, line: int, miss) -> None:
+        np = _np
+        if isinstance(set_index, int):
+            counts = self.valid[:, set_index]
+        else:
+            counts = self.valid[self._rows, set_index]
+        free = miss & (counts < self.ways)
+        full = miss & ~free
+        way = counts.copy()
+        if full.any():
+            way = np.where(full, self.repl.victim(set_index, full), way)
+            self.evictions += full
+        lanes = np.flatnonzero(miss)
+        sets = set_index if isinstance(set_index, int) else set_index[lanes]
+        self.tags[lanes, sets, way[lanes]] = line
+        free_lanes = np.flatnonzero(free)
+        if free_lanes.size:
+            free_sets = (
+                set_index
+                if isinstance(set_index, int)
+                else set_index[free_lanes]
+            )
+            self.valid[free_lanes, free_sets] += 1
+        self.repl.fill(set_index, way, miss)
+
+    def read(self, byte_address: int):
+        """Vectorized ``Cache.read``; returns the per-run hit mask."""
+        line = byte_address >> self.line_shift
+        set_index = self._set_index(line)
+        ways = self._gather_ways(set_index)
+        matches = ways == line
+        hit = matches.any(axis=1)
+        way = matches.argmax(axis=1)
+        self.repl.touch(set_index, way, hit)
+        self.read_hits += hit
+        miss = ~hit
+        self.read_misses += miss
+        if miss.any():
+            self._allocate(set_index, line, miss)
+        return hit
+
+    def write(self, byte_address: int):
+        """Vectorized ``Cache.write``; returns the per-run hit mask."""
+        line = byte_address >> self.line_shift
+        set_index = self._set_index(line)
+        ways = self._gather_ways(set_index)
+        matches = ways == line
+        hit = matches.any(axis=1)
+        way = matches.argmax(axis=1)
+        self.repl.touch(set_index, way, hit)
+        self.write_hits += hit
+        miss = ~hit
+        self.write_misses += miss
+        if not self.cfg.write_through_no_allocate and miss.any():
+            self._allocate(set_index, line, miss)
+        return hit
+
+    def stats_for(self, run: int) -> CacheStats:
+        """Per-run counters as a scalar-shaped :class:`CacheStats`."""
+        return CacheStats(
+            read_hits=int(self.read_hits[run]),
+            read_misses=int(self.read_misses[run]),
+            write_hits=int(self.write_hits[run]),
+            write_misses=int(self.write_misses[run]),
+            evictions=int(self.evictions[run]),
+            flushes=0,
+        )
+
+
+class _VecTlb:
+    """Fully-associative TLB with per-run entry stores."""
+
+    def __init__(self, cfg: TlbConfig, seeds: Sequence[int], runs: int) -> None:
+        np = _np
+        self.cfg = cfg
+        self.entries_per_run = cfg.entries
+        self._rows = np.arange(runs)
+        self.entries = np.full((runs, cfg.entries), -1, dtype=np.int64)
+        self.valid = np.zeros(runs, dtype=np.int64)
+        prng = _VecPrng(seeds) if cfg.replacement == "random" else None
+        self.repl = _make_vec_replacement(
+            cfg.replacement, runs, 1, cfg.entries, prng
+        )
+        self.hits = np.zeros(runs, dtype=np.int64)
+        self.misses = np.zeros(runs, dtype=np.int64)
+
+    def lookup(self, page: int):
+        """Vectorized ``Tlb.lookup``; returns per-run added latency."""
+        np = _np
+        matches = self.entries == page
+        hit = matches.any(axis=1)
+        way = matches.argmax(axis=1)
+        self.repl.touch(0, way, hit)
+        self.hits += hit
+        miss = ~hit
+        self.misses += miss
+        if miss.any():
+            free = miss & (self.valid < self.entries_per_run)
+            full = miss & ~free
+            way_new = self.valid.copy()
+            if full.any():
+                way_new = np.where(full, self.repl.victim(0, full), way_new)
+            lanes = np.flatnonzero(miss)
+            self.entries[lanes, way_new[lanes]] = page
+            self.valid += free
+            self.repl.fill(0, way_new, miss)
+        return np.where(miss, self.cfg.walk_penalty_cycles, 0)
+
+    def stats_for(self, run: int) -> TlbStats:
+        """Per-run counters as a scalar-shaped :class:`TlbStats`."""
+        return TlbStats(hits=int(self.hits[run]), misses=int(self.misses[run]))
+
+
+class _VecBus:
+    """Single-master-per-engine view of the shared bus, per-run horizon."""
+
+    def __init__(self, cfg, runs: int, core_id: int) -> None:
+        np = _np
+        self.cfg = cfg
+        self.core_id = core_id
+        self.busy_until = np.zeros(runs, dtype=np.int64)
+        self.pointer = np.zeros(runs, dtype=np.int64)
+        self.contention = np.zeros(runs, dtype=np.int64)
+        self.transactions = np.zeros(runs, dtype=np.int64)
+        self.transfer_cycles = np.zeros(runs, dtype=np.int64)
+        self._line_cost = cfg.line_transfer_cycles + cfg.arbitration_cycles
+        self._word_cost = cfg.word_transfer_cycles + cfg.arbitration_cycles
+
+    def request(self, now, is_line: bool, mask):
+        """Vectorized ``Bus.request`` for the masked lanes."""
+        np = _np
+        cfg = self.cfg
+        wait = np.maximum(self.busy_until - now, 0)
+        masters = cfg.num_masters
+        if masters > 1:
+            distance = (self.core_id - self.pointer) % masters
+            if cfg.strict_rr_arbitration:
+                delay = distance * cfg.arbitration_cycles
+            else:
+                delay = np.where(distance == 0, 0, cfg.arbitration_cycles)
+            wait = wait + delay
+        transfer = self._line_cost if is_line else self._word_cost
+        self.busy_until = np.where(mask, now + wait + transfer, self.busy_until)
+        self.pointer = np.where(mask, (self.core_id + 1) % masters, self.pointer)
+        self.transactions += mask
+        self.contention += np.where(mask, wait, 0)
+        self.transfer_cycles += np.where(mask, transfer, 0)
+        return wait + transfer
+
+
+class _VecMemory:
+    """DRAM controller with per-run open-row and refresh state."""
+
+    def __init__(self, cfg, runs: int) -> None:
+        np = _np
+        self.cfg = cfg
+        self._closed = cfg.page_policy == "closed"
+        if not self._closed:
+            self.open_rows = np.full((runs, cfg.num_banks), -1, dtype=np.int64)
+        self.total_cycles = np.zeros(runs, dtype=np.int64)
+
+    def access(self, byte_address: int, is_write: bool, now, mask):
+        """Vectorized ``MemoryController.access`` for the masked lanes."""
+        np = _np
+        cfg = self.cfg
+        cycles = cfg.cas_cycles + (cfg.write_cycles if is_write else 0)
+        if self._closed:
+            cost = cycles + cfg.activate_cycles
+        else:
+            row_index = byte_address // cfg.row_bytes
+            bank = row_index % cfg.num_banks
+            row = row_index // cfg.num_banks
+            open_row = self.open_rows[:, bank]
+            empty = open_row < 0
+            conflict = (open_row != row) & ~empty
+            cost = (
+                cycles
+                + np.where(empty, cfg.activate_cycles, 0)
+                + np.where(
+                    conflict, cfg.precharge_cycles + cfg.activate_cycles, 0
+                )
+            )
+            self.open_rows[:, bank] = np.where(mask, row, open_row)
+        interval = cfg.refresh_interval_cycles
+        if interval > 0:
+            # Refresh phase is 0 after every platform reset (the run
+            # protocol never calls set_refresh_phase), so ``now`` alone
+            # determines the collision per lane.
+            position = now % interval
+            stalled = position < cfg.refresh_stall_cycles
+            cost = cost + np.where(stalled, cfg.refresh_stall_cycles - position, 0)
+        self.total_cycles += np.where(mask, cost, 0)
+        return cost
+
+
+class _VecStoreBuffer:
+    """Per-run write-through store buffer as a FIFO ring."""
+
+    def __init__(self, runs: int, depth: int) -> None:
+        np = _np
+        self.depth = depth
+        self.ready = np.zeros((runs, depth), dtype=np.int64)
+        self.head = np.zeros(runs, dtype=np.int64)
+        self.count = np.zeros(runs, dtype=np.int64)
+        self._rows = np.arange(runs)
+
+    def drain(self, now) -> None:
+        """Pop every leading entry already drained at ``now``, per run."""
+        np = _np
+        while True:
+            has = self.count > 0
+            if not has.any():
+                return
+            oldest = self.ready[self._rows, self.head]
+            pop = has & (oldest <= now)
+            if not pop.any():
+                return
+            self.head = np.where(pop, (self.head + 1) % self.depth, self.head)
+            self.count -= pop
+
+    def stall_if_full(self, now):
+        """Scalar semantics: a store into a full buffer waits for the
+        oldest entry; returns the (possibly advanced) ``now``."""
+        np = _np
+        full = self.count >= self.depth
+        if full.any():
+            oldest = self.ready[self._rows, self.head]
+            now = np.where(full, np.maximum(now, oldest), now)
+            self.head = np.where(full, (self.head + 1) % self.depth, self.head)
+            self.count -= full
+        return now
+
+    def push(self, ready_at) -> None:
+        """Append one entry on every lane (store events are trace-pure)."""
+        tail = (self.head + self.count) % self.depth
+        self.ready[self._rows, tail] = ready_at
+        self.count += 1
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchRunOutcome:
+    """What one batched execution produced, per run.
+
+    ``segment_cycles[r]`` holds run ``r``'s per-segment cycle counts
+    (TVCA-style runs restart the cycle clock per job while hardware
+    state carries over, so per-segment values are the primitive);
+    ``results[r]`` aggregates the whole run — ``cycles`` is the sum of
+    the run's segment cycles and the statistics span all segments, as
+    the scalar per-run counters do.
+    """
+
+    seeds: Tuple[int, ...]
+    segment_cycles: List[Tuple[int, ...]]
+    instructions: int
+    results: List[RunResult]
+
+
+class _BatchEngine:
+    """All per-run divergent state of one batched campaign stride."""
+
+    def __init__(self, platform: Platform, seeds: Sequence[int], core_id: int):
+        cfg = platform.config
+        core_cfg = cfg.core
+        self.core_cfg = core_cfg
+        self.core_id = core_id
+        self.runs = len(seeds)
+        # The scalar reset path: per-core seed, then per-component
+        # sub-seeds — identical derivation chain, identical streams.
+        icache_seeds: List[int] = []
+        dcache_seeds: List[int] = []
+        itlb_seeds: List[int] = []
+        dtlb_seeds: List[int] = []
+        for seed in seeds:
+            core_seed = derive_seed(seed, core_id + 101)
+            icache_seeds.append(derive_seed(core_seed, core_id, 0))
+            dcache_seeds.append(derive_seed(core_seed, core_id, 1))
+            itlb_seeds.append(derive_seed(core_seed, core_id, 2))
+            dtlb_seeds.append(derive_seed(core_seed, core_id, 3))
+        self.icache = _VecCache(core_cfg.icache, icache_seeds, self.runs)
+        self.dcache = _VecCache(core_cfg.dcache, dcache_seeds, self.runs)
+        self.itlb = _VecTlb(core_cfg.itlb, itlb_seeds, self.runs)
+        self.dtlb = _VecTlb(core_cfg.dtlb, dtlb_seeds, self.runs)
+        self.bus = _VecBus(cfg.bus, self.runs, core_id)
+        self.memory = _VecMemory(cfg.memory, self.runs)
+        self.store_buffer = _VecStoreBuffer(
+            self.runs, core_cfg.store_buffer_depth
+        )
+        self._all = _np.ones(self.runs, dtype=bool)
+
+    def run_segments(self, segments: Sequence[Trace]) -> BatchRunOutcome:
+        np = _np
+        icache = self.icache
+        dcache = self.dcache
+        itlb = self.itlb
+        dtlb = self.dtlb
+        bus = self.bus
+        memory = self.memory
+        store_buffer = self.store_buffer
+        all_lanes = self._all
+        dline_shift = dcache.line_shift
+
+        per_segment: List["object"] = []
+        pipeline_total = PipelineStats()
+        fpu_total = FpuStats()
+        instructions = 0
+        for trace in segments:
+            compiled = _compiled_segment(trace, self.core_cfg)
+            now = np.zeros(self.runs, dtype=np.int64)
+            for (
+                gap,
+                fetch_pc,
+                itlb_page,
+                mem_kind,
+                addr,
+                dtlb_page,
+                pre_cost,
+            ) in compiled.events:
+                if gap:
+                    now = now + gap
+                if fetch_pc >= 0:
+                    if itlb_page >= 0:
+                        now = now + itlb.lookup(itlb_page)
+                    hit = icache.read(fetch_pc)
+                    miss = ~hit
+                    if miss.any():
+                        cost = bus.request(now, True, miss)
+                        now = now + np.where(miss, cost, 0)
+                        cost = memory.access(fetch_pc, False, now, miss)
+                        now = now + np.where(miss, cost, 0)
+                if mem_kind == _EV_NONE:
+                    continue
+                if pre_cost:
+                    now = now + pre_cost
+                if dtlb_page >= 0:
+                    now = now + dtlb.lookup(dtlb_page)
+                if mem_kind == _EV_LOAD:
+                    hit = dcache.read(addr)
+                    miss = ~hit
+                    if miss.any():
+                        cost = bus.request(now, True, miss)
+                        now = now + np.where(miss, cost, 0)
+                        cost = memory.access(addr, False, now, miss)
+                        now = now + np.where(miss, cost, 0)
+                else:
+                    dcache.write(addr)
+                    store_buffer.drain(now)
+                    now = store_buffer.stall_if_full(now)
+                    cost = bus.request(now, False, all_lanes)
+                    cost = cost + memory.access(addr, True, now, all_lanes)
+                    store_buffer.push(now + cost)
+            if compiled.tail:
+                now = now + compiled.tail
+            per_segment.append(now)
+            instructions += compiled.length
+            _accumulate_pipeline(pipeline_total, compiled.pipeline)
+            _accumulate_fpu(fpu_total, compiled.fpu)
+
+        segment_cycles = [
+            tuple(int(seg[run]) for seg in per_segment)
+            for run in range(self.runs)
+        ]
+        results = [
+            RunResult(
+                cycles=sum(segment_cycles[run]),
+                instructions=instructions,
+                icache=icache.stats_for(run),
+                dcache=dcache.stats_for(run),
+                itlb=itlb.stats_for(run),
+                dtlb=dtlb.stats_for(run),
+                fpu=replace(fpu_total),
+                pipeline=replace(pipeline_total),
+                core_id=self.core_id,
+                bus_contention_cycles=int(bus.contention[run]),
+            )
+            for run in range(self.runs)
+        ]
+        return BatchRunOutcome(
+            seeds=tuple(),
+            segment_cycles=segment_cycles,
+            instructions=instructions,
+            results=results,
+        )
+
+
+def _accumulate_pipeline(total: PipelineStats, part: PipelineStats) -> None:
+    total.instructions += part.instructions
+    total.base_cycles += part.base_cycles
+    total.branch_bubbles += part.branch_bubbles
+    total.load_use_stalls += part.load_use_stalls
+    total.long_op_stalls += part.long_op_stalls
+
+
+def _accumulate_fpu(total: FpuStats, part: FpuStats) -> None:
+    total.ops += part.ops
+    total.div_ops += part.div_ops
+    total.sqrt_ops += part.sqrt_ops
+    total.total_cycles += part.total_cycles
+
+
+def _run_degenerate(
+    platform: Platform,
+    segments: Sequence[Trace],
+    seeds: Sequence[int],
+    core_id: int,
+) -> BatchRunOutcome:
+    """Deterministic platform: measure once, broadcast to every run.
+
+    Exact because no component of a non-randomized platform consumes
+    the per-run seed (modulo placement and LRU/FIFO/PLRU replacement
+    ignore it, the refresh phase resets to zero, the FPU is a pure
+    function of the trace).
+    """
+    platform.reset(seeds[0])
+    core = platform.cores[core_id]
+    cycles: List[int] = []
+    last = None
+    for trace in segments:
+        last = core.execute(trace)
+        cycles.append(last.cycles)
+    if last is None:
+        raise ValueError("segments must not be empty")
+
+    def clone_result() -> RunResult:
+        # Fresh stats objects per run: the scalar path hands every run
+        # independent (mutable) stats, so the broadcast must too.
+        return RunResult(
+            cycles=sum(cycles),
+            instructions=sum(len(trace) for trace in segments),
+            icache=replace(last.icache),
+            dcache=replace(last.dcache),
+            itlb=replace(last.itlb),
+            dtlb=replace(last.dtlb),
+            fpu=replace(last.fpu),
+            pipeline=replace(last.pipeline),
+            core_id=core_id,
+            bus_contention_cycles=platform.bus.stats.contention_by_master.get(
+                core_id, 0
+            ),
+        )
+
+    segment_cycles = tuple(cycles)
+    return BatchRunOutcome(
+        seeds=tuple(seeds),
+        segment_cycles=[segment_cycles for _ in seeds],
+        instructions=sum(len(trace) for trace in segments),
+        results=[clone_result() for _ in seeds],
+    )
+
+
+def run_batch_segments(
+    platform: Platform,
+    segments: Sequence[Trace],
+    seeds: Sequence[int],
+    core_id: int = 0,
+) -> BatchRunOutcome:
+    """Execute ``segments`` back to back for every seed, vectorized.
+
+    Segment semantics match the scalar multi-job protocol
+    (:meth:`TvcaApplication.run_once`): each segment starts a fresh
+    stepper — the cycle clock and fetch/translation locality restart —
+    while caches, TLBs, the store buffer and the bus horizon carry
+    over; the platform is fully reset once per run before the first
+    segment.  A single-segment call is exactly ``platform.run``.
+    """
+    if not seeds:
+        raise ValueError("seeds must not be empty")
+    if not segments:
+        raise ValueError("segments must not be empty")
+    reason = batch_unsupported_reason(platform, core_id)
+    if reason is not None:
+        raise BatchUnsupported(reason)
+    if not platform.config.is_randomized:
+        return _run_degenerate(platform, segments, seeds, core_id)
+    engine = _BatchEngine(platform, seeds, core_id)
+    outcome = engine.run_segments(segments)
+    outcome.seeds = tuple(seeds)
+    return outcome
+
+
+def run_batch(
+    platform: Platform,
+    trace: Trace,
+    seeds: Sequence[int],
+    core_id: int = 0,
+) -> List[RunResult]:
+    """Batched equivalent of ``[platform.run(trace, s, core_id) for s in
+    seeds]`` — bit-identical per-run results, one pass over the trace."""
+    return run_batch_segments(platform, [trace], seeds, core_id).results

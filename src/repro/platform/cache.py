@@ -21,7 +21,7 @@ new seed for each experiment" protocol.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .placement import PlacementPolicy, make_placement

@@ -33,7 +33,7 @@ Micro-architectural shortcuts, all timing-neutral or conservative:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict
 
 from .bus import Bus
 from .cache import Cache, CacheConfig, CacheStats

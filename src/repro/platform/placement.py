@@ -29,7 +29,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
-from .prng import SplitMix64
 
 __all__ = [
     "PlacementPolicy",

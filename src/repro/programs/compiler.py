@@ -18,7 +18,7 @@ key of the paper's per-path MBPTA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..platform.trace import InstrKind, Trace, TraceBuilder

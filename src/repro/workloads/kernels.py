@@ -8,12 +8,10 @@ known footprints.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
 
 from ..programs.dsl import (
     ArrayDecl,
     Block,
-    If,
     Loop,
     Program,
     alu,

@@ -26,7 +26,6 @@ program-level paths a tool would distinguish on the real TVCA.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

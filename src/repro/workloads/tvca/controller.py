@@ -13,7 +13,7 @@ executed on the platform is decided by actual control-law arithmetic.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from ...platform.fpu import operand_class_of

@@ -27,7 +27,7 @@ value-dependent FPU latency on the DET platform).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from ...platform.prng import SplitMix64

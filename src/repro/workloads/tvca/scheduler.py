@@ -23,8 +23,8 @@ studies can use it directly.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 __all__ = [
     "TaskSpec",

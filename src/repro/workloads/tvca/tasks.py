@@ -30,7 +30,6 @@ of the measured configuration, while tests use smaller dimensions.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
 
 from ...programs.dsl import (
     ArrayDecl,

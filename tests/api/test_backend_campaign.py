@@ -1,0 +1,170 @@
+"""Campaign-level backend contract: batch == scalar, end to end.
+
+The runner promises that ``backend=`` never changes an observation —
+only how the inner loop executes.  These tests pin that at the
+campaign/artifact level, including the composition cases the ISSUE
+calls out: batch x fork-sharding, batch x adaptive stopping, and the
+automatic scalar fallback for co-scheduled scenarios.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CampaignArtifact,
+    CampaignConfig,
+    CampaignRunner,
+    TvcaWorkload,
+    create_platform,
+    create_scenario,
+    create_workload,
+)
+from repro.core import ConvergencePolicy
+from repro.harness import MeasurementCampaign
+from repro.platform.batch import numpy_available
+from repro.programs.layout import link
+from repro.workloads.kernels import table_walk_kernel
+from repro.workloads.tvca import TvcaConfig
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="batch backend requires numpy"
+)
+
+APP_CONFIG = TvcaConfig(estimator_dim=10, aero_window=16, hyperperiods=1)
+
+
+def _tvca_campaign(backend, shards=1, runs=40, vary_inputs=False,
+                   convergence=None):
+    runner = CampaignRunner(
+        CampaignConfig(runs=runs, base_seed=422, vary_inputs=vary_inputs),
+        shards=shards,
+        backend=backend,
+    )
+    platform = create_platform("rand", num_cores=1, cache_kb=1)
+    return runner.run(
+        TvcaWorkload(config=APP_CONFIG), platform, convergence=convergence
+    )
+
+
+def _kernel_campaign(backend, name="table-walk", shards=1, runs=24,
+                     vary_inputs=True):
+    runner = CampaignRunner(
+        CampaignConfig(runs=runs, base_seed=97, vary_inputs=vary_inputs),
+        shards=shards,
+        backend=backend,
+    )
+    platform = create_platform("rand", num_cores=1, cache_kb=1)
+    return runner.run(create_workload(name), platform)
+
+
+@requires_numpy
+def test_tvca_fixed_campaign_backend_parity():
+    scalar = _tvca_campaign("scalar")
+    batch = _tvca_campaign("batch")
+    auto = _tvca_campaign("auto")
+    assert scalar.run_details == batch.run_details == auto.run_details
+    assert scalar.backend == "scalar"
+    assert batch.backend == "batch"
+    assert auto.backend == "batch"
+
+
+@requires_numpy
+def test_batch_composes_with_fork_sharding():
+    serial = _tvca_campaign("batch")
+    sharded = _tvca_campaign("batch", shards=4)
+    assert serial.run_details == sharded.run_details
+
+
+@requires_numpy
+@pytest.mark.parametrize("vary_inputs", [False, True])
+def test_kernel_campaign_backend_parity(vary_inputs):
+    scalar = _kernel_campaign("scalar", vary_inputs=vary_inputs)
+    batch = _kernel_campaign("batch", vary_inputs=vary_inputs)
+    sharded = _kernel_campaign("batch", shards=3, vary_inputs=vary_inputs)
+    assert scalar.run_details == batch.run_details == sharded.run_details
+
+
+@requires_numpy
+def test_indexed_env_program_campaign_backend_parity():
+    """The legacy index-keyed env adapter batches as singleton groups."""
+    program = table_walk_kernel(entries=64, lookups=32)
+    image = link(program)
+
+    def env_fn(run_index):
+        return {"indices": [(run_index * 17 + k) % 64 for k in range(32)]}
+
+    results = []
+    for backend in ("scalar", "batch", "auto"):
+        campaign = MeasurementCampaign(
+            CampaignConfig(runs=12, base_seed=5, vary_inputs=False),
+            backend=backend,
+        )
+        platform = create_platform("rand", num_cores=1, cache_kb=1)
+        results.append(
+            campaign.run_program(platform, program, image, env_fn=env_fn)
+        )
+    assert results[0].run_details == results[1].run_details
+    assert results[0].run_details == results[2].run_details
+
+
+@requires_numpy
+def test_sharded_adaptive_batch_artifact_bit_identical_to_scalar():
+    """The ISSUE's acceptance case: a sharded adaptive campaign under
+    backend="batch" produces an artifact bit-identical to "scalar"
+    (modulo the provenance field naming the backend itself)."""
+    policy = ConvergencePolicy(
+        step=10, block_size=2, tolerance=0.5, probability=1e-3
+    )
+    scalar = _tvca_campaign("scalar", shards=3, runs=120, convergence=policy)
+    batch = _tvca_campaign("batch", shards=3, runs=120, convergence=policy)
+
+    def artifact_dict(result):
+        platform = create_platform("rand", num_cores=1, cache_kb=1)
+        artifact = CampaignArtifact.from_result(
+            result, platform=platform, workload="tvca", shards=3
+        )
+        payload = json.loads(artifact.to_json())
+        payload["config"].pop("backend")
+        return payload
+
+    assert artifact_dict(scalar) == artifact_dict(batch)
+
+
+@requires_numpy
+def test_artifact_records_backend():
+    result = _tvca_campaign("batch", runs=10)
+    artifact = CampaignArtifact.from_result(result)
+    assert artifact.backend == "batch"
+    assert CampaignArtifact.from_json(artifact.to_json()).backend == "batch"
+    scalar_artifact = CampaignArtifact.from_result(_tvca_campaign("scalar", runs=10))
+    assert scalar_artifact.backend == "scalar"
+
+
+def test_scenario_campaign_falls_back_to_scalar():
+    """Co-scheduled scenarios have no batch description: auto and even
+    an explicit batch request resolve to the scalar engine."""
+    runner = CampaignRunner(
+        CampaignConfig(runs=4, base_seed=3), backend="batch"
+    )
+    platform = create_platform("rand", num_cores=2, cache_kb=1)
+    scenario = create_scenario("opponent-cpu", create_workload("matmul"))
+    result = runner.run(scenario, platform)
+    assert result.backend == "scalar"
+    assert result.num_runs == 4
+
+
+def test_invalid_backend_rejected():
+    with pytest.raises(ValueError):
+        CampaignRunner(CampaignConfig(runs=1), backend="gpu")
+
+
+def test_numpy_free_auto_campaign_still_runs(monkeypatch):
+    """Without numpy, auto resolves to scalar for randomized platforms
+    and campaigns keep working unchanged."""
+    from repro.platform import batch as batch_mod
+
+    monkeypatch.setattr(batch_mod, "_np", None)
+    result = _tvca_campaign("auto", runs=6)
+    assert result.backend == "scalar"
+    assert result.num_runs == 6

@@ -15,7 +15,7 @@ from repro.core import (
     mbta_bound,
 )
 from repro.core.evt import BlockMaximaTail, GumbelDistribution
-from repro.harness.measurements import ExecutionTimeSample, PathSamples
+from repro.harness.measurements import PathSamples
 from repro.workloads.synthetic import (
     cache_like_samples,
     gumbel_samples,

@@ -166,8 +166,6 @@ class TestAndersonDarling:
 
     def test_matches_scipy_normal_case(self):
         """Cross-check the statistic (not p) against scipy.anderson."""
-        import math
-
         vals = normal_samples(500, seed=10)
         mu = sum(vals) / len(vals)
         sd = (sum((v - mu) ** 2 for v in vals) / (len(vals) - 1)) ** 0.5

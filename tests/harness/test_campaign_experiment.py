@@ -5,7 +5,6 @@ import pytest
 from repro.harness.campaign import CampaignConfig, MeasurementCampaign
 from repro.harness.experiment import compare_det_rand
 from repro.platform.soc import leon3_det, leon3_rand
-from repro.programs.compiler import compile_program
 from repro.programs.layout import link
 from repro.workloads.kernels import matmul_kernel
 from repro.workloads.tvca.app import TvcaApplication, TvcaConfig

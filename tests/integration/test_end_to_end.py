@@ -7,7 +7,7 @@ observations, the MBTA comparison and the DET/RAND average parity.
 
 import pytest
 
-from repro.core import MBPTAAnalysis, MBPTAConfig, mbta_bound
+from repro.core import MBPTAAnalysis, MBPTAConfig
 from repro.harness import CampaignConfig, MeasurementCampaign, compare_det_rand
 from repro.platform import leon3_det, leon3_rand
 from repro.workloads.tvca import TvcaApplication, TvcaConfig

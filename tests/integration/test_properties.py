@@ -1,6 +1,5 @@
 """Property-based tests on cross-module invariants (hypothesis)."""
 
-import math
 
 import pytest
 

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.platform.core import Core, CoreConfig
 from repro.platform.fpu import FpuMode
-from repro.platform.soc import Platform, PlatformConfig, leon3_det, leon3_rand
+from repro.platform.soc import leon3_det, leon3_rand
 from repro.platform.trace import InstrKind, Trace, TraceBuilder
 
 

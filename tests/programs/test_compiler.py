@@ -3,7 +3,7 @@
 import pytest
 
 from repro.platform.trace import InstrKind
-from repro.programs.compiler import compile_program, generate_trace
+from repro.programs.compiler import compile_program
 from repro.programs.dsl import (
     ArrayDecl,
     Block,
@@ -16,9 +16,7 @@ from repro.programs.dsl import (
     fdiv,
     fmul,
     load,
-    store,
 )
-from repro.programs.layout import link
 
 
 def compiled(body, arrays=None, name="t"):

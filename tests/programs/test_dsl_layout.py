@@ -10,8 +10,6 @@ from repro.programs.dsl import (
     Loop,
     Program,
     alu,
-    fadd,
-    fdiv,
     load,
     store,
 )

@@ -87,8 +87,6 @@ class TestSynthetic:
         assert gumbel_samples(50, seed=3) == gumbel_samples(50, seed=3)
 
     def test_gumbel_moments(self):
-        import math
-
         vals = gumbel_samples(20000, seed=1, location=10.0, scale=2.0)
         mean = statistics.mean(vals)
         assert mean == pytest.approx(10.0 + 0.5772156649 * 2.0, abs=0.1)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.workloads.tvca.scheduler import (
-    Job,
     TaskSpec,
     build_jobs,
     hyperperiod,
