@@ -1,0 +1,115 @@
+"""B2 — bootstrap-refit throughput: vectorized batch vs naive loop.
+
+The analysis pipeline's confidence bands refit the tail under R
+bootstrap resamples.  The vectorized path computes all R refits as
+batched numpy array operations (one ``(R, m)`` sort plus closed-form
+weighted-moment contractions); the naive reference loops a Python
+``fit_pwm`` / ``fit_lmoments`` / GPD-PWM per replicate — the loop the
+ISSUE's acceptance criterion forbids on the hot path.
+
+Measures bands/sec for both implementations on each built-in estimator
+family and asserts the >= 5x floor for the Gumbel/GEV moment-style
+fits.  The two paths draw identical resamples (same rng stream), so the
+comparison is refit arithmetic only; their agreement to float round-off
+is pinned separately in ``tests/core/test_bootstrap.py``.
+
+Emits ``BENCH_bootstrap.json`` plus a human-readable table.
+"""
+
+import json
+import os
+import time
+
+from repro.core import STANDARD_CUTOFFS
+from repro.core.analysis import (
+    AnalysisConfig,
+    bootstrap_band,
+    create_estimator,
+    naive_bootstrap_band,
+)
+from repro.workloads.synthetic import cache_like_samples
+
+from conftest import RESULTS_DIR, emit
+
+#: Replicates per band; the production default is 200.
+REPLICATES = int(os.environ.get("REPRO_BENCH_BOOTSTRAP_REPLICATES", "500"))
+
+#: Bands measured per implementation (amortizes timer noise).
+ROUNDS = int(os.environ.get("REPRO_BENCH_BOOTSTRAP_ROUNDS", "10"))
+
+#: The acceptance floor for the moment-style (Gumbel/GEV) refits.
+MIN_SPEEDUP = 5.0
+
+METHODS = ("block-maxima-gumbel", "gev", "pot-gpd")
+
+
+def _measure(fn, model, hwm, kind):
+    start = time.perf_counter()
+    for round_index in range(ROUNDS):
+        band = fn(
+            model,
+            hwm,
+            STANDARD_CUTOFFS,
+            0.95,
+            replicates=REPLICATES,
+            kind=kind,
+            seed=1000 + round_index,
+        )
+        assert band is not None
+    elapsed = time.perf_counter() - start
+    return ROUNDS / elapsed, elapsed
+
+
+def test_bootstrap_vectorization_speedup():
+    values = cache_like_samples(2000, seed=77)
+    hwm = max(values)
+    config = AnalysisConfig(check_convergence=False)
+    rows = []
+    results = {}
+    for method in METHODS:
+        model = create_estimator(method)(values, config)
+        for kind in ("parametric", "block"):
+            vec_rate, _ = _measure(bootstrap_band, model, hwm, kind)
+            naive_rate, _ = _measure(naive_bootstrap_band, model, hwm, kind)
+            speedup = vec_rate / naive_rate
+            results[f"{method}/{kind}"] = {
+                "vectorized_bands_per_sec": vec_rate,
+                "naive_bands_per_sec": naive_rate,
+                "speedup": speedup,
+            }
+            rows.append(
+                f"{method:>20} {kind:>11} | vectorized {vec_rate:8.1f}/s | "
+                f"naive {naive_rate:8.1f}/s | {speedup:6.1f}x"
+            )
+
+    table = "\n".join(
+        [
+            f"bootstrap refits: {REPLICATES} replicates/band, "
+            f"{ROUNDS} bands/measurement",
+            *rows,
+        ]
+    )
+    emit("BENCH_bootstrap", table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_bootstrap.json").write_text(
+        json.dumps(
+            {
+                "replicates": REPLICATES,
+                "rounds": ROUNDS,
+                "sample_size": len(values),
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The acceptance floor: no per-replicate Python fit loop could keep
+    # up — the batched path must win by >= 5x on the moment-style fits.
+    for method in ("block-maxima-gumbel", "gev"):
+        for kind in ("parametric", "block"):
+            speedup = results[f"{method}/{kind}"]["speedup"]
+            assert speedup >= MIN_SPEEDUP, (
+                f"{method}/{kind}: vectorized bootstrap only {speedup:.1f}x "
+                f"over the naive loop (floor: {MIN_SPEEDUP}x)"
+            )

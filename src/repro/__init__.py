@@ -16,9 +16,11 @@ Space Domain" (DATE 2017):
   :class:`~repro.api.workload.Workload` protocol, the sharded
   :class:`~repro.api.runner.CampaignRunner`, persistent campaign
   artifacts, and string-keyed workload/platform registries,
-* :mod:`repro.core` — the MBPTA analysis itself: i.i.d. testing, EVT
-  fitting, convergence, per-path pWCET curves, and the industrial MBTA
-  baseline,
+* :mod:`repro.core` — the MBPTA analysis itself: the staged
+  :class:`~repro.core.analysis.AnalysisPipeline` (i.i.d. testing, a
+  string-keyed tail-estimator registry, fit diagnostics, vectorized
+  bootstrap confidence bands), per-path pWCET curves/envelopes, and
+  the industrial MBTA baseline,
 * :mod:`repro.viz` — text/CSV renderings of the paper's figures.
 
 Quickstart::

@@ -1,0 +1,12 @@
+"""``python -m repro`` — the package-level CLI entry point.
+
+Mirrors the ``repro`` console script declared in ``pyproject.toml``
+(``[project.scripts]``); both call :func:`repro.cli.main`.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

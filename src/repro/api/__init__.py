@@ -40,10 +40,14 @@ from .backend import (
     resolve_backend,
 )
 from .registry import (
+    create_estimator,
     create_platform,
     create_scenario,
     create_workload,
+    estimator_description,
+    estimator_names,
     platform_names,
+    register_estimator,
     register_platform,
     register_scenario,
     register_workload,
@@ -82,13 +86,17 @@ __all__ = [
     "SyntheticWorkload",
     "TvcaWorkload",
     "Workload",
+    "create_estimator",
     "create_platform",
     "create_scenario",
     "create_workload",
     "default_shards",
+    "estimator_description",
+    "estimator_names",
     "load_measurements",
     "platform_fingerprint",
     "platform_names",
+    "register_estimator",
     "register_platform",
     "register_scenario",
     "register_workload",

@@ -9,6 +9,13 @@ round-trips through JSON and feeds
 campaign can be re-analysed later — with per-path grouping intact —
 without re-running a single simulation.
 
+An artifact can additionally carry the **analysis summary** of the
+campaign (estimator choice, fit quality, pWCET table with bootstrap
+confidence bands) via :meth:`CampaignArtifact.attach_analysis` — the
+raw per-path samples always stay alongside, so ``analyse --sample`` can
+re-analyse the same measurements with a different estimator without
+re-running a single simulation.
+
 :class:`ArtifactStore` is a thin directory-of-JSON-files convenience on
 top.  :func:`load_measurements` additionally understands the two legacy
 sample formats (:class:`ExecutionTimeSample` and bare
@@ -32,9 +39,53 @@ __all__ = [
     "SCHEMA",
     "CampaignArtifact",
     "ArtifactStore",
+    "analysis_summary",
     "platform_fingerprint",
     "load_measurements",
 ]
+
+
+def analysis_summary(result) -> Dict[str, Any]:
+    """JSON-safe summary of an :class:`~repro.core.analysis.AnalysisResult`.
+
+    Captures what a later reader needs to audit the analysis without
+    re-running it: the estimator (overall and per path, with the auto
+    selector's rationale), fit-quality diagnostics, the envelope pWCET
+    table, and the bootstrap confidence bands.
+    """
+    cfg = result.config
+    paths: Dict[str, Any] = {}
+    for path, analysis in result.paths.items():
+        entry: Dict[str, Any] = {
+            "method": analysis.method,
+            "n": len(analysis.sample),
+            "iid_passed": analysis.iid.passed,
+            "gof_p_value": analysis.gof_p_value,
+        }
+        if analysis.quality is not None:
+            entry["fit_quality"] = {
+                "anderson_darling_p": analysis.quality.anderson_darling_p,
+                "ks_p": float(analysis.quality.ks_p),
+                "qq_correlation": float(analysis.quality.qq_correlation),
+                "adequate": bool(analysis.quality.adequate),
+            }
+        if analysis.selection_note:
+            entry["selection_note"] = analysis.selection_note
+        if analysis.band is not None:
+            entry["band"] = analysis.band.to_dict()
+        paths[path] = entry
+    summary: Dict[str, Any] = {
+        "method": result.method,
+        "ci": cfg.ci,
+        "bootstrap": cfg.bootstrap if cfg.ci is not None else None,
+        "bootstrap_kind": cfg.bootstrap_kind if cfg.ci is not None else None,
+        "paths": paths,
+        "pwcet": [[p, q] for p, q in result.pwcet_table()],
+    }
+    band_rows = result.band_table()
+    if band_rows:
+        summary["pwcet_band"] = [[p, lo, hi] for p, lo, hi in band_rows]
+    return summary
 
 #: Artifact schema identifier; bump the suffix on breaking changes.
 SCHEMA = "repro.campaign/1"
@@ -77,6 +128,7 @@ class CampaignArtifact:
     config: Dict[str, Any] = field(default_factory=dict)
     platform: Dict[str, Any] = field(default_factory=dict)
     convergence: Optional[CampaignConvergenceSummary] = None
+    analysis: Optional[Dict[str, Any]] = None
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -130,6 +182,16 @@ class CampaignArtifact:
         analysis = MBPTAAnalysis(analysis_config or MBPTAConfig())
         return analysis.analyse(self.samples, label=self.label)
 
+    def attach_analysis(self, result) -> None:
+        """Record an analysis summary (estimator, bands, fit quality).
+
+        ``result`` is an :class:`~repro.core.analysis.AnalysisResult`.
+        The summary is persistence-only provenance: the per-path samples
+        stay in the artifact, so a later ``analyse --sample`` can
+        re-analyse with any other method and overwrite this section.
+        """
+        self.analysis = analysis_summary(result)
+
     @property
     def merged(self) -> ExecutionTimeSample:
         """All observations pooled across paths."""
@@ -179,6 +241,8 @@ class CampaignArtifact:
         }
         if self.convergence is not None:
             payload["convergence"] = self.convergence.to_dict()
+        if self.analysis is not None:
+            payload["analysis"] = self.analysis
         return json.dumps(payload, indent=indent)
 
     @classmethod
@@ -202,6 +266,7 @@ class CampaignArtifact:
                 if convergence is not None
                 else None
             ),
+            analysis=data.get("analysis"),
         )
 
     def save(self, path: Union[str, Path]) -> Path:

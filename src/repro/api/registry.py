@@ -1,11 +1,17 @@
-"""String-keyed platform, workload and scenario registries.
+"""String-keyed platform, workload, scenario and estimator registries.
 
 Every scenario becomes a registry entry instead of a new driver method:
-the CLI, examples and tests resolve platforms, workloads and contention
-scenarios by name, and new entries are one :func:`register_platform` /
-:func:`register_workload` / :func:`register_scenario` call away.
+the CLI, examples and tests resolve platforms, workloads, contention
+scenarios and tail estimators by name, and new entries are one
+:func:`register_platform` / :func:`register_workload` /
+:func:`register_scenario` / :func:`register_estimator` call away.
 Factories receive keyword arguments (sizes, seeds, modes) and must
 ignore nothing — unknown keys raise, so typos surface early.
+
+The tail-estimator registry itself lives in
+:mod:`repro.core.analysis.estimators` (analysis code must not depend on
+the API layer); it is re-exported here so the CLI and users find every
+registry through one module.
 
 Scenario factories take the workload under analysis as their first
 argument and return a :class:`~repro.api.scenario.Scenario` (itself a
@@ -17,6 +23,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List
 
+from ..core.analysis.estimators import (
+    create_estimator,
+    estimator_description,
+    estimator_names,
+    register_estimator,
+)
 from ..platform.prng import SplitMix64
 from ..platform.soc import Platform, leon3_det, leon3_rand
 from ..workloads import kernels, synthetic
@@ -34,13 +46,17 @@ __all__ = [
     "register_platform",
     "register_workload",
     "register_scenario",
+    "register_estimator",
     "create_platform",
     "create_workload",
     "create_scenario",
+    "create_estimator",
     "platform_names",
     "workload_names",
     "scenario_names",
     "scenario_description",
+    "estimator_names",
+    "estimator_description",
 ]
 
 PlatformFactory = Callable[..., Platform]

@@ -8,7 +8,10 @@ Five subcommands mirror the paper's workflow plus the multicore axis:
   samples, seeds, platform fingerprint) to JSON,
 * ``analyse`` — run the MBPTA pipeline on a saved artifact/sample (or a
   fresh campaign) and print the report; per-path grouping is preserved
-  through save/load,
+  through save/load,  ``--method`` picks the tail estimator from the
+  registry (``auto`` selects per path via fit-quality diagnostics) and
+  ``--ci``/``--bootstrap`` add vectorized bootstrap confidence bands;
+  ``--out`` writes the artifact back with the analysis summary attached,
 * ``compare`` — the Figure-3 comparison (DET/MBTA vs RAND/MBPTA),
 * ``contend`` — sweep the same workload over contention scenarios
   (isolation vs co-runner opponents) and render the comparison panel,
@@ -37,8 +40,12 @@ Examples::
         --co-runner opponent-memory-hammer --out hammer.json
     python -m repro.cli analyse --sample c.json
     python -m repro.cli analyse --runs 300 --cutoff 1e-12
+    python -m repro.cli analyse --sample c.json --method auto --ci 0.95
+    python -m repro.cli analyse --sample c.json --method pot-gpd --ci 0.9 \\
+        --bootstrap 500 --bootstrap-kind block --out c-analysed.json
     python -m repro.cli compare --runs 200 --shards 4
     python -m repro.cli contend --workload matmul --runs 200 --cutoff 1e-9
+    python -m repro.cli contend --runs 200 --cutoff 1e-9 --ci 0.95
     python -m repro.cli list
 """
 
@@ -55,14 +62,21 @@ from .api import (
     create_platform,
     create_scenario,
     create_workload,
+    estimator_description,
+    estimator_names,
     load_measurements,
     platform_names,
     scenario_description,
     scenario_names,
     workload_names,
 )
-from .core import ConvergencePolicy, MBPTAAnalysis, MBPTAConfig, mbta_bound
-from .harness import compare_det_rand, compare_scenarios
+from .core import (
+    AnalysisConfig,
+    AnalysisPipeline,
+    ConvergencePolicy,
+    mbta_bound,
+)
+from .harness import band_relation, compare_det_rand, compare_scenarios
 from .viz import contention_csv, contention_panel, figure3_panel
 
 __all__ = ["main", "build_parser"]
@@ -78,6 +92,41 @@ def _platform(args: argparse.Namespace, kind: str):
     return create_platform(
         kind, num_cores=getattr(args, "cores", 1), cache_kb=args.cache_kb
     )
+
+
+def _analysis_config(
+    args: argparse.Namespace, min_path_samples: int = 120
+) -> AnalysisConfig:
+    """The pipeline configuration requested on the command line.
+
+    Commands that run a campaign before analysing call this *first*
+    (with the default ``min_path_samples``) so a bad ``--ci`` or
+    ``--bootstrap`` knob exits 2 before any run is burned — the same
+    validate-before-running contract the adaptive-campaign knobs follow.
+    """
+    return AnalysisConfig(
+        method=args.method,
+        min_path_samples=min_path_samples,
+        check_convergence=False,
+        ci=args.ci,
+        bootstrap=args.bootstrap,
+        bootstrap_kind=args.bootstrap_kind,
+    )
+
+
+def _print_band_summary(result) -> None:
+    """Compact per-path band lines (run/compare output)."""
+    for path, analysis in sorted(result.paths.items()):
+        band = analysis.band
+        if band is None:
+            continue
+        deepest = band.cutoffs[-1]
+        lo, hi = band.interval(deepest)
+        point = analysis.curve.quantile(deepest)
+        print(
+            f"  path {path} [{analysis.method}]: pWCET@{deepest:.0e} = "
+            f"{point:.0f}, {band.level:.0%} CI [{lo:.0f}, {hi:.0f}]"
+        )
 
 
 def _policy(args: argparse.Namespace) -> Optional[ConvergencePolicy]:
@@ -119,6 +168,7 @@ def _run_campaign(args: argparse.Namespace, kind: str):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _analysis_config(args)  # validate analysis knobs before any run
     result, runner, platform, _workload, scenario = _run_campaign(
         args, args.platform
     )
@@ -132,6 +182,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  path {path}: {count} runs")
     if result.convergence is not None:
         _print_convergence(result.convergence)
+    analysis = None
+    if args.ci is not None:
+        config = _analysis_config(args, max(120, result.num_runs // 3))
+        analysis = AnalysisPipeline(config).run(result.samples)
+        _print_band_summary(analysis)
     if args.out:
         artifact = CampaignArtifact.from_result(
             result,
@@ -141,45 +196,81 @@ def cmd_run(args: argparse.Namespace) -> int:
             shards=runner.shards,
             scenario=scenario,
         )
+        if analysis is not None:
+            artifact.attach_analysis(analysis)
         artifact.save(args.out)
         print(f"campaign artifact written to {args.out}")
     return 0
 
 
 def cmd_analyse(args: argparse.Namespace) -> int:
+    _analysis_config(args)  # validate analysis knobs before any run
+    artifact = None
     if args.sample:
         loaded = load_measurements(args.sample)
-        data = loaded.samples if isinstance(loaded, CampaignArtifact) else loaded
-        n = (
-            loaded.num_runs
-            if isinstance(loaded, CampaignArtifact)
-            else sum(data.counts().values())
-            if hasattr(data, "counts")
-            else len(data)
-        )
+        if isinstance(loaded, CampaignArtifact):
+            artifact = loaded
+            data = loaded.samples
+            n = loaded.num_runs
+        else:
+            data = loaded
+            n = (
+                sum(data.counts().values())
+                if hasattr(data, "counts")
+                else len(data)
+            )
         min_path = max(120, n // 3)
-        if isinstance(loaded, CampaignArtifact) and loaded.convergence is not None:
-            print(f"{loaded.label}:")
-            _print_convergence(loaded.convergence)
+        if artifact is not None and artifact.convergence is not None:
+            print(f"{artifact.label}:")
+            _print_convergence(artifact.convergence)
     else:
-        result, _, _, _, _ = _run_campaign(args, "rand")
+        result, runner, platform, _workload, scenario = _run_campaign(
+            args, "rand"
+        )
         data = result.samples
         min_path = max(120, result.num_runs // 3)
         if result.convergence is not None:
             print(f"{result.label}:")
             _print_convergence(result.convergence)
-    analysis = MBPTAAnalysis(
-        MBPTAConfig(min_path_samples=min_path, check_convergence=False)
-    ).analyse(data)
+        if args.out:
+            artifact = CampaignArtifact.from_result(
+                result,
+                config=runner.config,
+                platform=platform,
+                workload=args.workload,
+                shards=runner.shards,
+                scenario=scenario,
+            )
+    analysis = AnalysisPipeline(_analysis_config(args, min_path)).run(data)
     print(analysis.report())
     if args.cutoff:
         print(f"\npWCET@{args.cutoff:g} = {analysis.quantile(args.cutoff):.0f}")
+        band = analysis.envelope.band(args.cutoff)
+        if band is not None:
+            level = analysis.config.ci
+            print(
+                f"{level:.0%} CI at {args.cutoff:g}: "
+                f"[{band[0]:.0f}, {band[1]:.0f}]"
+            )
+    if args.out:
+        if artifact is not None:
+            artifact.attach_analysis(analysis)
+            artifact.save(args.out)
+            print(f"\ncampaign artifact (with analysis) written to {args.out}")
+        else:
+            print(
+                "warning: --out ignored — the input is a bare sample file, "
+                "not a campaign artifact; produce one with `run --out` to "
+                "persist the analysis alongside the measurements",
+                file=sys.stderr,
+            )
     return 0 if analysis.iid_ok else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     from .workloads.tvca import TvcaConfig
 
+    _analysis_config(args)  # validate analysis knobs before any run
     comparison = compare_det_rand(
         runs=args.runs,
         base_seed=args.seed,
@@ -198,12 +289,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     det = comparison.det_sample
     rand = comparison.rand_sample
     mbta = mbta_bound(det.values, engineering_factor=args.factor)
-    analysis = MBPTAAnalysis(
-        MBPTAConfig(
-            min_path_samples=max(120, comparison.rand.num_runs // 2),
-            check_convergence=False,
-        )
-    ).analyse(comparison.rand.samples)
+    analysis = comparison.analyse_rand(
+        _analysis_config(args, max(120, comparison.rand.num_runs // 2))
+    )
     print(
         figure3_panel(
             det_mean=det.mean,
@@ -214,10 +302,26 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nRAND/DET average ratio: {comparison.average_ratio():.4f}")
+    if args.ci is not None:
+        _print_band_summary(analysis)
+        cutoff = args.cutoff if getattr(args, "cutoff", None) else 1e-12
+        verdict = comparison.mbta_vs_band(analysis, cutoff, mbta.bound)
+        if verdict is not None:
+            relation = {
+                "above": "the whole pWCET band exceeds the MBTA bound",
+                "below": "the whole pWCET band is below the MBTA bound",
+                "overlap": "the pWCET band contains the MBTA bound",
+            }[verdict["relation"]]
+            print(
+                f"MBTA bound {verdict['mbta']:.0f} vs pWCET@{cutoff:.0e} "
+                f"CI [{verdict['lower']:.0f}, {verdict['upper']:.0f}]: "
+                f"{relation}"
+            )
     return 0
 
 
 def cmd_contend(args: argparse.Namespace) -> int:
+    _analysis_config(args)  # validate analysis knobs before any run
     scenarios = args.scenarios
     if args.co_runner is not None:
         # Shorthand: --co-runner X sweeps isolation against X.
@@ -240,10 +344,32 @@ def cmd_contend(args: argparse.Namespace) -> int:
         convergence=_policy(args),
         backend=getattr(args, "backend", "auto"),
     )
-    summary = comparison.summary(cutoff=args.cutoff)
+    summary = comparison.summary(
+        cutoff=args.cutoff,
+        method=args.method,
+        ci=args.ci,
+        bootstrap=args.bootstrap,
+        bootstrap_kind=args.bootstrap_kind,
+    )
     print(contention_panel(summary))
     if args.cutoff:
         print(f"\n('pwcet' row = estimate at P(exceed) = {args.cutoff:g})")
+    if args.ci is not None and "isolation" in summary:
+        base = summary["isolation"]
+        if "pwcet_lo" in base:
+            for name, row in sorted(summary.items()):
+                if name == "isolation" or "pwcet_lo" not in row:
+                    continue
+                relation = band_relation(
+                    row["pwcet_lo"], row["pwcet_hi"],
+                    base["pwcet_lo"], base["pwcet_hi"],
+                )
+                verdict = {
+                    "above": "separated above isolation at this confidence",
+                    "below": "separated below isolation at this confidence",
+                    "overlap": "band overlaps isolation (gap not resolvable)",
+                }[relation]
+                print(f"{name}: pWCET {verdict}")
     for name, result in sorted(comparison.by_scenario.items()):
         if result.convergence is not None:
             print(f"{name}:")
@@ -266,6 +392,11 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("scenarios (--co-runner):")
     for name in scenario_names():
         description = scenario_description(name)
+        suffix = f" — {description}" if description else ""
+        print(f"  {name}{suffix}")
+    print("estimators (--method):")
+    for name in estimator_names():
+        description = estimator_description(name)
         suffix = f" — {description}" if description else ""
         print(f"  {name}{suffix}")
     return 0
@@ -309,6 +440,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--estimator-dim", type=int, default=20,
             help="TVCA estimator dimension (44 = full configuration)",
+        )
+        p.add_argument(
+            "--method", choices=tuple(estimator_names()),
+            default="block-maxima-gumbel",
+            help="tail estimator (registry key; `auto` selects per path "
+            "via fit-quality diagnostics — see `list`)",
+        )
+        p.add_argument(
+            "--ci", type=float, default=None,
+            help="confidence level for bootstrap pWCET bands "
+            "(e.g. 0.95; off by default)",
+        )
+        p.add_argument(
+            "--bootstrap", type=int, default=200,
+            help="bootstrap replicates for the confidence bands",
+        )
+        p.add_argument(
+            "--bootstrap-kind", choices=("parametric", "block"),
+            default="parametric",
+            help="bootstrap resampling: parametric (from the fitted "
+            "tail) or block (resample the fitted maxima/excesses)",
         )
         p.add_argument(
             "--until-converged", action="store_true",
@@ -362,6 +514,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyse.add_argument(
         "--cutoff", type=float, help="also print the pWCET at this probability"
+    )
+    p_analyse.add_argument(
+        "--out",
+        help="write the campaign artifact with the analysis summary "
+        "(estimator, fit quality, bands) attached to this JSON file",
     )
     p_analyse.set_defaults(func=cmd_analyse)
 

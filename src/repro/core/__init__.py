@@ -7,6 +7,17 @@ industrial MBTA baseline for comparison.
 """
 
 from . import evt, stats
+from .analysis import (
+    AnalysisConfig,
+    AnalysisPipeline,
+    AnalysisResult,
+    ConfidenceBand,
+    TailModel,
+    create_estimator,
+    estimator_description,
+    estimator_names,
+    register_estimator,
+)
 from .convergence import (
     CampaignConvergence,
     CampaignConvergenceSummary,
@@ -22,6 +33,10 @@ from .pwcet import PWCETCurve, STANDARD_CUTOFFS
 from .report import render_pwcet_table, render_report
 
 __all__ = [
+    "AnalysisConfig",
+    "AnalysisPipeline",
+    "AnalysisResult",
+    "ConfidenceBand",
     "ConvergenceMonitor",
     "ConvergenceReport",
     "MBPTAAnalysis",
@@ -33,9 +48,14 @@ __all__ = [
     "PathAnalysis",
     "RarePathFloor",
     "STANDARD_CUTOFFS",
+    "TailModel",
     "assess_convergence",
+    "create_estimator",
+    "estimator_description",
+    "estimator_names",
     "evt",
     "mbta_bound",
+    "register_estimator",
     "render_pwcet_table",
     "render_report",
     "stats",

@@ -23,11 +23,12 @@ from typing import List, Sequence, Tuple, Union
 from ..stats.anderson_darling import anderson_darling_test
 from ..stats.ks import ks_one_sample
 from .gev import GevDistribution
+from .gpd import GpdDistribution
 from .gumbel import GumbelDistribution
 
 __all__ = ["qq_points", "qq_correlation", "return_levels", "FitQuality", "fit_quality"]
 
-Distribution = Union[GumbelDistribution, GevDistribution]
+Distribution = Union[GumbelDistribution, GevDistribution, GpdDistribution]
 
 
 def qq_points(

@@ -84,6 +84,12 @@ class GpdDistribution:
             return -self.scale * math.log(p)
         return self.scale * (p ** (-xi) - 1.0) / xi
 
+    def ppf(self, q: float) -> float:
+        """Quantile: excess level with CDF = q (enables QQ diagnostics)."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        return self.isf(1.0 - q)
+
     @property
     def mean(self) -> float:
         """Mean excess (finite for shape < 1)."""

@@ -14,32 +14,44 @@ Chains the full analysis the paper applies to the TVCA measurements:
 5. a textual **report** with the same numbers the paper presents
    (i.i.d. p-values, pWCET table at the Figure 3 cutoffs).
 
+Since the analysis-layer refactor this class is a thin facade over the
+staged :class:`repro.core.analysis.AnalysisPipeline` — the stages, the
+string-keyed estimator registry and the bootstrap confidence bands all
+live in :mod:`repro.core.analysis`; the facade maps the legacy
+:class:`MBPTAConfig` onto an :class:`~repro.core.analysis.AnalysisConfig`
+and its default-path output is bit-identical to the seed monolith
+(pinned by ``tests/core/test_analysis_parity.py``).
+
 Entry point: :class:`MBPTAAnalysis` (configure once, ``analyse`` many).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence
 
-from ..harness.measurements import ExecutionTimeSample, PathSamples
-from .convergence import ConvergenceReport, assess_convergence
-from .evt.block_maxima import MIN_MAXIMA, best_block_size, block_maxima
-from .evt.gev import shape_likelihood_ratio_test
-from .evt.gumbel import GumbelDistribution, fit_pwm
-from .evt.pot import fit_pot
-from .evt.tail import BlockMaximaTail, FittedTail, PotTail
-from .multipath import PWCETEnvelope, RarePathFloor
-from .pwcet import PWCETCurve, STANDARD_CUTOFFS
-from .stats.anderson_darling import anderson_darling_test
-from .stats.iid import IidVerdict, iid_gate
+from .analysis.config import AnalysisConfig
+from .analysis.pipeline import AnalysisInput, AnalysisPipeline
+from .analysis.result import AnalysisResult, PathAnalysis
+from .evt.block_maxima import MIN_MAXIMA
+from .pwcet import STANDARD_CUTOFFS
 
 __all__ = ["MBPTAConfig", "PathAnalysis", "MBPTAResult", "MBPTAAnalysis"]
+
+#: Legacy tail-method names mapped onto estimator-registry keys.
+_TAIL_METHOD_TO_ESTIMATOR = {
+    "block-maxima": "block-maxima-gumbel",
+    "pot": "pot-gpd",
+}
+
+#: Backward-compatible alias: the pipeline's result type carries every
+#: seed-era field plus the estimator/diagnostics/band extensions.
+MBPTAResult = AnalysisResult
 
 
 @dataclass(frozen=True)
 class MBPTAConfig:
-    """Analysis configuration.
+    """Analysis configuration (legacy facade).
 
     Attributes
     ----------
@@ -62,6 +74,12 @@ class MBPTAConfig:
     require_iid:
         Raise if any fitted path fails the i.i.d. gate (default False:
         the result records the failure and the caller decides).
+    ci:
+        Confidence level for bootstrap pWCET bands (None = no bands).
+    bootstrap:
+        Bootstrap replicates for the bands.
+    bootstrap_kind:
+        ``"parametric"`` or ``"block"`` resampling.
     """
 
     alpha: float = 0.05
@@ -72,6 +90,9 @@ class MBPTAConfig:
     cutoffs: Sequence[float] = STANDARD_CUTOFFS
     check_convergence: bool = True
     require_iid: bool = False
+    ci: Optional[float] = None
+    bootstrap: int = 200
+    bootstrap_kind: str = "parametric"
 
     def __post_init__(self) -> None:
         if self.tail_method not in ("block-maxima", "pot"):
@@ -84,201 +105,35 @@ class MBPTAConfig:
                 "meaningful EVT fit"
             )
 
-
-@dataclass
-class PathAnalysis:
-    """Full analysis of one path's sample."""
-
-    path: str
-    sample: ExecutionTimeSample
-    iid: IidVerdict
-    tail: FittedTail
-    curve: PWCETCurve
-    gof_p_value: float
-    gev_shape: Optional[float] = None
-    gev_shape_p_value: Optional[float] = None
-    convergence: Optional[ConvergenceReport] = None
-
-    @property
-    def degenerate(self) -> bool:
-        """True when the sample had (almost) no spread."""
-        return self.sample.std == 0.0
-
-
-@dataclass
-class MBPTAResult:
-    """Outcome of one MBPTA analysis."""
-
-    config: MBPTAConfig
-    paths: Dict[str, PathAnalysis]
-    envelope: PWCETEnvelope
-    rare_paths: List[RarePathFloor]
-    label: str = ""
-
-    @property
-    def iid_ok(self) -> bool:
-        """All fitted paths passed the i.i.d. gate."""
-        return all(p.iid.passed for p in self.paths.values())
-
-    def quantile(self, p: float) -> float:
-        """Envelope pWCET at exceedance probability ``p``."""
-        return self.envelope.quantile(p)
-
-    def exceedance(self, x: float) -> float:
-        """Envelope exceedance probability of budget ``x``."""
-        return self.envelope.exceedance(x)
-
-    def pwcet_table(self) -> List[Tuple[float, float]]:
-        """(cutoff, pWCET) rows at the configured cutoffs."""
-        return self.envelope.pwcet_table(self.config.cutoffs)
-
-    def dominant_path(self) -> str:
-        """Path with the most observations."""
-        if not self.paths:
-            return self.rare_paths[0].path if self.rare_paths else ""
-        return max(self.paths.items(), key=lambda kv: len(kv[1].sample))[0]
-
-    def report(self) -> str:
-        """Multi-section textual report (the tool-output equivalent)."""
-        from .report import render_report
-
-        return render_report(self)
+    def to_analysis_config(self) -> AnalysisConfig:
+        """The pipeline configuration this legacy config maps onto."""
+        return AnalysisConfig(
+            method=_TAIL_METHOD_TO_ESTIMATOR[self.tail_method],
+            alpha=self.alpha,
+            block_size=self.block_size,
+            min_path_samples=self.min_path_samples,
+            rare_path_margin=self.rare_path_margin,
+            cutoffs=self.cutoffs,
+            check_convergence=self.check_convergence,
+            require_iid=self.require_iid,
+            ci=self.ci,
+            bootstrap=self.bootstrap,
+            bootstrap_kind=self.bootstrap_kind,
+        )
 
 
 class MBPTAAnalysis:
-    """Configure once, analyse many samples."""
+    """Configure once, analyse many samples (facade over the pipeline)."""
 
     def __init__(self, config: MBPTAConfig = MBPTAConfig()) -> None:
         self.config = config
+        self._pipeline = AnalysisPipeline(config.to_analysis_config())
 
-    # ------------------------------------------------------------------
-    def analyse(
-        self,
-        data: Union[PathSamples, ExecutionTimeSample, Sequence[float]],
-        label: str = "",
-    ) -> MBPTAResult:
+    def analyse(self, data: AnalysisInput, label: str = "") -> MBPTAResult:
         """Run the full pipeline on measurements.
 
         ``data`` may be per-path samples (the normal case), a single
         pooled sample, or a bare sequence of execution times (treated as
         a single path).
         """
-        groups = self._normalize(data, label)
-        cfg = self.config
-        paths: Dict[str, PathAnalysis] = {}
-        rare: List[RarePathFloor] = []
-        for path, sample in groups.items():
-            if len(sample) < cfg.min_path_samples:
-                rare.append(
-                    RarePathFloor(
-                        path=path,
-                        observations=len(sample),
-                        hwm=sample.hwm,
-                        margin=cfg.rare_path_margin,
-                    )
-                )
-                continue
-            paths[path] = self._analyse_path(path, sample)
-        if not paths and not rare:
-            raise ValueError("no observations to analyse")
-        if cfg.require_iid:
-            failing = [p for p, a in paths.items() if not a.iid.passed]
-            if failing:
-                raise RuntimeError(
-                    f"i.i.d. gate failed for paths: {failing}; MBPTA is "
-                    "not applicable to these measurements"
-                )
-        envelope = PWCETEnvelope(
-            curves={p: a.curve for p, a in paths.items()},
-            rare_paths=rare,
-        )
-        return MBPTAResult(
-            config=cfg,
-            paths=paths,
-            envelope=envelope,
-            rare_paths=rare,
-            label=label or getattr(data, "label", ""),
-        )
-
-    # ------------------------------------------------------------------
-    def _normalize(
-        self,
-        data: Union[PathSamples, ExecutionTimeSample, Sequence[float]],
-        label: str,
-    ) -> Dict[str, ExecutionTimeSample]:
-        if isinstance(data, PathSamples):
-            return dict(data.paths)
-        if isinstance(data, ExecutionTimeSample):
-            return {data.label or label or "<all>": data}
-        sample = ExecutionTimeSample(values=list(data), label=label or "<all>")
-        return {sample.label: sample}
-
-    def _fit_tail(self, values: Sequence[float]) -> Tuple[FittedTail, float]:
-        cfg = self.config
-        if cfg.tail_method == "pot":
-            pot = fit_pot(values)
-            excesses = [v - pot.threshold for v in values if v > pot.threshold]
-            gof = 1.0
-            if len(set(excesses)) >= 5:
-                gof = anderson_darling_test(excesses, pot.gpd.cdf).p_value
-            return PotTail(fit=pot), gof
-        size = cfg.block_size or best_block_size(values)
-        maxima = block_maxima(values, size).maxima
-        fit = fit_pwm(maxima)
-        gof = 1.0
-        if len(set(maxima)) >= 5:
-            gof = anderson_darling_test(maxima, fit.cdf).p_value
-        return BlockMaximaTail(distribution=fit, block_size=size), gof
-
-    def _analyse_path(self, path: str, sample: ExecutionTimeSample) -> PathAnalysis:
-        cfg = self.config
-        values = list(sample.values)
-        iid = iid_gate(values, alpha=cfg.alpha)
-
-        if len(set(values)) == 1:
-            # A perfectly constant path: its "tail" is the constant.
-            constant = values[0]
-            tail = BlockMaximaTail(
-                distribution=GumbelDistribution(
-                    location=constant, scale=max(abs(constant), 1.0) * 1e-9
-                ),
-                block_size=1,
-            )
-            curve = PWCETCurve(observations=values, tail=tail)
-            return PathAnalysis(
-                path=path, sample=sample, iid=iid, tail=tail,
-                curve=curve, gof_p_value=1.0,
-            )
-
-        tail, gof = self._fit_tail(values)
-        curve = PWCETCurve(observations=values, tail=tail)
-
-        gev_shape = gev_shape_p = None
-        if cfg.tail_method == "block-maxima" and isinstance(tail, BlockMaximaTail):
-            maxima = block_maxima(values, tail.block_size).maxima
-            if len(set(maxima)) >= 8:
-                try:
-                    gev, _, p_value = shape_likelihood_ratio_test(maxima)
-                    gev_shape = gev.shape
-                    gev_shape_p = p_value
-                except (ValueError, RuntimeError):
-                    pass
-
-        convergence = None
-        if cfg.check_convergence and len(values) >= 400:
-            block = tail.block_size if isinstance(tail, BlockMaximaTail) else 20
-            convergence = assess_convergence(
-                values, probability=1e-9, block_size=min(block, len(values) // MIN_MAXIMA)
-            )
-
-        return PathAnalysis(
-            path=path,
-            sample=sample,
-            iid=iid,
-            tail=tail,
-            curve=curve,
-            gof_p_value=gof,
-            gev_shape=gev_shape,
-            gev_shape_p_value=gev_shape_p,
-            convergence=convergence,
-        )
+        return self._pipeline.run(data, label=label)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .pwcet import PWCETCurve, STANDARD_CUTOFFS
 
@@ -103,6 +103,54 @@ class PWCETEnvelope:
     ) -> List[Tuple[float, float]]:
         """(cutoff, envelope pWCET) rows."""
         return [(p, self.quantile(p)) for p in cutoffs]
+
+    def band(self, p: float) -> Optional[Tuple[float, float]]:
+        """(lower, upper) envelope band at exceedance ``p``.
+
+        The pointwise maximum of the per-path bootstrap bands — the
+        same max-across-paths composition as :meth:`quantile`.  Paths
+        without a band covering ``p`` (constant paths, degenerate
+        bootstraps) contribute degenerate intervals at their point
+        quantile, and rare-path floors contribute their floor, so the
+        envelope band always brackets the envelope point estimate.
+        Note this brackets the envelope's *per-path* uncertainty; it is
+        not a simultaneous joint confidence region.  Returns None when
+        no path carries a band covering ``p`` at all.
+        """
+        lowers: List[float] = []
+        uppers: List[float] = []
+        banded = False
+        for curve in self.curves.values():
+            interval = None
+            if curve.band is not None:
+                try:
+                    interval = curve.band.interval(p)
+                except ValueError:
+                    interval = None
+            if interval is None:
+                point = curve.quantile(p)
+                interval = (point, point)
+            else:
+                banded = True
+            lowers.append(interval[0])
+            uppers.append(interval[1])
+        if not banded:
+            return None
+        for rare in self.rare_paths:
+            lowers.append(rare.floor)
+            uppers.append(rare.floor)
+        return max(lowers), max(uppers)
+
+    def band_table(
+        self, cutoffs: Sequence[float] = STANDARD_CUTOFFS
+    ) -> List[Tuple[float, float, float]]:
+        """(cutoff, lower, upper) rows; cutoffs without a band omitted."""
+        rows: List[Tuple[float, float, float]] = []
+        for p in cutoffs:
+            interval = self.band(p)
+            if interval is not None:
+                rows.append((p, interval[0], interval[1]))
+        return rows
 
     def hwm(self) -> float:
         """Max observation across all paths (fitted and rare)."""

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from .evt.tail import FittedTail
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .analysis.bootstrap import ConfidenceBand
 
 __all__ = ["PWCETCurve", "STANDARD_CUTOFFS"]
 
@@ -48,11 +51,15 @@ class PWCETCurve:
         The body/tail handover: exceedance probabilities below
         ``tail_fraction`` (default: resolved by at most 5% of the
         sample) come from the EVT tail.
+    band:
+        Optional bootstrap confidence band of the curve's tail region
+        (attached by the analysis pipeline's bootstrap stage).
     """
 
     observations: Sequence[float]
     tail: FittedTail
     tail_fraction: float = 0.05
+    band: Optional["ConfidenceBand"] = None
     _sorted: List[float] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:

@@ -4,6 +4,7 @@ from .campaign import CampaignConfig, CampaignResult, MeasurementCampaign
 from .experiment import (
     DetRandComparison,
     ScenarioComparison,
+    band_relation,
     compare_det_rand,
     compare_scenarios,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "PathSamples",
     "RunRecord",
     "ScenarioComparison",
+    "band_relation",
     "compare_det_rand",
     "compare_scenarios",
 ]

@@ -31,6 +31,7 @@ from .campaign import CampaignConfig, CampaignResult
 from .measurements import ExecutionTimeSample
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
+    from ..core.analysis import AnalysisConfig, AnalysisResult
     from ..core.convergence import ConvergencePolicy
 
 __all__ = [
@@ -38,7 +39,26 @@ __all__ = [
     "compare_det_rand",
     "ScenarioComparison",
     "compare_scenarios",
+    "band_relation",
 ]
+
+
+def band_relation(
+    a_low: float, a_high: float, b_low: float, b_high: float
+) -> str:
+    """How two confidence intervals relate: the statistically honest
+    successor of comparing two point estimates.
+
+    Returns ``"above"`` when interval A sits entirely above B (a real
+    separation at the bands' confidence level), ``"below"`` for the
+    mirror case, and ``"overlap"`` when the intervals intersect — i.e.
+    the point ordering is not resolvable at this uncertainty.
+    """
+    if a_low > b_high:
+        return "above"
+    if a_high < b_low:
+        return "below"
+    return "overlap"
 
 
 @dataclass
@@ -77,6 +97,44 @@ class DetRandComparison:
             "rand_hwm": rand.hwm,
             "average_ratio": self.average_ratio(),
             "hwm_ratio": self.hwm_ratio(),
+        }
+
+    def analyse_rand(
+        self, config: Optional["AnalysisConfig"] = None
+    ) -> "AnalysisResult":
+        """Run the analysis pipeline on the RAND per-path samples."""
+        from ..core.analysis import AnalysisConfig, AnalysisPipeline
+
+        if config is None:
+            config = AnalysisConfig(
+                min_path_samples=max(120, self.rand.num_runs // 2),
+                check_convergence=False,
+            )
+        return AnalysisPipeline(config).run(self.rand.samples)
+
+    def mbta_vs_band(
+        self, result: "AnalysisResult", cutoff: float, mbta: float
+    ) -> Optional[Dict[str, float]]:
+        """Where the industrial MBTA bound sits relative to the pWCET
+        confidence band at ``cutoff``.
+
+        Returns ``{"point", "lower", "upper", "mbta", "relation"}`` with
+        relation per :func:`band_relation` (the *pWCET band* relative to
+        the MBTA point) — "above" means the entire band exceeds the MBTA
+        bound, i.e. the engineering margin is genuinely insufficient,
+        not just nominally below a point estimate.  None when the
+        analysis carries no band covering ``cutoff``.
+        """
+        interval = result.envelope.band(cutoff)
+        if interval is None:
+            return None
+        lower, upper = interval
+        return {
+            "point": result.quantile(cutoff),
+            "lower": lower,
+            "upper": upper,
+            "mbta": mbta,
+            "relation": band_relation(lower, upper, mbta, mbta),
         }
 
 
@@ -165,15 +223,25 @@ class ScenarioComparison:
         return self.sample(scenario).mean / baseline.merged.mean
 
     def summary(
-        self, cutoff: Optional[float] = None
+        self,
+        cutoff: Optional[float] = None,
+        method: str = "block-maxima-gumbel",
+        ci: Optional[float] = None,
+        bootstrap: int = 200,
+        bootstrap_kind: str = "parametric",
     ) -> Dict[str, Dict[str, float]]:
         """Per-scenario headline numbers (mean, hwm, mean slowdown).
 
         With ``cutoff`` each row additionally carries ``pwcet`` — the
         MBPTA estimate at that exceedance probability, fitted on the
-        scenario's per-path samples.  Scenarios whose sample cannot be
-        fitted (too few observations per path) simply omit the row, so
-        one thin scenario never sinks the whole comparison.
+        scenario's per-path samples with the ``method`` estimator.
+        With ``ci`` each fitted row further carries ``pwcet_lo`` /
+        ``pwcet_hi``, the bootstrap confidence band at ``cutoff`` —
+        so the contention gap can be judged by band overlap
+        (:func:`band_relation`), not just point ordering.  Scenarios
+        whose sample cannot be fitted (too few observations per path)
+        simply omit the rows, so one thin scenario never sinks the
+        whole comparison.
         """
         has_baseline = self.isolation is not None
         out: Dict[str, Dict[str, float]] = {}
@@ -183,25 +251,39 @@ class ScenarioComparison:
             if has_baseline:
                 row["slowdown"] = self.slowdown(name)
             if cutoff is not None:
-                estimate = self._pwcet(name, cutoff)
-                if estimate is not None:
-                    row["pwcet"] = estimate
+                result = self._analyse(name, method, ci, bootstrap, bootstrap_kind)
+                if result is not None:
+                    row["pwcet"] = result.quantile(cutoff)
+                    interval = result.envelope.band(cutoff)
+                    if interval is not None:
+                        row["pwcet_lo"], row["pwcet_hi"] = interval
             out[name] = row
         return out
 
-    def _pwcet(self, scenario: str, cutoff: float) -> Optional[float]:
-        """The scenario's pWCET at ``cutoff`` (None if unfittable)."""
-        from ..core.mbpta import MBPTAAnalysis, MBPTAConfig
+    def _analyse(
+        self,
+        scenario: str,
+        method: str,
+        ci: Optional[float],
+        bootstrap: int,
+        bootstrap_kind: str,
+    ):
+        """The scenario's analysis result (None if unfittable)."""
+        from ..core.analysis import AnalysisConfig, AnalysisPipeline
 
         result = self.by_scenario[scenario]
-        analysis = MBPTAAnalysis(
-            MBPTAConfig(
+        pipeline = AnalysisPipeline(
+            AnalysisConfig(
+                method=method,
                 min_path_samples=max(120, result.num_runs // 3),
                 check_convergence=False,
+                ci=ci,
+                bootstrap=bootstrap,
+                bootstrap_kind=bootstrap_kind,
             )
         )
         try:
-            return analysis.analyse(result.samples).quantile(cutoff)
+            return pipeline.run(result.samples)
         except (ValueError, RuntimeError):
             return None
 

@@ -1,6 +1,12 @@
-"""Text/CSV figure emitters (headless environment)."""
+"""Text/CSV figure emitters (headless environment).
+
+Graphical matplotlib renderings live in :mod:`repro.viz.mpl` (optional
+dependency, imported lazily there — not re-exported here so importing
+:mod:`repro.viz` never requires matplotlib).
+"""
 
 from .figures import (
+    ascii_band,
     ascii_bar,
     contention_csv,
     contention_panel,
@@ -9,8 +15,10 @@ from .figures import (
     figure3_csv,
     figure3_panel,
 )
+from .mpl import matplotlib_available
 
 __all__ = [
+    "ascii_band",
     "ascii_bar",
     "contention_csv",
     "contention_panel",
@@ -18,4 +26,5 @@ __all__ = [
     "figure2_panel",
     "figure3_csv",
     "figure3_panel",
+    "matplotlib_available",
 ]

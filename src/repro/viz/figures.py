@@ -17,10 +17,11 @@ sweep (Figure 3).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "ascii_bar",
+    "ascii_band",
     "figure2_panel",
     "figure2_csv",
     "figure3_panel",
@@ -38,10 +39,37 @@ def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
     return "#" * filled + "." * (width - filled)
 
 
+def ascii_band(low: float, high: float, maximum: float, width: int = 40) -> str:
+    """A confidence interval ``[====]`` on the same axis as :func:`ascii_bar`.
+
+    Positions scale like the bars, so a band row under a bar row shows
+    where the interval sits relative to the bar's tip.
+    """
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    if high < low:
+        raise ValueError("band needs low <= high")
+
+    def column(value: float) -> int:
+        return int(round((width - 1) * max(0.0, min(value / maximum, 1.0))))
+
+    lo_col, hi_col = column(low), column(high)
+    row = ["."] * width
+    if hi_col == lo_col:
+        row[lo_col] = "|"
+        return "".join(row)
+    for i in range(lo_col, hi_col + 1):
+        row[i] = "="
+    row[lo_col] = "["
+    row[hi_col] = "]"
+    return "".join(row)
+
+
 def figure2_panel(
     curve_points: Sequence[Tuple[float, float]],
     observed_points: Sequence[Tuple[float, float]],
     width: int = 52,
+    band_points: Optional[Sequence[Tuple[float, float, float]]] = None,
 ) -> str:
     """Figure 2: exceedance probability (log rows) vs execution time.
 
@@ -50,10 +78,23 @@ def figure2_panel(
     is one probability decade; the column positions of the projection
     ('*') and the deepest observation at or below that probability ('o')
     are placed on a shared linear execution-time axis.
+
+    ``band_points`` — optional (probability, lower, upper) rows of a
+    bootstrap confidence band; the interval is shaded with '=' behind
+    the markers on the matching decade rows.
     """
     if not curve_points:
         raise ValueError("no curve points")
     times = [t for t, _ in curve_points] + [t for t, _ in observed_points]
+    band_by_decade: Dict[int, Tuple[float, float]] = {}
+    for p, lo, hi in band_points or ():
+        if p <= 0 or hi < lo:
+            continue
+        decade = int(round(-math.log10(p)))
+        if abs(-math.log10(p) - decade) <= 1e-6:
+            # Only rendered intervals (decade rows) may widen the axis.
+            band_by_decade[decade] = (lo, hi)
+            times.extend((lo, hi))
     t_min, t_max = min(times), max(times)
     span = max(t_max - t_min, 1e-9)
 
@@ -81,6 +122,10 @@ def figure2_panel(
             continue
         decades_done.add(decade)
         row = [" "] * width
+        if decade in band_by_decade:
+            lo, hi = band_by_decade[decade]
+            for i in range(column(lo), column(hi) + 1):
+                row[i] = "="
         if decade in obs_by_decade:
             row[column(obs_by_decade[decade])] = "o"
         col = column(t)
@@ -91,7 +136,10 @@ def figure2_panel(
     lines.append(
         f"{'':>10}  {t_min:.0f}{'':>{max(width - 20, 1)}}{t_max:.0f}"
     )
-    lines.append(f"{'':>10}  '*' pWCET projection   'o' observed   '@' both")
+    legend = f"{'':>10}  '*' pWCET projection   'o' observed   '@' both"
+    if band_by_decade:
+        legend += "   '=' confidence band"
+    lines.append(legend)
     return "\n".join(lines)
 
 
@@ -143,9 +191,11 @@ def contention_panel(
 
     ``by_scenario`` maps scenario name to a row of statistics — ``mean``
     and ``hwm`` required, ``pwcet`` optional (shown when present, e.g.
-    the estimate at a fixed cutoff).  The ``baseline`` scenario (when
-    present) is listed first and every other row is annotated with its
-    mean slowdown relative to it.
+    the estimate at a fixed cutoff), ``pwcet_lo``/``pwcet_hi`` optional
+    (the bootstrap confidence band at that cutoff, rendered as a shaded
+    ``[====]`` row under the pwcet bar on the same axis).  The
+    ``baseline`` scenario (when present) is listed first and every
+    other row is annotated with its mean slowdown relative to it.
     """
     if not by_scenario:
         raise ValueError("no scenarios to render")
@@ -159,7 +209,7 @@ def contention_panel(
     maximum = max(
         by_scenario[name][key]
         for name in names
-        for key in series
+        for key in series + ["pwcet_hi"]
         if key in by_scenario[name]
     )
     base_mean = (
@@ -179,6 +229,12 @@ def contention_panel(
             lines.append(
                 f"{key:>16} |{ascii_bar(value, maximum, width)}| {value:,.0f}"
             )
+            if key == "pwcet" and "pwcet_lo" in row and "pwcet_hi" in row:
+                lo, hi = row["pwcet_lo"], row["pwcet_hi"]
+                lines.append(
+                    f"{'ci':>16} |{ascii_band(lo, hi, maximum, width)}| "
+                    f"{lo:,.0f}..{hi:,.0f}"
+                )
     return "\n".join(lines)
 
 

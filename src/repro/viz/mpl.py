@@ -1,0 +1,154 @@
+"""Optional matplotlib renderings of the paper's figures.
+
+The text/CSV emitters in :mod:`repro.viz.figures` are the canonical
+headless output; this module adds true graphical figures when
+matplotlib is installed (it is deliberately *not* a dependency — the
+import is deferred and a clear error is raised when absent).  All
+figures render on the non-interactive Agg backend, so they work in CI
+and on machines without a display.
+
+* :func:`pwcet_figure` — the Figure-2 pWCET projection vs observed
+  CCDF on a log-probability axis, with the bootstrap confidence band
+  shaded behind the projection,
+* :func:`contention_figure` — the contention-vs-isolation bar panel
+  with confidence-interval whiskers on the pWCET bars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["matplotlib_available", "pwcet_figure", "contention_figure"]
+
+
+def matplotlib_available() -> bool:
+    """Whether the optional matplotlib dependency can be imported."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _agg_pyplot():
+    """Import pyplot on the headless Agg backend (or raise clearly)."""
+    try:
+        import matplotlib
+    except ImportError as exc:  # pragma: no cover - matplotlib installed
+        raise ImportError(
+            "matplotlib is required for graphical figures; install it or "
+            "use the text renderers in repro.viz.figures"
+        ) from exc
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    return plt
+
+
+def pwcet_figure(
+    curve_points: Sequence[Tuple[float, float]],
+    observed_points: Sequence[Tuple[float, float]],
+    band_points: Optional[Sequence[Tuple[float, float, float]]] = None,
+    title: str = "pWCET projection",
+    path: Optional[str] = None,
+):
+    """Figure 2 as a matplotlib figure (returned; saved when ``path``).
+
+    ``curve_points`` — (execution time, probability); ``observed_points``
+    — empirical CCDF points; ``band_points`` — (probability, lower,
+    upper) bootstrap band rows, shaded with ``fill_betweenx``.
+    """
+    plt = _agg_pyplot()
+    if not curve_points:
+        raise ValueError("no curve points")
+    fig, ax = plt.subplots(figsize=(6.4, 4.8))
+    if observed_points:
+        ax.semilogy(
+            [t for t, _ in observed_points],
+            [p for _, p in observed_points],
+            linestyle="none",
+            marker="o",
+            markersize=3,
+            alpha=0.5,
+            label="observed",
+        )
+    ax.semilogy(
+        [t for t, _ in curve_points],
+        [p for _, p in curve_points],
+        linewidth=1.5,
+        label="pWCET projection",
+    )
+    if band_points:
+        rows = sorted(band_points, key=lambda r: r[0], reverse=True)
+        ax.fill_betweenx(
+            [p for p, _, _ in rows],
+            [lo for _, lo, _ in rows],
+            [hi for _, _, hi in rows],
+            alpha=0.25,
+            linewidth=0,
+            label="confidence band",
+        )
+    ax.set_xlabel("execution time (cycles)")
+    ax.set_ylabel("P(exceed)")
+    ax.set_title(title)
+    ax.legend(loc="best", fontsize=8)
+    fig.tight_layout()
+    if path is not None:
+        fig.savefig(path, dpi=150)
+    return fig
+
+
+def contention_figure(
+    by_scenario: Dict[str, Dict[str, float]],
+    baseline: str = "isolation",
+    title: str = "contention scenarios",
+    path: Optional[str] = None,
+):
+    """The contention comparison as grouped bars (saved when ``path``).
+
+    ``by_scenario`` rows follow :func:`repro.viz.figures.contention_panel`:
+    ``mean``/``hwm`` required, ``pwcet`` optional, ``pwcet_lo`` /
+    ``pwcet_hi`` rendered as error whiskers on the pwcet bar.
+    """
+    plt = _agg_pyplot()
+    if not by_scenario:
+        raise ValueError("no scenarios to render")
+    names = sorted(by_scenario)
+    if baseline in by_scenario:
+        names.remove(baseline)
+        names.insert(0, baseline)
+    series = ["mean", "hwm"]
+    if any("pwcet" in by_scenario[name] for name in names):
+        series.append("pwcet")
+    fig, ax = plt.subplots(figsize=(6.4, 4.8))
+    group_width = 0.8
+    bar_width = group_width / len(series)
+    for offset, key in enumerate(series):
+        xs, heights, errs = [], [], []
+        for i, name in enumerate(names):
+            row = by_scenario[name]
+            if key not in row:
+                continue
+            xs.append(i + offset * bar_width)
+            heights.append(row[key])
+            if key == "pwcet" and "pwcet_lo" in row and "pwcet_hi" in row:
+                errs.append(
+                    (row[key] - row["pwcet_lo"], row["pwcet_hi"] - row[key])
+                )
+            else:
+                errs.append((0.0, 0.0))
+        yerr = (
+            [[max(e[0], 0.0) for e in errs], [max(e[1], 0.0) for e in errs]]
+            if any(e != (0.0, 0.0) for e in errs)
+            else None
+        )
+        ax.bar(xs, heights, width=bar_width, label=key, yerr=yerr, capsize=3)
+    ax.set_xticks([i + group_width / 2 - bar_width / 2 for i in range(len(names))])
+    ax.set_xticklabels(names, rotation=20, ha="right", fontsize=8)
+    ax.set_ylabel("cycles")
+    ax.set_title(title)
+    ax.legend(loc="best", fontsize=8)
+    fig.tight_layout()
+    if path is not None:
+        fig.savefig(path, dpi=150)
+    return fig

@@ -129,3 +129,63 @@ class TestPathSamplesJson:
         assert fp["icache"]["size_bytes"] == 4096
         assert fp["icache"]["replacement"] == "random"
         assert fp["fpu_mode"] == "analysis"
+
+
+class TestAnalysisSection:
+    def _banded_artifact(self):
+        from repro.api import CampaignArtifact, run_campaign
+        from repro.core import AnalysisConfig, AnalysisPipeline
+
+        result = run_campaign(
+            "synthetic-cache", "rand", runs=200,
+            platform_kwargs={"num_cores": 1, "cache_kb": 4},
+        )
+        artifact = CampaignArtifact.from_result(result)
+        analysis = AnalysisPipeline(
+            AnalysisConfig(
+                method="auto", ci=0.9, min_path_samples=120,
+                check_convergence=False,
+            )
+        ).run(result.samples)
+        artifact.attach_analysis(analysis)
+        return artifact, analysis
+
+    def test_attach_and_round_trip(self, tmp_path):
+        from repro.api import CampaignArtifact
+        from repro.core.analysis import ConfidenceBand
+
+        artifact, analysis = self._banded_artifact()
+        path = tmp_path / "banded.json"
+        artifact.save(path)
+        loaded = CampaignArtifact.load(path)
+        assert loaded.analysis == artifact.analysis
+        assert loaded.analysis["method"] == "auto"
+        assert loaded.analysis["ci"] == 0.9
+        entry = next(iter(loaded.analysis["paths"].values()))
+        band = ConfidenceBand.from_dict(entry["band"])
+        stored = next(iter(analysis.bands().values()))
+        assert band == stored
+        # The raw samples are untouched: re-analysis works without rerun.
+        assert loaded.samples.counts() == artifact.samples.counts()
+
+    def test_artifact_without_analysis_loads(self, tmp_path):
+        from repro.api import CampaignArtifact, run_campaign
+
+        result = run_campaign(
+            "synthetic-cache", "rand", runs=30,
+            platform_kwargs={"num_cores": 1, "cache_kb": 4},
+        )
+        artifact = CampaignArtifact.from_result(result)
+        path = tmp_path / "plain.json"
+        artifact.save(path)
+        loaded = CampaignArtifact.load(path)
+        assert loaded.analysis is None
+        assert "analysis" not in json.loads(path.read_text())
+
+    def test_summary_is_json_safe(self):
+        artifact, _ = self._banded_artifact()
+        payload = json.dumps(artifact.analysis)
+        restored = json.loads(payload)
+        assert restored["pwcet_band"]
+        for _p, lo, hi in restored["pwcet_band"]:
+            assert lo <= hi

@@ -1,0 +1,240 @@
+"""Tests for the staged analysis pipeline and the estimator registry."""
+
+import pytest
+
+from repro.core import (
+    AnalysisConfig,
+    AnalysisPipeline,
+    create_estimator,
+    estimator_description,
+    estimator_names,
+    register_estimator,
+)
+from repro.core.analysis import TailModel
+from repro.core.analysis.estimators import AUTO_CANDIDATES, _ESTIMATORS
+from repro.core.evt.tail import BlockMaximaTail, PotTail
+from repro.harness.measurements import PathSamples
+from repro.workloads.synthetic import cache_like_samples, gumbel_samples
+
+
+class TestRegistry:
+    def test_builtin_estimators_registered(self):
+        names = estimator_names()
+        assert {"auto", "block-maxima-gumbel", "gev", "pot-gpd"} <= set(names)
+
+    def test_descriptions_present(self):
+        for name in estimator_names():
+            assert estimator_description(name)
+
+    def test_unknown_estimator_raises(self):
+        with pytest.raises(KeyError, match="unknown estimator"):
+            create_estimator("nope")
+
+    def test_unknown_method_rejected_at_config(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            AnalysisConfig(method="nope")
+
+    def test_custom_estimator_flows_through_pipeline(self):
+        def hwm_only(values, config):
+            from repro.core.evt.gumbel import GumbelDistribution
+
+            tail = BlockMaximaTail(
+                distribution=GumbelDistribution(
+                    location=max(values), scale=1.0
+                ),
+                block_size=1,
+            )
+            return TailModel(
+                method="hwm-only", tail=tail, gof_p_value=1.0,
+                fit_data=list(values), distribution=tail.distribution,
+            )
+
+        register_estimator("hwm-only", hwm_only, "test estimator")
+        try:
+            vals = gumbel_samples(600, seed=3, location=1000, scale=10)
+            result = AnalysisPipeline(
+                AnalysisConfig(method="hwm-only", check_convergence=False)
+            ).run(vals)
+            analysis = next(iter(result.paths.values()))
+            assert analysis.method == "hwm-only"
+            assert result.quantile(1e-9) >= max(vals)
+        finally:
+            _ESTIMATORS.pop("hwm-only", None)
+
+
+class TestEstimators:
+    CFG = AnalysisConfig(check_convergence=False)
+
+    def test_gumbel_estimator_returns_block_maxima_tail(self):
+        vals = cache_like_samples(1000, seed=1)
+        model = create_estimator("block-maxima-gumbel")(vals, self.CFG)
+        assert isinstance(model.tail, BlockMaximaTail)
+        assert model.fit_data  # the maxima travel with the model
+        assert model.method == "block-maxima-gumbel"
+
+    def test_gev_estimator_returns_gev_tail(self):
+        from repro.core.evt.gev import GevDistribution
+
+        vals = cache_like_samples(1000, seed=2)
+        model = create_estimator("gev")(vals, self.CFG)
+        assert isinstance(model.tail, BlockMaximaTail)
+        assert isinstance(model.tail.distribution, GevDistribution)
+
+    def test_pot_estimator_returns_pot_tail(self):
+        vals = cache_like_samples(1000, seed=3)
+        model = create_estimator("pot-gpd")(vals, self.CFG)
+        assert isinstance(model.tail, PotTail)
+        assert all(e >= 0 for e in model.fit_data)
+
+    def test_auto_selects_a_candidate_with_rationale(self):
+        vals = cache_like_samples(1500, seed=4)
+        model = create_estimator("auto")(vals, self.CFG)
+        assert model.method in AUTO_CANDIDATES
+        assert model.selection_note.startswith("auto:")
+        assert model.quality is not None
+
+    def test_auto_prefers_adequate_gumbel_on_clean_data(self):
+        vals = gumbel_samples(4000, seed=5, location=10000, scale=50)
+        model = create_estimator("auto")(vals, self.CFG)
+        assert model.method == "block-maxima-gumbel"
+        assert "adequate" in model.selection_note
+
+
+class TestPipeline:
+    def test_each_method_upper_bounds_observations(self):
+        vals = cache_like_samples(1500, seed=6)
+        for method in ("block-maxima-gumbel", "gev", "pot-gpd", "auto"):
+            result = AnalysisPipeline(
+                AnalysisConfig(method=method, check_convergence=False)
+            ).run(vals)
+            assert result.quantile(1e-9) >= max(vals), method
+
+    def test_quantiles_monotone_for_all_methods(self):
+        vals = cache_like_samples(1500, seed=7)
+        for method in ("block-maxima-gumbel", "gev", "pot-gpd"):
+            result = AnalysisPipeline(
+                AnalysisConfig(method=method, check_convergence=False)
+            ).run(vals)
+            qs = [result.quantile(p) for p in (1e-6, 1e-9, 1e-12, 1e-15)]
+            assert qs == sorted(qs), method
+
+    def test_fit_quality_wired_into_result(self):
+        vals = cache_like_samples(1200, seed=8)
+        result = AnalysisPipeline(
+            AnalysisConfig(check_convergence=False)
+        ).run(vals)
+        analysis = next(iter(result.paths.values()))
+        assert analysis.quality is not None
+        assert 0.0 <= analysis.quality.ks_p <= 1.0
+        assert -1.0 <= analysis.quality.qq_correlation <= 1.0
+
+    def test_report_contains_new_sections(self):
+        vals = cache_like_samples(1200, seed=9)
+        report = AnalysisPipeline(
+            AnalysisConfig(method="auto", ci=0.9, check_convergence=False)
+        ).run(vals, label="rpt").report()
+        assert "estimator:" in report
+        assert "fit quality:" in report
+        assert "selection: auto:" in report
+        assert "bootstrap band" in report
+        assert "CI lower" in report
+        assert "return level" in report
+
+    def test_bands_attached_and_ordered(self):
+        vals = cache_like_samples(1500, seed=10)
+        result = AnalysisPipeline(
+            AnalysisConfig(ci=0.95, check_convergence=False)
+        ).run(vals)
+        analysis = next(iter(result.paths.values()))
+        band = analysis.band
+        assert band is not None
+        assert band is analysis.curve.band
+        for p, lo, hi in zip(band.cutoffs, band.lower, band.upper):
+            assert lo <= hi
+            # The band brackets its own resampling distribution, and the
+            # curve's point estimate sits inside it almost surely.
+            assert lo <= result.quantile(p) * 1.05
+
+    def test_band_table_on_envelope(self):
+        samples = PathSamples(label="multi")
+        for v in cache_like_samples(900, seed=11):
+            samples.add("A", v)
+        for v in cache_like_samples(900, seed=12, base=12000.0):
+            samples.add("B", v)
+        result = AnalysisPipeline(
+            AnalysisConfig(
+                ci=0.9, min_path_samples=200, check_convergence=False
+            )
+        ).run(samples)
+        rows = result.band_table()
+        assert rows
+        for p, lo, hi in rows:
+            assert lo <= hi
+            # Path B dominates; the envelope band must sit at its level.
+            assert hi >= 12000.0
+
+    def test_envelope_band_brackets_bandless_dominating_path(self):
+        """A fitted path without a band (here: constant at 50000, which
+        dominates the envelope) must widen the envelope band to its
+        point quantile — the CI may never sit below the estimate."""
+        samples = PathSamples(label="mixed")
+        for v in cache_like_samples(900, seed=15):
+            samples.add("noisy", v)
+        for _ in range(300):
+            samples.add("const", 50000.0)
+        result = AnalysisPipeline(
+            AnalysisConfig(
+                ci=0.9, min_path_samples=200, check_convergence=False
+            )
+        ).run(samples)
+        assert result.paths["const"].band is None
+        for p, lo, hi in result.band_table():
+            point = result.quantile(p)
+            assert lo <= point * (1 + 1e-9)
+            assert hi >= point * (1 - 1e-9)
+
+    def test_bands_deterministic(self):
+        vals = cache_like_samples(1000, seed=13)
+        cfg = AnalysisConfig(ci=0.95, check_convergence=False)
+        a = AnalysisPipeline(cfg).run(vals)
+        b = AnalysisPipeline(cfg).run(vals)
+        band_a = next(iter(a.paths.values())).band
+        band_b = next(iter(b.paths.values())).band
+        assert band_a.lower == band_b.lower
+        assert band_a.upper == band_b.upper
+
+    def test_no_ci_no_bands(self):
+        vals = cache_like_samples(1000, seed=14)
+        result = AnalysisPipeline(
+            AnalysisConfig(check_convergence=False)
+        ).run(vals)
+        assert not result.has_bands
+        assert result.band_table() == []
+
+    def test_constant_path_short_circuits(self):
+        result = AnalysisPipeline(
+            AnalysisConfig(ci=0.95, check_convergence=False)
+        ).run([500.0] * 300)
+        analysis = next(iter(result.paths.values()))
+        assert analysis.method == "constant"
+        assert analysis.band is None
+        assert result.quantile(1e-9) == pytest.approx(500.0, rel=1e-6)
+
+    def test_custom_stage_list_must_end_with_envelope(self):
+        from repro.core.analysis import NormalizeStage
+
+        with pytest.raises(RuntimeError, match="EnvelopeStage"):
+            AnalysisPipeline(
+                AnalysisConfig(check_convergence=False),
+                stages=[NormalizeStage()],
+            ).run([1.0, 2.0] * 300)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(ci=1.5)
+        with pytest.raises(ValueError):
+            AnalysisConfig(bootstrap=5)
+        with pytest.raises(ValueError):
+            AnalysisConfig(bootstrap_kind="magic")
+        with pytest.raises(ValueError):
+            AnalysisConfig(pot_quantile=0.2)

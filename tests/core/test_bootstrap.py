@@ -1,0 +1,103 @@
+"""Tests for the vectorized bootstrap confidence bands."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisConfig
+from repro.core.analysis import (
+    ConfidenceBand,
+    bootstrap_band,
+    create_estimator,
+    naive_bootstrap_band,
+    path_bootstrap_seed,
+)
+from repro.workloads.synthetic import cache_like_samples, gumbel_samples
+
+CFG = AnalysisConfig(check_convergence=False)
+CUTOFFS = (1e-6, 1e-9, 1e-12, 1e-15)
+
+
+def _model(method, seed=7, n=2000):
+    vals = cache_like_samples(n, seed=seed)
+    return create_estimator(method)(vals, CFG), max(vals)
+
+
+class TestVectorizedMatchesNaive:
+    @pytest.mark.parametrize("method", ["block-maxima-gumbel", "gev", "pot-gpd"])
+    @pytest.mark.parametrize("kind", ["parametric", "block"])
+    def test_equivalence(self, method, kind):
+        """The batched numpy path and the per-replicate Python loop are
+        the same statistic (identical resamples, float round-off only)."""
+        model, hwm = _model(method)
+        vectorized = bootstrap_band(
+            model, hwm, CUTOFFS, 0.95, replicates=300, kind=kind, seed=11
+        )
+        naive = naive_bootstrap_band(
+            model, hwm, CUTOFFS, 0.95, replicates=300, kind=kind, seed=11
+        )
+        assert vectorized is not None and naive is not None
+        assert vectorized.effective == naive.effective
+        assert np.allclose(vectorized.lower, naive.lower, rtol=1e-7)
+        assert np.allclose(vectorized.upper, naive.upper, rtol=1e-7)
+
+
+class TestBandProperties:
+    def test_band_ordered_and_floored_at_hwm(self):
+        model, hwm = _model("block-maxima-gumbel")
+        band = bootstrap_band(model, hwm, CUTOFFS, 0.95, seed=1)
+        for lo, hi in zip(band.lower, band.upper):
+            assert hwm <= lo <= hi
+
+    def test_wider_level_wider_band(self):
+        model, hwm = _model("block-maxima-gumbel")
+        narrow = bootstrap_band(model, hwm, CUTOFFS, 0.5, seed=2)
+        wide = bootstrap_band(model, hwm, CUTOFFS, 0.99, seed=2)
+        assert wide.upper[-1] >= narrow.upper[-1]
+        assert wide.lower[-1] <= narrow.lower[-1]
+
+    def test_deterministic_per_seed(self):
+        model, hwm = _model("gev")
+        a = bootstrap_band(model, hwm, CUTOFFS, 0.95, seed=5)
+        b = bootstrap_band(model, hwm, CUTOFFS, 0.95, seed=5)
+        c = bootstrap_band(model, hwm, CUTOFFS, 0.95, seed=6)
+        assert a.lower == b.lower and a.upper == b.upper
+        assert a.lower != c.lower or a.upper != c.upper
+
+    def test_degenerate_data_returns_none(self):
+        model, hwm = _model("block-maxima-gumbel")
+        model.fit_data = [100.0] * 40
+        assert bootstrap_band(model, hwm, CUTOFFS, 0.95) is None
+
+    def test_interval_exact_and_interpolated(self):
+        model, hwm = _model("block-maxima-gumbel")
+        band = bootstrap_band(model, hwm, CUTOFFS, 0.95, seed=3)
+        lo, hi = band.interval(1e-9)
+        assert (lo, hi) == (band.lower[1], band.upper[1])
+        mid_lo, mid_hi = band.interval(1e-8)
+        assert min(band.lower[0], band.lower[1]) <= mid_lo <= max(
+            band.lower[0], band.lower[1]
+        )
+        assert mid_lo <= mid_hi
+        with pytest.raises(ValueError, match="outside"):
+            band.interval(1e-2)
+
+    def test_round_trip_dict(self):
+        model, hwm = _model("pot-gpd")
+        band = bootstrap_band(model, hwm, CUTOFFS, 0.9, seed=4)
+        clone = ConfidenceBand.from_dict(band.to_dict())
+        assert clone == band
+
+    def test_path_seed_stable_and_distinct(self):
+        assert path_bootstrap_seed(2017, "A") == path_bootstrap_seed(2017, "A")
+        assert path_bootstrap_seed(2017, "A") != path_bootstrap_seed(2017, "B")
+
+    def test_block_kind_uses_observed_support(self):
+        """The block bootstrap resamples observed maxima, so every
+        replicate statistic stays near the observed range."""
+        vals = gumbel_samples(2000, seed=9, location=1000, scale=10)
+        model = create_estimator("block-maxima-gumbel")(vals, CFG)
+        band = bootstrap_band(
+            model, max(vals), CUTOFFS, 0.95, kind="block", seed=10
+        )
+        assert band.kind == "block"
+        assert band.upper[-1] < 10 * max(vals)

@@ -155,3 +155,84 @@ class TestCompareScenarios:
         )
         with pytest.raises(ValueError):
             comparison.slowdown("opponent-cpu")
+
+
+class TestBandRelation:
+    def test_relations(self):
+        from repro.harness import band_relation
+
+        assert band_relation(10.0, 12.0, 5.0, 9.0) == "above"
+        assert band_relation(1.0, 4.0, 5.0, 9.0) == "below"
+        assert band_relation(1.0, 6.0, 5.0, 9.0) == "overlap"
+        assert band_relation(5.0, 9.0, 5.0, 9.0) == "overlap"
+
+    def test_point_reference_degenerate_interval(self):
+        from repro.harness import band_relation
+
+        assert band_relation(10.0, 12.0, 8.0, 8.0) == "above"
+        assert band_relation(10.0, 12.0, 11.0, 11.0) == "overlap"
+
+
+class TestScenarioBandSummary:
+    def test_summary_carries_bands_and_overlap_is_decidable(self):
+        from repro.harness import band_relation, compare_scenarios
+
+        comparison = compare_scenarios(
+            "table-walk",
+            scenarios=("isolation", "opponent-memory-hammer"),
+            runs=400,
+            base_seed=55,
+            platform_kwargs={"num_cores": 4, "cache_kb": 4},
+        )
+        summary = comparison.summary(
+            cutoff=1e-9, ci=0.9, bootstrap=100
+        )
+        for name in ("isolation", "opponent-memory-hammer"):
+            row = summary[name]
+            assert row["pwcet_lo"] <= row["pwcet"] * 1.05
+            assert row["pwcet_lo"] <= row["pwcet_hi"]
+        # The hammer's x2+ contention gap dwarfs the estimator noise:
+        # its band must sit entirely above isolation's.
+        iso, ham = summary["isolation"], summary["opponent-memory-hammer"]
+        assert band_relation(
+            ham["pwcet_lo"], ham["pwcet_hi"],
+            iso["pwcet_lo"], iso["pwcet_hi"],
+        ) == "above"
+
+    def test_summary_without_ci_has_no_band_columns(self):
+        from repro.harness import compare_scenarios
+
+        comparison = compare_scenarios(
+            "table-walk",
+            scenarios=("isolation",),
+            runs=8,
+            platform_kwargs={"num_cores": 4, "cache_kb": 4},
+        )
+        summary = comparison.summary(cutoff=None)
+        assert "pwcet_lo" not in summary["isolation"]
+
+
+class TestDetRandBands:
+    def test_analyse_rand_and_mbta_verdict(self):
+        from repro.core import AnalysisConfig, mbta_bound
+        from repro.harness import compare_det_rand
+
+        comparison = compare_det_rand(runs=250, base_seed=7, app_config=SMALL_TVCA)
+        analysis = comparison.analyse_rand(
+            AnalysisConfig(
+                min_path_samples=120, check_convergence=False, ci=0.9,
+                bootstrap=100,
+            )
+        )
+        mbta = mbta_bound(comparison.det_sample.values)
+        verdict = comparison.mbta_vs_band(analysis, 1e-12, mbta.bound)
+        assert verdict is not None
+        assert verdict["relation"] in ("above", "below", "overlap")
+        assert verdict["lower"] <= verdict["upper"]
+
+    def test_no_band_returns_none(self):
+        from repro.harness import compare_det_rand
+
+        comparison = compare_det_rand(runs=250, base_seed=7, app_config=SMALL_TVCA)
+        analysis = comparison.analyse_rand()
+        assert comparison.mbta_vs_band(analysis, 1e-12, 1000.0) is None

@@ -71,6 +71,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--co-runner", "nope"])
 
+    def test_analysis_flags(self):
+        args = build_parser().parse_args(["analyse"])
+        assert args.method == "block-maxima-gumbel"
+        assert args.ci is None
+        assert args.bootstrap == 200
+        assert args.bootstrap_kind == "parametric"
+        args = build_parser().parse_args(
+            ["analyse", "--method", "auto", "--ci", "0.95",
+             "--bootstrap", "500", "--bootstrap-kind", "block"]
+        )
+        assert args.method == "auto"
+        assert args.ci == 0.95
+        assert args.bootstrap == 500
+        assert args.bootstrap_kind == "block"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyse", "--method", "nope"])
+
+    def test_bad_ci_exits_2_before_any_run(self, capsys):
+        # Validation must fire before the campaign burns its budget:
+        # a huge --runs returning this fast proves no run happened.
+        code = main(["run", "--runs", "10000000", "--ci", "1.5"])
+        assert code == 2
+        assert "ci must be in (0, 1)" in capsys.readouterr().err
+        code = main(["contend", "--runs", "10000000", "--bootstrap", "5"])
+        assert code == 2
+        assert "bootstrap" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_campaign_writes_per_path_artifact(self, tmp_path, capsys):
@@ -184,6 +213,120 @@ class TestCommands:
         assert "opponent-memory-hammer" in out
         assert "isolation" in out
         assert "default cores: 4" in out
+
+    def test_list_shows_estimators(self, capsys):
+        code = main(["list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimators (--method):" in out
+        assert "block-maxima-gumbel" in out
+        assert "pot-gpd" in out
+        assert "gev" in out
+        assert "auto" in out
+
+    def test_analyse_auto_ci_prints_bands_and_rationale(self, tmp_path, capsys):
+        from repro.harness.measurements import ExecutionTimeSample
+        from repro.workloads.synthetic import cache_like_samples
+
+        sample = ExecutionTimeSample(
+            values=cache_like_samples(900, seed=61), label="banded"
+        )
+        path = tmp_path / "s.json"
+        path.write_text(sample.to_json())
+        code = main([
+            "analyse", "--sample", str(path), "--method", "auto",
+            "--ci", "0.95", "--cutoff", "1e-12",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "selection: auto:" in out
+        assert "fit quality:" in out
+        assert "bootstrap band" in out
+        assert "CI lower" in out
+        assert "95% CI at 1e-12:" in out
+
+    def test_analyse_pot_method(self, tmp_path, capsys):
+        from repro.harness.measurements import ExecutionTimeSample
+        from repro.workloads.synthetic import cache_like_samples
+
+        sample = ExecutionTimeSample(
+            values=cache_like_samples(900, seed=62), label="pot"
+        )
+        path = tmp_path / "s.json"
+        path.write_text(sample.to_json())
+        code = main(["analyse", "--sample", str(path), "--method", "pot-gpd"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimator: pot-gpd" in out
+        assert "GPD" in out
+
+    def test_run_ci_attaches_analysis_to_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "banded.json"
+        code = main([
+            "run", "--runs", "150", "--workload", "synthetic-cache",
+            "--ci", "0.9", "--out", str(out_path),
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "90% CI" in printed
+        payload = json.loads(out_path.read_text())
+        assert payload["analysis"]["ci"] == 0.9
+        band = next(iter(payload["analysis"]["paths"].values()))["band"]
+        assert band["level"] == 0.9
+        assert len(band["lower"]) == len(band["cutoffs"])
+
+    def test_analyse_reanalyse_artifact_with_other_method(
+        self, tmp_path, capsys
+    ):
+        first = tmp_path / "c.json"
+        main([
+            "run", "--runs", "150", "--workload", "synthetic-cache",
+            "--ci", "0.9", "--out", str(first),
+        ])
+        capsys.readouterr()
+        second = tmp_path / "c2.json"
+        code = main([
+            "analyse", "--sample", str(first), "--method", "pot-gpd",
+            "--ci", "0.95", "--out", str(second),
+        ])
+        report = capsys.readouterr().out
+        assert code == 0
+        assert "estimator: pot-gpd" in report
+        payload = json.loads(second.read_text())
+        assert payload["analysis"]["method"] == "pot-gpd"
+        # The raw samples are still there for the next re-analysis.
+        assert payload["samples"]["paths"]
+
+    def test_analyse_out_warns_on_legacy_sample(self, tmp_path, capsys):
+        from repro.harness.measurements import ExecutionTimeSample
+        from repro.workloads.synthetic import cache_like_samples
+
+        sample = ExecutionTimeSample(
+            values=cache_like_samples(600, seed=63), label="legacy"
+        )
+        path = tmp_path / "s.json"
+        path.write_text(sample.to_json())
+        out = tmp_path / "never.json"
+        code = main([
+            "analyse", "--sample", str(path), "--out", str(out),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert not out.exists()
+        assert "--out ignored" in captured.err
+
+    def test_contend_ci_reports_band_overlap(self, capsys):
+        code = main([
+            "contend", "--workload", "table-walk", "--runs", "400",
+            "--cutoff", "1e-9", "--ci", "0.9", "--bootstrap", "100",
+        ])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "ci |" in printed or " ci " in printed
+        assert (
+            "separated above isolation" in printed
+            or "overlaps isolation" in printed
+        )
 
     def test_run_with_co_runner_records_scenario(self, tmp_path, capsys):
         out = tmp_path / "contended.json"

@@ -1,0 +1,54 @@
+"""Tests for the package entry points (`python -m repro`, console script)."""
+
+import os
+import subprocess
+import sys
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+class TestModuleEntryPoint:
+    def test_python_m_repro_list(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            env=_env(),
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "workloads:" in proc.stdout
+        assert "estimators (--method):" in proc.stdout
+
+    def test_python_m_repro_requires_subcommand(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            env=_env(),
+            timeout=120,
+        )
+        assert proc.returncode == 2
+
+    def test_main_module_matches_cli_main(self):
+        """`python -m repro` and the `repro` console script both call
+        repro.cli:main (the [project.scripts] target)."""
+        import repro.cli
+
+        try:
+            import tomllib
+        except ImportError:  # Python < 3.11
+            tomllib = None
+        if tomllib is not None:
+            root = os.path.join(os.path.dirname(__file__), "..")
+            with open(os.path.join(root, "pyproject.toml"), "rb") as handle:
+                scripts = tomllib.load(handle)["project"]["scripts"]
+            assert scripts["repro"] == "repro.cli:main"
+        assert callable(repro.cli.main)

@@ -1,0 +1,80 @@
+"""Headless (Agg) smoke tests for the optional matplotlib figures.
+
+Skipped cleanly when matplotlib is not installed (it is an optional
+dependency); when present, the figures must render on the
+non-interactive Agg backend and save to disk.
+"""
+
+import pytest
+
+matplotlib = pytest.importorskip("matplotlib")
+
+from repro.core import AnalysisConfig, AnalysisPipeline  # noqa: E402
+from repro.viz.mpl import contention_figure, pwcet_figure  # noqa: E402
+from repro.workloads.synthetic import cache_like_samples  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def banded_result():
+    vals = cache_like_samples(1200, seed=31)
+    return AnalysisPipeline(
+        AnalysisConfig(ci=0.95, check_convergence=False)
+    ).run(vals, label="mpl")
+
+
+class TestPwcetFigure:
+    def test_renders_with_band(self, banded_result, tmp_path):
+        analysis = next(iter(banded_result.paths.values()))
+        curve = analysis.curve
+        band = analysis.band
+        out = tmp_path / "pwcet.png"
+        fig = pwcet_figure(
+            curve.curve_points(min_probability=1e-15),
+            curve.observed_points(),
+            band_points=[
+                (p, lo, hi)
+                for p, lo, hi in zip(band.cutoffs, band.lower, band.upper)
+            ],
+            path=str(out),
+        )
+        assert out.exists() and out.stat().st_size > 0
+        labels = [t.get_text() for t in fig.axes[0].get_legend().get_texts()]
+        assert "confidence band" in labels
+        matplotlib.pyplot.close(fig)
+
+    def test_renders_without_band(self, banded_result):
+        analysis = next(iter(banded_result.paths.values()))
+        curve = analysis.curve
+        fig = pwcet_figure(
+            curve.curve_points(min_probability=1e-12),
+            curve.observed_points(),
+        )
+        assert fig.axes
+        matplotlib.pyplot.close(fig)
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(ValueError):
+            pwcet_figure([], [])
+
+
+class TestContentionFigure:
+    BY_SCENARIO = {
+        "isolation": {
+            "mean": 1000.0, "hwm": 1100.0, "pwcet": 1300.0,
+            "pwcet_lo": 1250.0, "pwcet_hi": 1380.0,
+        },
+        "opponent-memory-hammer": {
+            "mean": 1500.0, "hwm": 1700.0, "pwcet": 2100.0,
+            "pwcet_lo": 1980.0, "pwcet_hi": 2260.0,
+        },
+    }
+
+    def test_renders_with_whiskers(self, tmp_path):
+        out = tmp_path / "contention.png"
+        fig = contention_figure(self.BY_SCENARIO, path=str(out))
+        assert out.exists() and out.stat().st_size > 0
+        matplotlib.pyplot.close(fig)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            contention_figure({})
