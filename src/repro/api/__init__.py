@@ -18,7 +18,7 @@ Quickstart::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from ..core.convergence import (
     CampaignConvergenceSummary,
@@ -116,7 +116,7 @@ def run_campaign(
     base_seed: int = 2017,
     vary_inputs: bool = True,
     shards: int = 1,
-    progress=None,
+    progress: Optional[Callable[[int, int], None]] = None,
     workload_kwargs: Optional[Dict[str, Any]] = None,
     platform_kwargs: Optional[Dict[str, Any]] = None,
     until_converged: bool = False,

@@ -27,7 +27,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> core)
+    from ..core.analysis import AnalysisResult
+    from ..core.mbpta import MBPTAConfig
 
 from ..core.convergence import CampaignConvergenceSummary
 from ..harness.campaign import CampaignConfig, CampaignResult
@@ -45,7 +49,7 @@ __all__ = [
 ]
 
 
-def analysis_summary(result) -> Dict[str, Any]:
+def analysis_summary(result: "AnalysisResult") -> Dict[str, Any]:
     """JSON-safe summary of an :class:`~repro.core.analysis.AnalysisResult`.
 
     Captures what a later reader needs to audit the analysis without
@@ -55,7 +59,7 @@ def analysis_summary(result) -> Dict[str, Any]:
     """
     cfg = result.config
     paths: Dict[str, Any] = {}
-    for path, analysis in result.paths.items():
+    for path, analysis in sorted(result.paths.items()):
         entry: Dict[str, Any] = {
             "method": analysis.method,
             "n": len(analysis.sample),
@@ -96,7 +100,7 @@ def platform_fingerprint(platform: Platform) -> Dict[str, Any]:
     cfg = platform.config
     core = cfg.core
 
-    def cache(c) -> Dict[str, Any]:
+    def cache(c: Any) -> Dict[str, Any]:
         return {
             "size_bytes": c.size_bytes,
             "line_bytes": c.line_bytes,
@@ -175,14 +179,16 @@ class CampaignArtifact:
         )
 
     # -- analysis ------------------------------------------------------
-    def analyse(self, analysis_config=None):
+    def analyse(
+        self, analysis_config: Optional["MBPTAConfig"] = None
+    ) -> "AnalysisResult":
         """Run the MBPTA pipeline on the stored per-path samples."""
         from ..core.mbpta import MBPTAAnalysis, MBPTAConfig
 
         analysis = MBPTAAnalysis(analysis_config or MBPTAConfig())
         return analysis.analyse(self.samples, label=self.label)
 
-    def attach_analysis(self, result) -> None:
+    def attach_analysis(self, result: "AnalysisResult") -> None:
         """Record an analysis summary (estimator, bands, fit quality).
 
         ``result`` is an :class:`~repro.core.analysis.AnalysisResult`.

@@ -21,7 +21,7 @@ directly into :class:`~repro.api.runner.CampaignRunner`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 from ..core.analysis.estimators import (
     create_estimator,
@@ -218,7 +218,9 @@ register_workload("synthetic-cache", _synthetic_cache)
 # Built-in contention scenarios: the isolation baseline plus one entry
 # per opponent archetype, replicated on every non-analysis core.
 # ----------------------------------------------------------------------
-def _scenario_factory(scenario_name, co_runner_name):
+def _scenario_factory(
+    scenario_name: str, co_runner_name: Optional[str]
+) -> Callable[..., Scenario]:
     def factory(workload: Workload, **kwargs: Any) -> Scenario:
         kwargs.setdefault("label", scenario_name)
         return Scenario(workload, co_runner_kind=co_runner_name, **kwargs)

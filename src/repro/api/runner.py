@@ -55,7 +55,22 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as pyqueue
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from multiprocessing.process import BaseProcess
+    from multiprocessing.queues import Queue as MpQueue
+    from multiprocessing.synchronize import Event as MpEvent
 
 from ..core.convergence import (
     CampaignConvergence,
@@ -110,13 +125,20 @@ def _execute_range(
 
 
 def _shard_worker(
-    queue, workload, platform, config, shard_id, indices, report,
-    backend, min_group,
-):
+    queue: "MpQueue[Any]",
+    workload: Workload,
+    platform: Platform,
+    config: CampaignConfig,
+    shard_id: int,
+    indices: Sequence[int],
+    report: bool,
+    backend: str,
+    min_group: int,
+) -> None:
     """Child-process body: execute one shard and ship its records back."""
     pin_worker_threads()
     try:
-        def on_run():
+        def on_run() -> None:
             queue.put(("progress", shard_id))
 
         if backend == "batch":
@@ -133,7 +155,11 @@ def _shard_worker(
         queue.put(("done", shard_id, [], repr(exc)))
 
 
-def _note_dead_workers(workers, reported, errors) -> None:
+def _note_dead_workers(
+    workers: "Sequence[BaseProcess]",
+    reported: Set[int],
+    errors: List[str],
+) -> None:
     """Record shards killed by a signal/OOM: they never post their
     "done" message, so the receive loop would block forever without
     this scan on queue timeouts."""
@@ -151,9 +177,17 @@ def _note_dead_workers(workers, reported, errors) -> None:
 
 
 def _adaptive_worker(
-    queue, stop_event, workload, platform, config, shard_id, indices,
-    backend, min_group, block,
-):
+    queue: "MpQueue[Any]",
+    stop_event: "MpEvent",
+    workload: Workload,
+    platform: Platform,
+    config: CampaignConfig,
+    shard_id: int,
+    indices: Sequence[int],
+    backend: str,
+    min_group: int,
+    block: int,
+) -> None:
     """Child-process body for adaptive campaigns: stream records back one
     by one and bail out as soon as the parent signals convergence.
 
@@ -388,11 +422,11 @@ class CampaignRunner:
         for worker in workers:
             worker.start()
         records: List[RunRecord] = []
-        pending: dict = {}
+        pending: Dict[int, RunRecord] = {}
         next_index = 0
         stop_at: Optional[int] = None
         errors: List[str] = []
-        reported: set = set()
+        reported: Set[int] = set()
         done = 0
         try:
             while len(reported) < len(workers):
@@ -464,7 +498,7 @@ class CampaignRunner:
             worker.start()
         records: List[RunRecord] = []
         errors: List[str] = []
-        reported: set = set()
+        reported: Set[int] = set()
         done = 0
         try:
             while len(reported) < len(workers):

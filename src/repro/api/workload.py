@@ -39,7 +39,7 @@ try:  # Python 3.8+: typing.Protocol
 except ImportError:  # pragma: no cover - ancient interpreters
     Protocol = object  # type: ignore
 
-    def runtime_checkable(cls):  # type: ignore
+    def runtime_checkable(cls: Any) -> Any:  # type: ignore
         return cls
 
 from ..platform.prng import SplitMix64
@@ -431,7 +431,7 @@ class SyntheticWorkload:
 
     def __init__(
         self,
-        generator: Callable[..., list],
+        generator: Callable[..., List[float]],
         name: str = "synthetic",
         **params: Any,
     ) -> None:

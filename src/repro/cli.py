@@ -53,12 +53,14 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .api import (
     CampaignArtifact,
     CampaignConfig,
+    CampaignResult,
     CampaignRunner,
+    Workload,
     create_platform,
     create_scenario,
     create_workload,
@@ -73,22 +75,25 @@ from .api import (
 from .core import (
     AnalysisConfig,
     AnalysisPipeline,
+    AnalysisResult,
     ConvergencePolicy,
     mbta_bound,
 )
+from .core.convergence import CampaignConvergenceSummary
 from .harness import band_relation, compare_det_rand, compare_scenarios
+from .platform.soc import Platform
 from .viz import contention_csv, contention_panel, figure3_panel
 
 __all__ = ["main", "build_parser"]
 
 
-def _workload_kwargs(args: argparse.Namespace) -> dict:
+def _workload_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
     if args.workload == "tvca":
         return {"estimator_dim": args.estimator_dim, "aero_window": 32}
     return {}
 
 
-def _platform(args: argparse.Namespace, kind: str):
+def _platform(args: argparse.Namespace, kind: str) -> Platform:
     return create_platform(
         kind, num_cores=getattr(args, "cores", 1), cache_kb=args.cache_kb
     )
@@ -114,7 +119,7 @@ def _analysis_config(
     )
 
 
-def _print_band_summary(result) -> None:
+def _print_band_summary(result: AnalysisResult) -> None:
     """Compact per-path band lines (run/compare output)."""
     for path, analysis in sorted(result.paths.items()):
         band = analysis.band
@@ -141,18 +146,20 @@ def _policy(args: argparse.Namespace) -> Optional[ConvergencePolicy]:
     )
 
 
-def _print_convergence(summary) -> None:
+def _print_convergence(summary: CampaignConvergenceSummary) -> None:
     """One-glance adaptive-campaign outcome for run/compare output."""
     status = "converged" if summary.converged else "cap reached, not converged"
     print(f"  adaptive: {summary.used}/{summary.requested} runs ({status})")
-    for path, report in summary.paths.items():
+    for path, report in sorted(summary.paths.items()):
         if report.converged:
             print(f"    path {path}: stable after {report.runs_needed} runs")
         elif report.history:
             print(f"    path {path}: {len(report.history)} checkpoints, not stable")
 
 
-def _run_campaign(args: argparse.Namespace, kind: str):
+def _run_campaign(
+    args: argparse.Namespace, kind: str
+) -> Tuple[CampaignResult, CampaignRunner, Platform, Workload, Optional[str]]:
     workload = create_workload(args.workload, **_workload_kwargs(args))
     scenario = getattr(args, "co_runner", None)
     if scenario is not None:

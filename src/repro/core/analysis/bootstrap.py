@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.special import gamma as gamma_fn
@@ -102,7 +102,7 @@ class ConfidenceBand:
                 )
         raise ValueError(f"p={p:g} not bracketed by the band cutoffs")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form (round-trips through :meth:`from_dict`)."""
         return {
             "level": self.level,
@@ -115,7 +115,7 @@ class ConfidenceBand:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ConfidenceBand":
+    def from_dict(cls, data: Dict[str, Any]) -> "ConfidenceBand":
         """Inverse of :meth:`to_dict`."""
         return cls(
             level=float(data["level"]),
@@ -142,7 +142,7 @@ def _resample(
     kind: str,
     replicates: int,
     rng: np.random.Generator,
-    sampler,
+    sampler: Callable[[np.ndarray], np.ndarray],
 ) -> np.ndarray:
     """(R, m) replicate samples: resampled rows or parametric draws."""
     m = data.shape[0]
@@ -154,14 +154,18 @@ def _resample(
     return sampler(u)
 
 
-def _gumbel_sampler(loc: float, scale: float):
+def _gumbel_sampler(
+    loc: float, scale: float
+) -> Callable[[np.ndarray], np.ndarray]:
     def sample(u: np.ndarray) -> np.ndarray:
         return loc - scale * np.log(-np.log(u))
 
     return sample
 
 
-def _gev_sampler(loc: float, scale: float, shape: float):
+def _gev_sampler(
+    loc: float, scale: float, shape: float
+) -> Callable[[np.ndarray], np.ndarray]:
     def sample(u: np.ndarray) -> np.ndarray:
         y = -np.log(u)
         if abs(shape) < 1e-12:
@@ -171,7 +175,9 @@ def _gev_sampler(loc: float, scale: float, shape: float):
     return sample
 
 
-def _gpd_sampler(scale: float, shape: float):
+def _gpd_sampler(
+    scale: float, shape: float
+) -> Callable[[np.ndarray], np.ndarray]:
     def sample(u: np.ndarray) -> np.ndarray:
         # isf(u): excess exceeded with probability u.
         if abs(shape) < 1e-12:

@@ -26,7 +26,7 @@ Built-in estimators:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..evt.block_maxima import best_block_size, block_maxima
 from ..evt.diagnostics import FitQuality, fit_quality
@@ -125,7 +125,9 @@ def estimator_description(name: str) -> str:
 # ----------------------------------------------------------------------
 # Built-in estimators.
 # ----------------------------------------------------------------------
-def _extract_maxima(values: Sequence[float], config: "AnalysisConfig"):
+def _extract_maxima(
+    values: Sequence[float], config: "AnalysisConfig"
+) -> Tuple[int, List[float]]:
     """(block size, block maxima) per the configured block policy.
 
     The block-size GoF screen is the expensive part of a block-maxima
@@ -208,7 +210,7 @@ def _pot_gpd(values: Sequence[float], config: "AnalysisConfig") -> TailModel:
 AUTO_CANDIDATES = ("block-maxima-gumbel", "gev", "pot-gpd")
 
 
-def _raiser(message: str):
+def _raiser(message: str) -> Callable[[], TailModel]:
     def raise_unavailable() -> TailModel:
         raise ValueError(message)
 

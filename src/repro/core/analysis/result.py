@@ -77,10 +77,11 @@ class AnalysisResult:
         return any(p.band is not None for p in self.paths.values())
 
     def bands(self) -> Dict[str, "ConfidenceBand"]:
-        """Per-path confidence bands (paths without a band omitted)."""
+        """Per-path confidence bands (paths without a band omitted),
+        sorted by path key for stable rendering order."""
         return {
             path: analysis.band
-            for path, analysis in self.paths.items()
+            for path, analysis in sorted(self.paths.items())
             if analysis.band is not None
         }
 

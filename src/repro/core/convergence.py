@@ -361,7 +361,8 @@ class CampaignConvergenceSummary:
             "converged": self.converged,
             "policy": self.policy.to_dict(),
             "paths": {
-                path: report.to_dict() for path, report in self.paths.items()
+                path: report.to_dict()
+                for path, report in sorted(self.paths.items())
             },
         }
 

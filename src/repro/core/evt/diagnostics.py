@@ -59,13 +59,13 @@ def qq_correlation(values: Sequence[float], distribution: Distribution) -> float
     xs = [p[0] for p in points]
     ys = [p[1] for p in points]
     n = len(points)
-    mx = sum(xs) / n
-    my = sum(ys) / n
-    sxx = sum((x - mx) ** 2 for x in xs)
-    syy = sum((y - my) ** 2 for y in ys)
+    mx = math.fsum(xs) / n
+    my = math.fsum(ys) / n
+    sxx = math.fsum((x - mx) ** 2 for x in xs)
+    syy = math.fsum((y - my) ** 2 for y in ys)
     if sxx == 0 or syy == 0:
         return 0.0
-    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    sxy = math.fsum((x - mx) * (y - my) for x, y in zip(xs, ys))
     return sxy / math.sqrt(sxx * syy)
 
 

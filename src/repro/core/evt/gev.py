@@ -134,7 +134,7 @@ class GevDistribution:
 
     def loglikelihood(self, values: Sequence[float]) -> float:
         """Sum of log densities."""
-        return sum(self.logpdf(v) for v in values)
+        return math.fsum(self.logpdf(v) for v in values)
 
 
 def fit_lmoments(values: Sequence[float]) -> GevDistribution:
@@ -152,11 +152,11 @@ def fit_lmoments(values: Sequence[float]) -> GevDistribution:
     if n < 3:
         raise ValueError("need at least 3 observations")
     ordered = sorted(values)
-    b0 = sum(ordered) / n
-    b1 = sum((i / (n - 1.0)) * v for i, v in enumerate(ordered)) / n
+    b0 = math.fsum(ordered) / n
+    b1 = math.fsum((i / (n - 1.0)) * v for i, v in enumerate(ordered)) / n
     b2 = 0.0
     if n > 2:
-        b2 = sum(
+        b2 = math.fsum(
             (i * (i - 1.0) / ((n - 1.0) * (n - 2.0))) * v
             for i, v in enumerate(ordered)
         ) / n
@@ -190,7 +190,7 @@ def fit_mle(values: Sequence[float]) -> GevDistribution:
         gum = fit_pwm(xs)
         seed = GevDistribution(location=gum.location, scale=gum.scale, shape=0.0)
 
-    def negloglik(theta) -> float:
+    def negloglik(theta: Sequence[float]) -> float:
         mu, log_sigma, xi = theta
         sigma = math.exp(log_sigma)
         try:
@@ -227,7 +227,7 @@ def shape_likelihood_ratio_test(
     gev = fit_mle(values)
     gumbel = gumbel_fit_mle(values)
     ll_gev = gev.loglikelihood(values)
-    ll_gum = sum(gumbel.logpdf(v) for v in values)
+    ll_gum = math.fsum(gumbel.logpdf(v) for v in values)
     statistic = max(0.0, 2.0 * (ll_gev - ll_gum))
     p_value = float(chi2.sf(statistic, df=1))
     return gev, gumbel, p_value

@@ -110,8 +110,8 @@ def fit_pwm(excesses: Sequence[float]) -> GpdDistribution:
     if any(e < 0 for e in excesses):
         raise ValueError("excesses must be non-negative")
     ordered = sorted(excesses)
-    b0 = sum(ordered) / n
-    b1 = sum(((n - 1.0 - i) / (n - 1.0)) * v for i, v in enumerate(ordered)) / n
+    b0 = math.fsum(ordered) / n
+    b1 = math.fsum(((n - 1.0 - i) / (n - 1.0)) * v for i, v in enumerate(ordered)) / n
     if b0 <= 0 or (b0 - 2.0 * b1) == 0:
         raise ValueError("degenerate excesses for PWM")
     # Hosking-Wallis: k = b0 / (b0 - 2 b1) - 2 ; xi = -k.
@@ -132,9 +132,9 @@ def fit_mle(excesses: Sequence[float]) -> GpdDistribution:
     try:
         seed = fit_pwm(ys)
     except ValueError:
-        seed = GpdDistribution(scale=max(sum(ys) / n, 1e-9), shape=0.0)
+        seed = GpdDistribution(scale=max(math.fsum(ys) / n, 1e-9), shape=0.0)
 
-    def negloglik(theta) -> float:
+    def negloglik(theta: Sequence[float]) -> float:
         log_sigma, xi = theta
         sigma = math.exp(log_sigma)
         try:
@@ -155,7 +155,7 @@ def fit_mle(excesses: Sequence[float]) -> GpdDistribution:
     log_sigma, xi = result.x
     fitted = GpdDistribution(scale=float(math.exp(log_sigma)), shape=float(xi))
     seed_ll = -negloglik(start)
-    fit_ll = sum(fitted.logpdf(y) for y in ys)
+    fit_ll = math.fsum(fitted.logpdf(y) for y in ys)
     if fit_ll < seed_ll - 1e-9:
         return seed
     return fitted
@@ -171,4 +171,4 @@ def mean_excess(values: Sequence[float], threshold: float) -> float:
     excesses = [v - threshold for v in values if v > threshold]
     if not excesses:
         raise ValueError(f"no observations above threshold {threshold}")
-    return sum(excesses) / len(excesses)
+    return math.fsum(excesses) / len(excesses)

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from bisect import insort
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Set
 
 __all__ = [
     "GumbelDistribution",
@@ -122,8 +122,8 @@ def fit_moments(values: Sequence[float]) -> GumbelDistribution:
     n = len(values)
     if n < 2:
         raise ValueError("need at least 2 observations")
-    mean = sum(values) / n
-    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    mean = math.fsum(values) / n
+    variance = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
     if variance <= 0:
         raise ValueError("degenerate sample (zero variance)")
     scale = math.sqrt(6.0 * variance) / math.pi
@@ -141,8 +141,8 @@ def _pwm_from_sorted(ordered: Sequence[float]) -> GumbelDistribution:
     n = len(ordered)
     if n < 2:
         raise ValueError("need at least 2 observations")
-    b0 = sum(ordered) / n
-    b1 = sum((i / (n - 1.0)) * v for i, v in enumerate(ordered)) / n
+    b0 = math.fsum(ordered) / n
+    b1 = math.fsum((i / (n - 1.0)) * v for i, v in enumerate(ordered)) / n
     scale = (2.0 * b1 - b0) / math.log(2.0)
     if scale <= 0:
         raise ValueError("PWM produced non-positive scale (degenerate sample)")
@@ -176,7 +176,7 @@ class IncrementalPwm:
 
     def __init__(self) -> None:
         self._ordered: List[float] = []
-        self._distinct: set = set()
+        self._distinct: Set[float] = set()
 
     @property
     def n(self) -> int:
@@ -220,15 +220,15 @@ def fit_mle(
     if n < 2:
         raise ValueError("need at least 2 observations")
     xs = [float(v) for v in values]
-    mean = sum(xs) / n
+    mean = math.fsum(xs) / n
     beta = max(fit_moments(xs).scale, 1e-12)
 
     def g(b: float) -> float:
         # Shift by max for numerical stability of the exponentials.
         m = max(xs)
         weights = [math.exp(-(x - m) / b) for x in xs]
-        s0 = sum(weights)
-        s1 = sum(x * w for x, w in zip(xs, weights))
+        s0 = math.fsum(weights)
+        s1 = math.fsum(x * w for x, w in zip(xs, weights))
         return b - mean + s1 / s0
 
     # Derivative via finite difference (robust; g is smooth).
@@ -248,6 +248,6 @@ def fit_mle(
             updated = beta - step
         beta = updated
     m = max(xs)
-    s0 = sum(math.exp(-(x - m) / beta) for x in xs)
+    s0 = math.fsum(math.exp(-(x - m) / beta) for x in xs)
     location = m - beta * math.log(s0 / n)
     return GumbelDistribution(location=location, scale=beta)

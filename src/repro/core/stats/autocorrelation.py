@@ -26,16 +26,16 @@ def acf(values: Sequence[float], max_lag: int) -> List[float]:
         raise ValueError("need at least 2 observations")
     if not 1 <= max_lag < n:
         raise ValueError(f"max_lag must be in [1, {n - 1}], got {max_lag}")
-    mean = sum(values) / n
+    mean = math.fsum(values) / n
     centered = [v - mean for v in values]
-    denominator = sum(c * c for c in centered)
+    denominator = math.fsum(c * c for c in centered)
     if denominator == 0.0:
         # A constant series: autocorrelation is undefined; by convention
         # report zero dependence (the series cannot carry information).
         return [0.0] * max_lag
     out: List[float] = []
     for lag in range(1, max_lag + 1):
-        numerator = sum(centered[i] * centered[i + lag] for i in range(n - lag))
+        numerator = math.fsum(centered[i] * centered[i + lag] for i in range(n - lag))
         out.append(numerator / denominator)
     return out
 

@@ -16,6 +16,7 @@ variant without the finite-sample correction.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -83,7 +84,7 @@ def box_pierce_test(
     if m >= n:
         raise ValueError("lags must be < number of observations")
     correlations = acf(values, m)
-    statistic = n * sum(r * r for r in correlations)
+    statistic = n * math.fsum(r * r for r in correlations)
     p_value = float(chi2.sf(statistic, df=m))
     return PortmanteauResult(
         statistic=statistic, p_value=p_value, lags=m, n=n, name="box-pierce"

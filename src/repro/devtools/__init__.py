@@ -1,0 +1,52 @@
+"""Development-time tooling for the reproduction: the ``repro-lint``
+determinism-and-numerics static analyzer.
+
+Every guarantee this codebase makes — sharded campaigns bit-identical
+to serial, the batch backend bit-identical to the scalar interpreter,
+artifacts replayable from seeds — is a *determinism* invariant.  The
+runtime parity suites catch violations after they land; ``repro-lint``
+rejects the known bug classes at lint time instead:
+
+==========  ==========================================================
+REP001      ambient RNG (``random.*`` / ``np.random.*`` module
+            functions) — randomness must flow through seeded,
+            explicit generators
+REP002      wall-clock and environment reads outside benchmarks/CLI
+REP003      iteration over unordered collections (``set`` /
+            ``frozenset`` / unsorted ``os.listdir`` / ``glob``)
+REP004      naive ``sum()`` float accumulation in EVT/bootstrap/stats
+            hot paths (use ``math.fsum`` or a numpy reduction)
+REP005      import-time registry / global-state mutation outside the
+            registry modules
+REP006      mutable default arguments and bare ``except``
+==========  ==========================================================
+
+Run it as ``python -m repro.devtools.lint [paths...]`` (or the
+``repro-lint`` console script).  Findings can be suppressed per line
+with a justified pragma::
+
+    value = os.environ.setdefault(  # repro-lint: disable=REP002 -- pins child BLAS threads
+        "OMP_NUM_THREADS", "1"
+    )
+
+A pragma without a ``-- justification`` tail is itself an error: the
+point is an auditable list of intentional exceptions, not a mute
+button.  See CONTRIBUTING.md for the pragma policy.
+"""
+
+from .config import LintConfig
+from .engine import LintEngine, LintReport
+from .findings import Finding
+from .pragmas import Pragma, parse_pragmas
+from .rules import ALL_RULES, rule_ids
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "Pragma",
+    "parse_pragmas",
+    "rule_ids",
+]

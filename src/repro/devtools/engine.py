@@ -1,0 +1,190 @@
+"""The lint engine: file discovery, rule dispatch, pragma application.
+
+The engine itself obeys the rules it enforces: file discovery sorts
+every directory listing (REP003), no ambient state is consulted, and a
+run over the same tree is bit-identical output.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .config import LintConfig
+from .findings import Finding
+from .pragmas import PRAGMA_ERROR_RULE, Pragma, parse_pragmas
+from .rules import ALL_RULES, ImportMap, rule_ids
+
+#: Rule id attached to files that fail to parse.
+PARSE_ERROR_RULE = "REP999"
+
+#: JSON schema version emitted by LintReport.to_dict.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one engine run.
+
+    ``findings`` are the live violations (exit-code relevant);
+    ``suppressed`` are violations matched by a justified pragma, kept
+    for auditability.  Both lists are sorted by (path, line, col,
+    rule) so output is stable across runs and hash seeds.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Live finding counts by rule id, sorted by rule id."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def ok(self) -> bool:
+        """True when no live findings remain."""
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable report (schema documented in lint.py)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "files_checked": self.files_checked,
+            "counts": self.counts,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated list of
+    ``.py`` files.  Missing paths raise ``FileNotFoundError``."""
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen.setdefault(candidate, None)
+        elif path.is_file():
+            seen.setdefault(path, None)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+class LintEngine:
+    """Runs the registered rules over source files."""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def run(self, paths: Sequence[Path]) -> LintReport:
+        """Lint every ``.py`` file under ``paths``."""
+        report = LintReport()
+        for file_path in discover_files(paths):
+            self._lint_file(file_path, report)
+        report.findings.sort(key=Finding.key)
+        report.suppressed.sort(key=Finding.key)
+        return report
+
+    def check_source(
+        self, source: str, path: str = "<string>"
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Lint a source string; returns ``(live, suppressed)``.
+
+        The test suite's fixture runner and editor integrations use
+        this entry point; ``run`` is a thin file-walking wrapper.
+        """
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return (
+                [
+                    Finding(
+                        rule=PARSE_ERROR_RULE,
+                        message=f"file does not parse: {exc.msg}",
+                        path=path,
+                        line=exc.lineno or 0,
+                        col=(exc.offset or 1) - 1,
+                    )
+                ],
+                [],
+            )
+        pragmas, pragma_errors = parse_pragmas(source, path, rule_ids())
+        imports = ImportMap(tree)
+
+        raw: List[Finding] = []
+        for rule_cls in ALL_RULES:
+            if not self.config.rule_applies(rule_cls.rule_id, path):
+                continue
+            rule = rule_cls(path, imports, self.config)
+            raw.extend(rule.check(tree))
+
+        live: List[Finding] = list(pragma_errors)
+        suppressed: List[Finding] = []
+        used_pragmas: Dict[int, bool] = {line: False for line in pragmas}
+        for finding in raw:
+            pragma = pragmas.get(finding.line)
+            if pragma is not None and finding.rule in pragma.rules:
+                used_pragmas[finding.line] = True
+                suppressed.append(
+                    Finding(
+                        rule=finding.rule,
+                        message=finding.message,
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        suppressed=True,
+                        justification=pragma.justification,
+                    )
+                )
+            else:
+                live.append(finding)
+        live.extend(self._unused_pragma_findings(pragmas, used_pragmas, path))
+        return sorted(live, key=Finding.key), sorted(suppressed, key=Finding.key)
+
+    def _unused_pragma_findings(
+        self,
+        pragmas: Dict[int, Pragma],
+        used: Dict[int, bool],
+        path: str,
+    ) -> Iterable[Finding]:
+        """A pragma that suppresses nothing is stale and must go —
+        unless one of its rules is deselected in this run, in which
+        case we cannot tell."""
+        for line, pragma in sorted(pragmas.items()):
+            if used[line]:
+                continue
+            if not all(self.config.rule_enabled(rule) for rule in pragma.rules):
+                continue
+            yield Finding(
+                rule=PRAGMA_ERROR_RULE,
+                message="unused pragma (suppresses nothing on this line); "
+                "remove it",
+                path=path,
+                line=line,
+            )
+
+    def _lint_file(self, file_path: Path, report: LintReport) -> None:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.findings.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    message=f"cannot read file: {exc}",
+                    path=str(file_path),
+                    line=0,
+                )
+            )
+            report.files_checked += 1
+            return
+        live, suppressed = self.check_source(source, path=str(file_path))
+        report.findings.extend(live)
+        report.suppressed.extend(suppressed)
+        report.files_checked += 1

@@ -1,0 +1,48 @@
+"""The unit of analyzer output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A single rule violation (or pragma error) at a source location.
+
+    ``suppressed`` findings were matched by a justified
+    ``# repro-lint: disable=...`` pragma; they are kept in the report
+    (and the JSON output) so suppressions stay auditable, but they do
+    not affect the exit code.
+    """
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+    justification: Optional[str] = field(default=None)
+
+    def key(self) -> Tuple[str, int, int, str]:
+        """Stable sort key: file, then position, then rule."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (schema documented in lint.py)."""
+        data: Dict[str, Any] = {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+        }
+        if self.justification is not None:
+            data["justification"] = self.justification
+        return data
+
+    def render(self) -> str:
+        """One-line text rendering, ``path:line:col: RULE message``."""
+        tag = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}{tag} {self.message}"

@@ -1,0 +1,173 @@
+"""``repro-lint`` command line interface.
+
+Usage::
+
+    python -m repro.devtools.lint [paths ...] [options]
+    repro-lint [paths ...] [options]          # console script
+
+With no paths, lints ``src/repro`` (falling back to the installed
+``repro`` package directory when no ``src`` checkout is present).
+
+Exit codes
+----------
+0   no live findings
+1   live findings (violations, pragma errors)
+2   usage or I/O error (unknown rule id, missing path)
+
+JSON output schema (``--format json``, ``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "files_checked": <int>,
+      "counts": {"REP001": <int>, ...},        # live findings by rule
+      "findings": [                             # sorted, stable order
+        {"rule": "REP001", "message": str, "path": str,
+         "line": int, "col": int, "suppressed": false},
+        ...
+      ],
+      "suppressed": [                           # justified pragmas
+        {..., "suppressed": true, "justification": str}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import FrozenSet, List, Optional, Sequence
+
+from .config import LintConfig
+from .engine import LintEngine, LintReport
+from .rules import ALL_RULES, rule_ids
+
+
+def _default_target() -> Path:
+    src_tree = Path("src/repro")
+    if src_tree.is_dir():
+        return src_tree
+    return Path(__file__).resolve().parent.parent
+
+
+def _parse_rule_list(raw: Optional[str]) -> Optional[FrozenSet[str]]:
+    if raw is None:
+        return None
+    rules = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    unknown = sorted(rules - rule_ids())
+    if unknown:
+        raise SystemExit(
+            f"repro-lint: unknown rule id(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(rule_ids()))})"
+        )
+    return rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism-and-numerics static analyzer for the "
+        "repro codebase (rules REP001-REP006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by justified pragmas",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _render_text(report: LintReport, show_suppressed: bool) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(finding.render())
+    if show_suppressed:
+        for finding in report.suppressed:
+            lines.append(finding.render())
+    counts = report.counts
+    if counts:
+        by_rule = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
+        lines.append(
+            f"{len(report.findings)} finding(s) in {report.files_checked} "
+            f"file(s) ({by_rule})"
+        )
+    else:
+        suppressed_note = (
+            f" ({len(report.suppressed)} suppressed by justified pragmas)"
+            if report.suppressed
+            else ""
+        )
+        lines.append(
+            f"clean: {report.files_checked} file(s), 0 findings{suppressed_note}"
+        )
+    return "\n".join(lines)
+
+
+def _list_rules() -> str:
+    lines = ["registered rules:"]
+    for rule in ALL_RULES:
+        lines.append(f"  {rule.rule_id}  {rule.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        select = _parse_rule_list(args.select)
+        ignore = _parse_rule_list(args.ignore)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    config = LintConfig().with_selection(select=select, ignore=ignore)
+    engine = LintEngine(config)
+    targets = list(args.paths) or [_default_target()]
+    try:
+        report = engine.run(targets)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_text(report, args.show_suppressed))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Per-line suppression pragmas.
+
+Grammar (one pragma per physical line, anywhere in a comment)::
+
+    # repro-lint: disable=REP003 -- justification text
+    # repro-lint: disable=REP002,REP004 -- justification text
+
+The ``-- justification`` tail is mandatory: a pragma exists to record
+*why* a rule does not apply at this site, so an empty justification is
+reported as a ``REP000`` pragma error instead of suppressing anything.
+Unknown rule names in the ``disable=`` list are also ``REP000`` errors.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from .findings import Finding
+
+#: Rule id for pragma errors themselves (malformed / unjustified /
+#: unused pragmas).  Not suppressible.
+PRAGMA_ERROR_RULE = "REP000"
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint\s*:\s*disable\s*=\s*([A-Za-z0-9_,\s]*)")
+_RULE_NAME_RE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """A parsed ``# repro-lint: disable=...`` directive."""
+
+    line: int
+    rules: FrozenSet[str]
+    justification: str
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for every comment token.
+
+    Tokenizing (rather than regex-scanning physical lines) is what
+    keeps pragma *examples* inside docstrings from being treated as
+    directives — only real comments can carry a pragma.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError):
+        # The engine only calls this after a successful ast.parse, but
+        # stay defensive: no comments beats a crashed lint run.
+        return
+
+
+def parse_pragmas(
+    source: str, path: str, known_rules: FrozenSet[str]
+) -> Tuple[Dict[int, Pragma], List[Finding]]:
+    """Scan a module's comments for pragmas.
+
+    Returns ``(pragmas_by_line, errors)``.  Malformed pragmas (no rule
+    list, unknown rule names, missing ``--`` justification) produce
+    :data:`PRAGMA_ERROR_RULE` findings and are *not* entered into the
+    suppression map — a broken pragma must never silently suppress.
+    """
+    pragmas: Dict[int, Pragma] = {}
+    errors: List[Finding] = []
+    for lineno, tok_col, text in _comment_tokens(source):
+        if "repro-lint" not in text:
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            # A comment merely mentioning repro-lint (docs, prose) is
+            # fine; only `repro-lint:` directives must parse.
+            if re.search(r"#\s*repro-lint\s*:", text):
+                errors.append(
+                    Finding(
+                        rule=PRAGMA_ERROR_RULE,
+                        message="malformed repro-lint pragma "
+                        "(expected '# repro-lint: disable=REPNNN -- justification')",
+                        path=path,
+                        line=lineno,
+                    )
+                )
+            continue
+        rule_list = [r.strip() for r in match.group(1).split(",") if r.strip()]
+        col = tok_col + match.start()
+        if not rule_list:
+            errors.append(
+                Finding(
+                    rule=PRAGMA_ERROR_RULE,
+                    message="pragma disables no rules",
+                    path=path,
+                    line=lineno,
+                    col=col,
+                )
+            )
+            continue
+        unknown = sorted(
+            r
+            for r in rule_list
+            if not _RULE_NAME_RE.match(r) or r not in known_rules
+        )
+        if unknown:
+            errors.append(
+                Finding(
+                    rule=PRAGMA_ERROR_RULE,
+                    message=f"pragma disables unknown rule(s): {', '.join(unknown)}",
+                    path=path,
+                    line=lineno,
+                    col=col,
+                )
+            )
+            continue
+        tail = text[match.end() :]
+        parts = tail.split("--", 1)
+        justification = parts[1].strip() if len(parts) == 2 else ""
+        if not justification:
+            errors.append(
+                Finding(
+                    rule=PRAGMA_ERROR_RULE,
+                    message="pragma is missing its justification "
+                    "(append ' -- <why this exception is sound>')",
+                    path=path,
+                    line=lineno,
+                    col=col,
+                )
+            )
+            continue
+        pragmas[lineno] = Pragma(
+            line=lineno, rules=frozenset(rule_list), justification=justification
+        )
+    return pragmas, errors

@@ -1,0 +1,52 @@
+"""Rule registry for ``repro-lint``.
+
+Rules are registered here in rule-id order; the engine instantiates
+one instance per (rule, file) pair.  Adding a rule is: write the
+visitor module, import it, append the class to :data:`ALL_RULES`, add
+a good/bad fixture pair under ``tests/devtools/fixtures/``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple, Type
+
+from .base import ImportMap, Rule
+from .rep001_ambient_rng import AmbientRngRule
+from .rep002_wallclock_env import WallclockEnvRule
+from .rep003_unordered_iteration import UnorderedIterationRule
+from .rep004_float_accumulation import FloatAccumulationRule
+from .rep005_import_state import ImportTimeStateRule
+from .rep006_defaults_excepts import DefaultsExceptsRule
+
+__all__ = [
+    "ALL_RULES",
+    "ImportMap",
+    "Rule",
+    "rule_by_id",
+    "rule_ids",
+]
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    AmbientRngRule,
+    WallclockEnvRule,
+    UnorderedIterationRule,
+    FloatAccumulationRule,
+    ImportTimeStateRule,
+    DefaultsExceptsRule,
+)
+
+_BY_ID: Dict[str, Type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def rule_ids() -> FrozenSet[str]:
+    """The ids of every registered rule."""
+    return frozenset(_BY_ID)
+
+
+def rule_by_id(rule_id: str) -> Type[Rule]:
+    """Look up a rule class by id (KeyError with the known ids)."""
+    try:
+        return _BY_ID[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_BY_ID))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None

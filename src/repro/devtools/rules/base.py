@@ -1,0 +1,105 @@
+"""Rule base class and shared AST helpers (import resolution).
+
+Every rule is an :class:`ast.NodeVisitor` subclass with a class-level
+``rule_id`` / ``summary``; the engine instantiates one per file and
+collects :class:`~repro.devtools.findings.Finding` objects from it.
+
+The shared :class:`ImportMap` resolves local aliases back to dotted
+module paths so rules can match *qualified* names — ``np.random.seed``
+is recognised whether numpy was imported as ``numpy``, ``np``, or via
+``from numpy import random as nr``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, List, Optional
+
+from ..config import LintConfig
+from ..findings import Finding
+
+
+class ImportMap:
+    """Maps local names to the dotted module/object paths they denote."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # `import a.b.c` binds `a`; `import a.b.c as x`
+                    # binds `x` to the full dotted path.
+                    target = alias.name if alias.asname else local
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay project-local
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted qualified name for a Name/Attribute chain, if the
+        root name is an import binding (``None`` otherwise)."""
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self._aliases.get(current.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def imported_names(self) -> Dict[str, str]:
+        """Copy of the local-alias → dotted-path map."""
+        return dict(self._aliases)
+
+
+class Rule(ast.NodeVisitor):
+    """One analyzer rule, run over a single parsed module."""
+
+    rule_id: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+
+    def __init__(self, path: str, imports: ImportMap, config: LintConfig) -> None:
+        self.path = path
+        self.imports = imports
+        self.config = config
+        self.findings: List[Finding] = []
+
+    def check(self, tree: ast.Module) -> List[Finding]:
+        """Visit ``tree`` and return the findings, sorted by position."""
+        self.visit(tree)
+        return sorted(self.findings, key=Finding.key)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                rule=self.rule_id,
+                message=message,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+
+def qualified_call_name(node: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Qualified dotted name of a call's callee, via the import map."""
+    return imports.resolve(node.func)
+
+
+def call_name_tail(node: ast.Call) -> Optional[str]:
+    """Last segment of the callee (attribute or bare name)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None

@@ -1,0 +1,93 @@
+"""REP002 — wall-clock and environment reads.
+
+Execution and analysis results must be pure functions of (workload,
+platform, seed).  A wall-clock read or an ``os.environ`` lookup smuggles
+host state into that function: the same campaign replayed on another
+machine (or the same machine, later) silently diverges.  Benchmarks and
+the CLI are exempt via :class:`~repro.devtools.config.LintConfig`
+path scoping — timing *measurement* is their job.
+
+Flagged: ``time.time`` / ``monotonic`` / ``perf_counter`` (+ ``_ns``
+variants, ``clock_gettime``), ``datetime.datetime.now`` / ``utcnow`` /
+``today``, ``datetime.date.today``, ``os.getenv``, and reads of
+``os.environ`` (subscript load, ``.get``, ``.setdefault``, membership,
+iteration).  Pure writes (``os.environ[k] = v``) are allowed: pinning a
+child process's environment is a determinism *fix*, not a read.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, qualified_call_name
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_ENV_READ_METHODS = frozenset({"get", "setdefault", "items", "keys", "values", "pop"})
+
+
+class WallclockEnvRule(Rule):
+    rule_id = "REP002"
+    summary = "wall-clock / environment read outside benchmarks and the CLI"
+
+    def _is_environ(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr in ("environ", "environb")
+            and self.imports.resolve(node) in ("os.environ", "os.environb")
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = qualified_call_name(node, self.imports)
+        if qualified in _CLOCK_CALLS:
+            self.report(
+                node,
+                f"wall-clock read `{qualified}` makes results depend on when "
+                "they ran; thread timestamps in from the entry point",
+            )
+        elif qualified == "os.getenv":
+            self.report(
+                node,
+                "`os.getenv` makes results depend on the host environment; "
+                "pass configuration explicitly",
+            )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ENV_READ_METHODS
+            and self._is_environ(node.func.value)
+        ):
+            self.report(
+                node,
+                f"environment read `os.environ.{node.func.attr}(...)`; pass "
+                "configuration explicitly",
+            )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # `os.environ[k]` in Load context is a read; Store/Del (pinning
+        # a child environment) is deliberately allowed.
+        if isinstance(node.ctx, ast.Load) and self._is_environ(node.value):
+            self.report(node, "environment read `os.environ[...]`")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for op, comparator in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.In, ast.NotIn)) and self._is_environ(comparator):
+                self.report(node, "membership test against os.environ is a read")
+        self.generic_visit(node)

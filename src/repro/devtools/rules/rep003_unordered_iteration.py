@@ -1,0 +1,112 @@
+"""REP003 — iteration over unordered collections.
+
+The shard-merge / registry-listing bug class: iterating a ``set`` (or
+an unsorted directory listing) and letting that order reach output,
+a merge, or serialization makes results depend on Python hash
+randomization.  ``dict`` iteration is fine — insertion order is
+guaranteed and deterministic campaigns insert deterministically — the
+hazard is specifically ``set`` / ``frozenset`` and filesystem listing
+order.
+
+Flagged:
+
+* ``for x in {a, b}`` / ``for x in set(...)`` / ``frozenset(...)``
+  (also as comprehension sources and ``*`` unpacking);
+* ``os.listdir`` / ``os.scandir`` / ``glob.glob`` / ``glob.iglob`` /
+  ``os.walk`` / ``Path.iterdir`` calls not wrapped directly in
+  ``sorted(...)``.
+
+``sorted(set(...))``, ``len(set(...))``, ``min`` / ``max`` / ``sum``
+over a set, and membership tests are all order-insensitive and allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..findings import Finding
+from .base import Rule, call_name_tail, qualified_call_name
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+#: Reductions whose result does not depend on iteration order.
+_ORDER_INSENSITIVE = frozenset({"sorted", "len", "min", "max", "sum", "any", "all"})
+_LISTING_QUALIFIED = frozenset(
+    {"os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob"}
+)
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "REP003"
+    summary = "iteration over set/frozenset or unsorted directory listing"
+
+    def check(self, tree: ast.Module) -> List[Finding]:
+        # Pre-pass: listing calls appearing directly as an argument of
+        # an order-insensitive reduction (typically sorted()) are fine.
+        self._blessed: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                tail = call_name_tail(node)
+                if tail in _ORDER_INSENSITIVE:
+                    for arg in node.args:
+                        self._blessed.add(id(arg))
+                        # sorted(x for x in set(...)) blesses the
+                        # comprehension's source too.
+                        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                            for gen in arg.generators:
+                                self._blessed.add(id(gen.iter))
+        return super().check(tree)
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            return isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS
+        return False
+
+    def _check_iterable(self, node: ast.AST) -> None:
+        if id(node) in self._blessed:
+            return
+        if self._is_set_expr(node):
+            self.report(
+                node,
+                "iteration over an unordered set/frozenset; wrap in "
+                "sorted(...) before the order can reach output or a merge",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_Starred(self, node: ast.Starred) -> None:
+        self._check_iterable(node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if id(node) not in self._blessed:
+            qualified = qualified_call_name(node, self.imports)
+            if qualified in _LISTING_QUALIFIED:
+                self.report(
+                    node,
+                    f"`{qualified}` returns entries in arbitrary filesystem "
+                    "order; wrap in sorted(...)",
+                )
+            elif (
+                qualified is None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("iterdir", "glob", "rglob")
+            ):
+                # Path.iterdir() / Path.glob(pattern) / Path.rglob(...):
+                # method calls on arbitrary receivers cannot be resolved
+                # through the import map, so match on the method name.
+                self.report(
+                    node,
+                    f"`.{node.func.attr}(...)` yields filesystem order; "
+                    "wrap in sorted(...)",
+                )
+        self.generic_visit(node)

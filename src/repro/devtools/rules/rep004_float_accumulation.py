@@ -1,0 +1,50 @@
+"""REP004 — naive ``sum()`` float accumulation in numeric hot paths.
+
+Left-to-right ``sum()`` over floats accumulates rounding error that
+depends on operand order; in the EVT / bootstrap / stats code that
+error feeds fitted tail parameters and p-values.  Inside the scoped
+numeric paths (see ``LintConfig.float_sum_paths``) accumulation must
+use ``math.fsum`` (exactly rounded) or a numpy reduction (pairwise
+summation, and bit-stable for a fixed array).
+
+Integer *counting* idioms are exempt: ``sum(1 for ...)`` and other
+generators whose summand is an integer literal are exact in int
+arithmetic and stay readable as counts.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+
+def _is_integer_count(call: ast.Call) -> bool:
+    """True for ``sum(<int literal> for ...)`` counting idioms."""
+    if not call.args:
+        return False
+    arg = call.args[0]
+    if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+        elt = arg.elt
+        return isinstance(elt, ast.Constant) and isinstance(elt.value, int)
+    return False
+
+
+class FloatAccumulationRule(Rule):
+    rule_id = "REP004"
+    summary = "naive sum() float accumulation; use math.fsum or numpy"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "sum"
+            and not _is_integer_count(node)
+        ):
+            self.report(
+                node,
+                "naive builtin sum() accumulates order-dependent rounding "
+                "error in a numeric hot path; use math.fsum(...) or a "
+                "numpy reduction",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,120 @@
+"""REP005 — import-time registry / global-state mutation.
+
+Registration and other global mutation at import time makes behaviour
+depend on *import order* — the classic "works in the test suite, fails
+in the CLI" failure, and a reproducibility hazard once campaigns are
+driven from configs that import lazily.  Registry modules (scoped via
+``LintConfig.registry_modules``) are exempt: registering their own
+built-ins at import is their documented contract, and a module calling
+its *locally defined* ``register_*`` function is likewise fine.
+
+Flagged at module top level (including inside top-level ``if`` /
+``try`` / loop bodies):
+
+* calls to **imported** ``register*`` functions — cross-module
+  registration belongs in the target registry module;
+* attribute / subscript stores onto imported modules
+  (``other.CONSTANT = ...``, ``other.TABLE[k] = v``);
+* ``os.environ`` writes and ``sys.path`` mutation;
+* ``random.seed`` / ``numpy.random.seed`` (global RNG seeding).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..findings import Finding
+from .base import Rule, qualified_call_name
+
+_SEED_CALLS = frozenset({"random.seed", "numpy.random.seed"})
+_SYS_PATH_METHODS = frozenset({"append", "insert", "extend", "remove"})
+
+
+class ImportTimeStateRule(Rule):
+    rule_id = "REP005"
+    summary = "import-time registry/global-state mutation outside registries"
+
+    def check(self, tree: ast.Module) -> List[Finding]:
+        self._local_defs: Set[str] = {
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for stmt in tree.body:
+            self._check_toplevel(stmt)
+        return sorted(self.findings, key=Finding.key)
+
+    def _check_toplevel(self, stmt: ast.stmt) -> None:
+        # Recurse through top-level control flow, but never into
+        # function/class bodies: those run at call time, not import.
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, (ast.If, ast.For, ast.While, ast.With, ast.Try)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._check_toplevel(child)
+            for handler in getattr(stmt, "handlers", []):
+                for child in handler.body:
+                    self._check_toplevel(child)
+            for block in (getattr(stmt, "orelse", []), getattr(stmt, "finalbody", [])):
+                for child in block:
+                    self._check_toplevel(child)
+            return
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    self._check_store(target)
+
+    def _check_call(self, node: ast.Call) -> None:
+        qualified = qualified_call_name(node, self.imports)
+        if qualified in _SEED_CALLS:
+            self.report(node, f"global RNG seeding `{qualified}` at import time")
+            return
+        if qualified is not None:
+            tail = qualified.rsplit(".", 1)[1]
+            if tail.startswith("register"):
+                self.report(
+                    node,
+                    f"import-time call to imported `{qualified}`; register "
+                    "entries from the owning registry module instead",
+                )
+                return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id.startswith("register"):
+            if func.id not in self._local_defs and self.imports.resolve(func) is None:
+                # Neither defined here nor an import we can attribute:
+                # stay silent rather than guess.
+                return
+            if func.id in self._local_defs:
+                return  # a registry module registering its own built-ins
+        if isinstance(func, ast.Attribute):
+            owner = self.imports.resolve(func.value)
+            if owner == "os.environ" and func.attr in ("setdefault", "update", "pop"):
+                self.report(node, "os.environ mutation at import time")
+            elif owner == "sys.path" and func.attr in _SYS_PATH_METHODS:
+                self.report(node, "sys.path mutation at import time")
+
+    def _check_store(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Attribute):
+            owner = self.imports.resolve(target.value)
+            if owner is not None:
+                self.report(
+                    target,
+                    f"import-time attribute store onto imported `{owner}`",
+                )
+        elif isinstance(target, ast.Subscript):
+            owner = self.imports.resolve(target.value)
+            if owner is not None:
+                self.report(
+                    target,
+                    f"import-time subscript store into imported `{owner}`",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(element)

@@ -1,0 +1,73 @@
+"""REP006 — mutable default arguments and bare ``except``.
+
+Mutable defaults are shared across calls: a list/dict/set default that
+one campaign mutates leaks into the next, which is both a classic bug
+and a determinism hazard (results depend on call history).  Bare
+``except:`` swallows ``KeyboardInterrupt`` / ``SystemExit`` and hides
+the real failure — sharded workers must die loudly, not merge partial
+results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .base import Rule
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class DefaultsExceptsRule(Rule):
+    rule_id = "REP006"
+    summary = "mutable default argument or bare except"
+
+    def _check_defaults(
+        self, node: ast.AST, defaults: Iterable[ast.expr]
+    ) -> None:
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.report(
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the function",
+                )
+
+    def _visit_function(self, node: ast.AST, args: ast.arguments) -> None:
+        self._check_defaults(node, args.defaults)
+        self._check_defaults(node, [d for d in args.kw_defaults if d is not None])
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.args)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_function(node, node.args)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare `except:` swallows SystemExit/KeyboardInterrupt and "
+                "hides failures; catch a concrete exception type",
+            )
+        self.generic_visit(node)

@@ -36,7 +36,7 @@ from .measurements import ExecutionTimeSample, PathSamples
 from .records import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
-    from ..api.workload import RunObservation
+    from ..api.workload import BatchPlan, PreparedTrace, RunObservation
     from ..core.convergence import CampaignConvergenceSummary, ConvergencePolicy
 
 __all__ = ["CampaignConfig", "CampaignResult", "MeasurementCampaign"]
@@ -175,19 +175,22 @@ class _IndexedProgramWorkload:
             platform, self._prepared_indexed(run_index, input_seed), run_seed
         )
 
-    def _prepared_indexed(self, run_index: int, input_seed: int):
+    def _prepared_indexed(
+        self, run_index: int, input_seed: int
+    ) -> "PreparedTrace":
         inner = self._inner
-        if self._env_fn is not None:
+        env_fn = self._env_fn
+        if env_fn is not None:
             # Index-keyed environments must not share the seed-keyed
             # trace cache (with vary_inputs=False every run carries the
             # same input seed but a different env) — key by run index.
-            inner.env_fn = lambda _seed: self._env_fn(run_index)
+            inner.env_fn = lambda _seed: env_fn(run_index)
             return inner._prepared(input_seed, cache_key=("idx", run_index))
         return inner._prepared(input_seed)
 
     def plan_batch(
         self, platform: Platform, run_index: int, run_seed: int, input_seed: int
-    ):
+    ) -> "BatchPlan":
         """Batchable form of :meth:`execute_indexed`.
 
         Index-keyed environments yield per-run singleton groups (each

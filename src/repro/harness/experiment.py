@@ -179,7 +179,7 @@ def compare_det_rand(
     det = det_platform or leon3_det()
     rand = rand_platform or leon3_rand()
 
-    def wrap(name: str):
+    def wrap(name: str) -> Optional[Callable[[int, int], None]]:
         if progress is None:
             return None
         return lambda done, total: progress(name, done, total)
@@ -267,7 +267,7 @@ class ScenarioComparison:
         ci: Optional[float],
         bootstrap: int,
         bootstrap_kind: str,
-    ):
+    ) -> Optional["AnalysisResult"]:
         """The scenario's analysis result (None if unfittable)."""
         from ..core.analysis import AnalysisConfig, AnalysisPipeline
 
@@ -295,8 +295,8 @@ def compare_scenarios(
     runs: int = 300,
     base_seed: int = 2017,
     shards: int = 1,
-    workload_kwargs: Optional[dict] = None,
-    platform_kwargs: Optional[dict] = None,
+    workload_kwargs: Optional[Dict[str, object]] = None,
+    platform_kwargs: Optional[Dict[str, object]] = None,
     progress: Optional[Callable[[str, int, int], None]] = None,
     convergence: Optional["ConvergencePolicy"] = None,
     backend: str = "auto",
@@ -328,7 +328,7 @@ def compare_scenarios(
         )
         wrapped = None
         if progress is not None:
-            def wrapped(done, total, _name=name):
+            def wrapped(done: int, total: int, _name: str = name) -> None:
                 progress(_name, done, total)
         results[name] = runner.run(
             scenario, platform, progress=wrapped, convergence=convergence

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, Iterator, List
 
 __all__ = ["ExecutionTimeSample", "PathSamples"]
 
@@ -48,7 +48,7 @@ class ExecutionTimeSample:
     def __len__(self) -> int:
         return len(self.values)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         return iter(self.values)
 
     # -- summaries -------------------------------------------------------
@@ -177,12 +177,14 @@ class PathSamples:
 
     # -- persistence -------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """JSON-safe dictionary form (per-path values, collection order)."""
+        """JSON-safe dictionary form (per-path values, sorted by path
+        key so serialized artifacts are byte-stable regardless of
+        collection order)."""
         return {
             "label": self.label,
             "paths": {
                 key: {"label": sample.label, "values": sample.values}
-                for key, sample in self.paths.items()
+                for key, sample in sorted(self.paths.items())
             },
         }
 

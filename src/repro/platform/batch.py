@@ -53,11 +53,13 @@ import os
 import sys
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .bus import BusConfig
 from .cache import CacheConfig, CacheStats
 from .core import _FP_OPS, CoreConfig, RunResult
 from .fpu import Fpu, FpuStats
+from .memory import MemoryConfig
 from .pipeline import PipelineModel, PipelineStats
 from .prng import _MAXIMAL_TAPS, CombinedLfsrPrng, SplitMix64, derive_seed
 from .soc import Platform
@@ -81,12 +83,12 @@ if "numpy" not in sys.modules:
         "MKL_NUM_THREADS",
         "NUMEXPR_NUM_THREADS",
     ):
-        os.environ.setdefault(_var, "1")
+        os.environ.setdefault(_var, "1")  # repro-lint: disable=REP002,REP005 -- pins BLAS/OMP to one thread before numpy loads; a determinism fix (keeps batch results thread-count independent), honouring any explicit user override
 
 try:  # numpy is optional: without it every campaign stays scalar.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised via monkeypatching
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 __all__ = [
     "BatchUnsupported",
@@ -313,7 +315,7 @@ class _VecPrng:
             self._out_shifts.append(np.uint32(degree - 1))
             self._full_masks.append(np.uint32((1 << degree) - 1))
 
-    def next_bits(self, nbits: int, mask) -> "object":
+    def next_bits(self, nbits: int, mask: Any) -> Any:
         """``n``-bit draws for the masked lanes (others keep their state)."""
         np = _np
         one = np.uint32(1)
@@ -333,7 +335,7 @@ class _VecPrng:
             value = (value << 1) | combined.astype(np.int64)
         return value
 
-    def randint(self, n: int, mask) -> "object":
+    def randint(self, n: int, mask: Any) -> Any:
         """Masked uniform draw in ``[0, n)``; per-lane rejection exactly
         as the scalar ``CombinedLfsrPrng.randint``."""
         np = _np
@@ -357,12 +359,12 @@ class _VecRandomRepl:
         self._prng = prng
         self._ways = num_ways
 
-    def touch(self, set_index, way, mask) -> None:
+    def touch(self, set_index: Any, way: Any, mask: Any) -> None:
         return None
 
     fill = touch
 
-    def victim(self, set_index, mask):
+    def victim(self, set_index: Any, mask: Any) -> Any:
         return self._prng.randint(self._ways, mask)
 
 
@@ -382,7 +384,7 @@ class _VecLruRepl:
         self._counter = num_ways
         self._rows = np.arange(runs)
 
-    def touch(self, set_index, way, mask) -> None:
+    def touch(self, set_index: Any, way: Any, mask: Any) -> None:
         np = _np
         lanes = np.flatnonzero(mask)
         if lanes.size:
@@ -392,7 +394,7 @@ class _VecLruRepl:
 
     fill = touch
 
-    def victim(self, set_index, mask):
+    def victim(self, set_index: Any, mask: Any) -> Any:
         if isinstance(set_index, int):
             per_set = self._ts[:, set_index]
         else:
@@ -409,12 +411,12 @@ class _VecRoundRobinRepl:
         self._ways = num_ways
         self._rows = np.arange(runs)
 
-    def touch(self, set_index, way, mask) -> None:
+    def touch(self, set_index: Any, way: Any, mask: Any) -> None:
         return None
 
     fill = touch
 
-    def victim(self, set_index, mask):
+    def victim(self, set_index: Any, mask: Any) -> Any:
         np = _np
         if isinstance(set_index, int):
             way = self._ptr[:, set_index].copy()
@@ -427,7 +429,13 @@ class _VecRoundRobinRepl:
         return way
 
 
-def _make_vec_replacement(name, runs, num_sets, num_ways, prng):
+def _make_vec_replacement(
+    name: str,
+    runs: int,
+    num_sets: int,
+    num_ways: int,
+    prng: Optional[_VecPrng],
+) -> Any:
     if name == "random":
         return _VecRandomRepl(prng, num_ways)
     if name == "lru":
@@ -437,7 +445,7 @@ def _make_vec_replacement(name, runs, num_sets, num_ways, prng):
     raise BatchUnsupported(f"replacement {name!r} is not vectorized")
 
 
-def _mix_lanes(value: int, seeds_u64):
+def _mix_lanes(value: int, seeds_u64: Any) -> Any:
     """Vectorized ``placement._mix``: one 64-bit finalizer per lane."""
     np = _np
     base = np.uint64((value * _GOLDEN) & _M64)
@@ -467,7 +475,7 @@ class _VecCache:
         self.valid = np.zeros((runs, self.num_sets), dtype=np.int64)
         self._placement = cfg.placement
         self._seeds = np.array([s & _M64 for s in seeds], dtype=np.uint64)
-        self._rotations: dict = {}
+        self._rotations: Dict[int, Any] = {}
         prng = _VecPrng(seeds) if cfg.replacement == "random" else None
         self.repl = _make_vec_replacement(
             cfg.replacement, runs, self.num_sets, self.ways, prng
@@ -479,7 +487,7 @@ class _VecCache:
         self.evictions = np.zeros(runs, dtype=np.int64)
 
     # -- placement -----------------------------------------------------
-    def _set_index(self, line: int):
+    def _set_index(self, line: int) -> Any:
         """Set index of ``line`` — an int (modulo) or an (R,) array."""
         np = _np
         sets = self.num_sets
@@ -502,13 +510,13 @@ class _VecCache:
             self._rotations[line] = cached
         return cached
 
-    def _gather_ways(self, set_index):
+    def _gather_ways(self, set_index: Any) -> Any:
         if isinstance(set_index, int):
             return self.tags[:, set_index]
         return self.tags[self._rows, set_index]
 
     # -- accesses ------------------------------------------------------
-    def _allocate(self, set_index, line: int, miss) -> None:
+    def _allocate(self, set_index: Any, line: int, miss: Any) -> None:
         np = _np
         if isinstance(set_index, int):
             counts = self.valid[:, set_index]
@@ -533,7 +541,7 @@ class _VecCache:
             self.valid[free_lanes, free_sets] += 1
         self.repl.fill(set_index, way, miss)
 
-    def read(self, byte_address: int):
+    def read(self, byte_address: int) -> Any:
         """Vectorized ``Cache.read``; returns the per-run hit mask."""
         line = byte_address >> self.line_shift
         set_index = self._set_index(line)
@@ -549,7 +557,7 @@ class _VecCache:
             self._allocate(set_index, line, miss)
         return hit
 
-    def write(self, byte_address: int):
+    def write(self, byte_address: int) -> Any:
         """Vectorized ``Cache.write``; returns the per-run hit mask."""
         line = byte_address >> self.line_shift
         set_index = self._set_index(line)
@@ -594,7 +602,7 @@ class _VecTlb:
         self.hits = np.zeros(runs, dtype=np.int64)
         self.misses = np.zeros(runs, dtype=np.int64)
 
-    def lookup(self, page: int):
+    def lookup(self, page: int) -> Any:
         """Vectorized ``Tlb.lookup``; returns per-run added latency."""
         np = _np
         matches = self.entries == page
@@ -624,7 +632,7 @@ class _VecTlb:
 class _VecBus:
     """Single-master-per-engine view of the shared bus, per-run horizon."""
 
-    def __init__(self, cfg, runs: int, core_id: int) -> None:
+    def __init__(self, cfg: BusConfig, runs: int, core_id: int) -> None:
         np = _np
         self.cfg = cfg
         self.core_id = core_id
@@ -636,7 +644,7 @@ class _VecBus:
         self._line_cost = cfg.line_transfer_cycles + cfg.arbitration_cycles
         self._word_cost = cfg.word_transfer_cycles + cfg.arbitration_cycles
 
-    def request(self, now, is_line: bool, mask):
+    def request(self, now: Any, is_line: bool, mask: Any) -> Any:
         """Vectorized ``Bus.request`` for the masked lanes."""
         np = _np
         cfg = self.cfg
@@ -661,7 +669,7 @@ class _VecBus:
 class _VecMemory:
     """DRAM controller with per-run open-row and refresh state."""
 
-    def __init__(self, cfg, runs: int) -> None:
+    def __init__(self, cfg: MemoryConfig, runs: int) -> None:
         np = _np
         self.cfg = cfg
         self._closed = cfg.page_policy == "closed"
@@ -669,7 +677,7 @@ class _VecMemory:
             self.open_rows = np.full((runs, cfg.num_banks), -1, dtype=np.int64)
         self.total_cycles = np.zeros(runs, dtype=np.int64)
 
-    def access(self, byte_address: int, is_write: bool, now, mask):
+    def access(self, byte_address: int, is_write: bool, now: Any, mask: Any) -> Any:
         """Vectorized ``MemoryController.access`` for the masked lanes."""
         np = _np
         cfg = self.cfg
@@ -714,7 +722,7 @@ class _VecStoreBuffer:
         self.count = np.zeros(runs, dtype=np.int64)
         self._rows = np.arange(runs)
 
-    def drain(self, now) -> None:
+    def drain(self, now: Any) -> None:
         """Pop every leading entry already drained at ``now``, per run."""
         np = _np
         while True:
@@ -728,7 +736,7 @@ class _VecStoreBuffer:
             self.head = np.where(pop, (self.head + 1) % self.depth, self.head)
             self.count -= pop
 
-    def stall_if_full(self, now):
+    def stall_if_full(self, now: Any) -> Any:
         """Scalar semantics: a store into a full buffer waits for the
         oldest entry; returns the (possibly advanced) ``now``."""
         np = _np
@@ -740,7 +748,7 @@ class _VecStoreBuffer:
             self.count -= full
         return now
 
-    def push(self, ready_at) -> None:
+    def push(self, ready_at: Any) -> None:
         """Append one entry on every lane (store events are trace-pure)."""
         tail = (self.head + self.count) % self.depth
         self.ready[self._rows, tail] = ready_at
@@ -773,7 +781,7 @@ class BatchRunOutcome:
 class _BatchEngine:
     """All per-run divergent state of one batched campaign stride."""
 
-    def __init__(self, platform: Platform, seeds: Sequence[int], core_id: int):
+    def __init__(self, platform: Platform, seeds: Sequence[int], core_id: int) -> None:
         cfg = platform.config
         core_cfg = cfg.core
         self.core_cfg = core_cfg

@@ -33,7 +33,7 @@ Micro-architectural shortcuts, all timing-neutral or conservative:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, List
 
 from .bus import Bus
 from .cache import Cache, CacheConfig, CacheStats
@@ -134,7 +134,7 @@ class Core:
         self.dtlb = Tlb(config.dtlb, prng=CombinedLfsrPrng(4), name=f"core{core_id}.dtlb")
         self.fpu = Fpu(config.fpu)
         self.pipeline = PipelineModel(config.pipeline)
-        self._store_buffer_ready: list = []
+        self._store_buffer_ready: List[int] = []
 
     # ------------------------------------------------------------------
     # Run protocol

@@ -23,7 +23,7 @@ jitter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 __all__ = ["MemoryConfig", "MemoryStats", "MemoryController"]
 
@@ -120,7 +120,7 @@ class MemoryController:
         else:
             self._refresh_phase = 0
 
-    def _bank_and_row(self, byte_address: int) -> tuple:
+    def _bank_and_row(self, byte_address: int) -> Tuple[int, int]:
         row_index = byte_address // self.config.row_bytes
         bank = row_index % self.config.num_banks
         row = row_index // self.config.num_banks

@@ -19,7 +19,7 @@ key of the paper's per-path MBPTA.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..platform.trace import InstrKind, Trace, TraceBuilder
 from .dsl import (
@@ -29,6 +29,7 @@ from .dsl import (
     Env,
     FpuOp,
     If,
+    IndexExpr,
     IntLongOp,
     LoadOp,
     Loop,
@@ -119,7 +120,9 @@ class _Emitter:
             self._size_cache[key] = code_size_instructions(nodes)
         return self._size_cache[key]
 
-    def _data_address(self, program: Program, array: str, index_expr) -> int:
+    def _data_address(
+        self, program: Program, array: str, index_expr: IndexExpr
+    ) -> int:
         index = resolve_index(index_expr, self.env)
         decl = self.image.array_decl(program.name, array)
         if not 0 <= index < decl.elements:
@@ -130,7 +133,7 @@ class _Emitter:
         base = self.image.array_base(program.name, array)
         return base + index * decl.element_bytes
 
-    def _emit(self, kind: InstrKind, **kwargs) -> None:
+    def _emit(self, kind: InstrKind, **kwargs: Any) -> None:
         self.builder.emit(kind, **kwargs)
         if kind == InstrKind.LOAD:
             self._since_load = 0

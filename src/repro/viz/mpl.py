@@ -16,7 +16,7 @@ and on machines without a display.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 __all__ = ["matplotlib_available", "pwcet_figure", "contention_figure"]
 
@@ -30,7 +30,7 @@ def matplotlib_available() -> bool:
     return True
 
 
-def _agg_pyplot():
+def _agg_pyplot() -> Any:
     """Import pyplot on the headless Agg backend (or raise clearly)."""
     try:
         import matplotlib
@@ -51,7 +51,7 @@ def pwcet_figure(
     band_points: Optional[Sequence[Tuple[float, float, float]]] = None,
     title: str = "pWCET projection",
     path: Optional[str] = None,
-):
+) -> Any:
     """Figure 2 as a matplotlib figure (returned; saved when ``path``).
 
     ``curve_points`` — (execution time, probability); ``observed_points``
@@ -103,7 +103,7 @@ def contention_figure(
     baseline: str = "isolation",
     title: str = "contention scenarios",
     path: Optional[str] = None,
-):
+) -> Any:
     """The contention comparison as grouped bars (saved when ``path``).
 
     ``by_scenario`` rows follow :func:`repro.viz.figures.contention_panel`:

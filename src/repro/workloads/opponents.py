@@ -26,7 +26,7 @@ shared resources are timing-modelled, not content-modelled.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from ..platform.prng import SplitMix64
 from ..platform.trace import InstrKind, Trace
@@ -52,7 +52,7 @@ _CODE_REGION_SPAN = 0x0010_0000
 _INSTRUCTION_BYTES = 4
 
 
-def _regions(core_id: int) -> tuple:
+def _regions(core_id: int) -> Tuple[int, int]:
     """(code base, data base) of the opponent running on ``core_id``."""
     if core_id < 0:
         raise ValueError("core_id must be >= 0")

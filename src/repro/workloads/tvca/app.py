@@ -41,7 +41,7 @@ from .controller import (
     SensorProcessor,
 )
 from .plant import PlantConfig, TvcPlant
-from .scheduler import TaskSpec, build_jobs, simulate_timeline
+from .scheduler import Job, TaskSpec, build_jobs, simulate_timeline
 from .tasks import (
     DEFAULT_AERO_ELEMENTS,
     DEFAULT_AERO_WINDOW,
@@ -134,7 +134,7 @@ class TvcaRunPlan:
     co-schedule it against opponents.
     """
 
-    jobs: Tuple
+    jobs: Tuple["Job", ...]
     traces: Tuple[Trace, ...]
     signatures: Tuple[str, ...]
     path_class: str

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ...platform.fpu import operand_class_of
 from .plant import SensorReading
@@ -46,7 +46,7 @@ def _lowpass_taps(n: int) -> List[float]:
 class FirFilter:
     """Fixed-coefficient FIR with an internal delay line."""
 
-    def __init__(self, taps: Sequence[float] = None) -> None:
+    def __init__(self, taps: Optional[Sequence[float]] = None) -> None:
         self.taps: List[float] = list(taps) if taps is not None else _lowpass_taps(FIR_TAPS)
         self.delay: List[float] = [0.0] * len(self.taps)
 

@@ -168,7 +168,7 @@ class TestPipeline:
         ).run(samples)
         rows = result.band_table()
         assert rows
-        for p, lo, hi in rows:
+        for _p, lo, hi in rows:
             assert lo <= hi
             # Path B dominates; the envelope band must sit at its level.
             assert hi >= 12000.0

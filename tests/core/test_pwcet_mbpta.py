@@ -181,9 +181,9 @@ class TestMBPTAFacade:
 
     def test_per_path_analysis(self):
         samples = PathSamples(label="multi")
-        for i, v in enumerate(cache_like_samples(1200, seed=44)):
+        for v in cache_like_samples(1200, seed=44):
             samples.add("path-A", v)
-        for i, v in enumerate(cache_like_samples(600, seed=45, base=12000.0)):
+        for v in cache_like_samples(600, seed=45, base=12000.0):
             samples.add("path-B", v)
         result = MBPTAAnalysis().analyse(samples)
         assert set(result.paths) == {"path-A", "path-B"}

@@ -1,0 +1,21 @@
+"""REP002 failing fixture: wall-clock and environment reads."""
+
+import os
+import time
+from datetime import datetime
+
+
+def stamp_run(record: dict) -> dict:
+    record["started"] = time.time()
+    record["pretty"] = datetime.now().isoformat()
+    return record
+
+
+def configured_runs() -> int:
+    if "REPRO_RUNS" in os.environ:
+        return int(os.environ["REPRO_RUNS"])
+    return int(os.getenv("REPRO_DEFAULT_RUNS", "100"))
+
+
+def tuned() -> str:
+    return os.environ.get("REPRO_TUNING", "off")

@@ -1,0 +1,13 @@
+"""REP002 passing fixture: host state threaded in from the entry
+point; writes that pin a child environment are allowed."""
+
+import os
+
+
+def stamp_run(record: dict, started_at: float) -> dict:
+    record["started"] = started_at
+    return record
+
+
+def pin_child_threads() -> None:
+    os.environ["OMP_NUM_THREADS"] = "1"

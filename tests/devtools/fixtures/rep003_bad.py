@@ -1,0 +1,27 @@
+"""REP003 failing fixture: unordered iteration reaching output."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def merge(shards):
+    merged = []
+    for shard in set(shards):
+        merged.extend(shard)
+    return merged
+
+
+def labels(names):
+    return [name.upper() for name in frozenset(names)]
+
+
+def listing(root: str):
+    entries = os.listdir(root)
+    patterns = glob.glob(root + "/*.json")
+    nested = [p for p in Path(root).iterdir()]
+    return entries, patterns, nested
+
+
+def splat(values):
+    return [*{v for v in values}]

@@ -1,0 +1,28 @@
+"""REP003 passing fixture: sorted before order can leak; order-
+insensitive reductions over sets are fine."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def merge(shards):
+    merged = []
+    for shard in sorted(set(shards)):
+        merged.extend(shard)
+    return merged
+
+
+def distinct(values) -> int:
+    return len(set(values))
+
+
+def widest(values) -> float:
+    return max(frozenset(values))
+
+
+def listing(root: str):
+    entries = sorted(os.listdir(root))
+    patterns = sorted(glob.glob(root + "/*.json"))
+    nested = sorted(Path(root).iterdir())
+    return entries, patterns, nested

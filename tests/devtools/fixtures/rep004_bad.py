@@ -1,0 +1,10 @@
+"""REP004 failing fixture (only in a numeric hot path): naive float
+accumulation."""
+
+
+def pwm_b0(ordered) -> float:
+    return sum(ordered) / len(ordered)
+
+
+def variance(values, mean: float) -> float:
+    return sum((v - mean) ** 2 for v in values) / (len(values) - 1)

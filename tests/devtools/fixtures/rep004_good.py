@@ -1,0 +1,18 @@
+"""REP004 passing fixture: exact accumulation, and integer counting
+idioms stay allowed."""
+
+import math
+
+import numpy as np
+
+
+def pwm_b0(ordered) -> float:
+    return math.fsum(ordered) / len(ordered)
+
+
+def variance(values, mean: float) -> float:
+    return float(np.sum((np.asarray(values) - mean) ** 2)) / (len(values) - 1)
+
+
+def exceedances(values, threshold: float) -> int:
+    return sum(1 for v in values if v > threshold)

@@ -1,0 +1,23 @@
+"""REP005 failing fixture: import-time registration and global
+mutation from a non-registry module."""
+
+import sys
+
+import numpy.random
+import random
+
+from repro.api.registry import register_workload
+
+import rep005_good as other
+
+
+def _make():
+    return None
+
+
+register_workload("sneaky", _make)
+other.TABLE = {}
+other.LIMITS["max"] = 10
+sys.path.append("/tmp/plugins")
+random.seed(1234)
+numpy.random.seed(99)

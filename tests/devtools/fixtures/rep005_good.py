@@ -1,0 +1,23 @@
+"""REP005 passing fixture: a registry module registering its own
+built-ins via a locally defined function, and call-time registration."""
+
+_TABLE = {}
+
+TABLE = {}
+LIMITS = {"max": 1}
+
+
+def register_thing(name: str, factory) -> None:
+    _TABLE[name] = factory
+
+
+def _builtin():
+    return None
+
+
+register_thing("builtin", _builtin)
+
+
+def install_plugin(registry, name: str, factory) -> None:
+    # Call-time (not import-time) registration is fine anywhere.
+    registry.register_workload(name, factory)

@@ -1,0 +1,22 @@
+"""REP006 failing fixture: mutable defaults and a bare except."""
+
+
+def collect(record, bucket=[]):
+    bucket.append(record)
+    return bucket
+
+
+def index(pairs, table={}):
+    table.update(pairs)
+    return table
+
+
+def tags(extra=set()):
+    return extra
+
+
+def guarded(action):
+    try:
+        return action()
+    except:
+        return None

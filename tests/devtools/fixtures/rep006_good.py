@@ -1,0 +1,17 @@
+"""REP006 passing fixture: None defaults, concrete exception types."""
+
+from typing import Optional
+
+
+def collect(record, bucket: Optional[list] = None) -> list:
+    if bucket is None:
+        bucket = []
+    bucket.append(record)
+    return bucket
+
+
+def guarded(action):
+    try:
+        return action()
+    except ValueError:
+        return None

@@ -1,0 +1,108 @@
+"""CLI behaviour: exit codes, text/JSON output, the JSON schema, and
+the self-gate (the repository's own tree must lint clean)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.engine import SCHEMA_VERSION
+from repro.devtools.lint import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+CLEAN = "def add(a: int, b: int) -> int:\n    return a + b\n"
+DIRTY = "import random\n\n\ndef f():\n    return random.random()\n"
+
+
+def _write(tmp_path: Path, name: str, source: str) -> Path:
+    target = tmp_path / name
+    target.write_text(source)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, "ok.py", CLEAN)
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        _write(tmp_path, "bad.py", DIRTY)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        _write(tmp_path, "ok.py", CLEAN)
+        assert main([str(tmp_path), "--select", "REP942"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert rule_id in out
+
+
+class TestJsonOutput:
+    def _run_json(self, capsys, argv):
+        code = main(argv + ["--format", "json"])
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_schema(self, tmp_path, capsys):
+        _write(tmp_path, "bad.py", DIRTY)
+        code, payload = self._run_json(capsys, [str(tmp_path)])
+        assert code == 1
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"REP001": 1}
+        assert isinstance(payload["suppressed"], list)
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "rule", "message", "path", "line", "col", "suppressed",
+        }
+        assert finding["rule"] == "REP001"
+        assert finding["line"] == 5
+        assert finding["suppressed"] is False
+
+    def test_suppressed_findings_carry_justification(self, tmp_path, capsys):
+        source = (
+            "import random\n"
+            "\n"
+            "\n"
+            "def f():\n"
+            "    return random.random()"
+            "  # repro-lint: disable=REP001 -- fixture exercises pragmas\n"
+        )
+        _write(tmp_path, "pragma.py", source)
+        code, payload = self._run_json(capsys, [str(tmp_path)])
+        assert code == 0
+        assert payload["findings"] == []
+        (suppressed,) = payload["suppressed"]
+        assert suppressed["suppressed"] is True
+        assert suppressed["justification"] == "fixture exercises pragmas"
+
+    def test_output_is_deterministic(self, tmp_path, capsys):
+        _write(tmp_path, "a.py", DIRTY)
+        _write(tmp_path, "b.py", DIRTY)
+        _, first = self._run_json(capsys, [str(tmp_path)])
+        _, second = self._run_json(capsys, [str(tmp_path)])
+        assert first == second
+        assert [f["path"] for f in first["findings"]] == sorted(
+            f["path"] for f in first["findings"]
+        )
+
+
+class TestSelfGate:
+    @pytest.mark.skipif(not REPO_SRC.is_dir(), reason="requires src checkout")
+    def test_repository_lints_clean(self, capsys):
+        """The determinism gate on our own tree, as a tier-1 test: any
+        new violation fails the suite, not just the CI lint job."""
+        assert main([str(REPO_SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out

@@ -1,0 +1,104 @@
+"""Pragma handling: justified suppression, the REP000 error class
+(missing justification, unknown rules, unused pragmas), and docstring
+immunity."""
+
+from typing import Optional
+
+from repro.devtools import LintConfig, LintEngine
+from repro.devtools.pragmas import PRAGMA_ERROR_RULE
+
+BAD_LINE = "values = [v for v in set(data)]"
+PATH = "src/repro/api/merge.py"
+
+
+def _lint(source: str, config: Optional[LintConfig] = None):
+    engine = LintEngine(config or LintConfig())
+    return engine.check_source(source, path=PATH)
+
+
+class TestSuppression:
+    def test_justified_pragma_suppresses(self):
+        source = (
+            BAD_LINE
+            + "  # repro-lint: disable=REP003 -- order normalised downstream\n"
+        )
+        live, suppressed = _lint(source)
+        assert live == []
+        assert len(suppressed) == 1
+        assert suppressed[0].rule == "REP003"
+        assert suppressed[0].suppressed
+        assert suppressed[0].justification == "order normalised downstream"
+
+    def test_pragma_only_covers_listed_rules(self):
+        source = (
+            BAD_LINE + "  # repro-lint: disable=REP001 -- wrong rule listed\n"
+        )
+        live, suppressed = _lint(source)
+        assert [f.rule for f in live if f.rule == "REP003"]
+        # The pragma suppressed nothing, so it is also flagged as unused.
+        assert [f for f in live if f.rule == PRAGMA_ERROR_RULE]
+        assert suppressed == []
+
+    def test_multi_rule_pragma(self):
+        # Import-time setdefault trips both REP002 (env read) and
+        # REP005 (import-time mutation); one pragma covers both.
+        source = (
+            "import os\n"
+            "flag = os.environ.setdefault(  "
+            "# repro-lint: disable=REP002,REP005 -- pins child threads\n"
+            '    "X", "1"\n'
+            ")\n"
+        )
+        live, suppressed = _lint(source)
+        assert live == [], [f.render() for f in live]
+        assert sorted(f.rule for f in suppressed) == ["REP002", "REP005"]
+
+
+class TestPragmaErrors:
+    def test_missing_justification_is_an_error(self):
+        source = BAD_LINE + "  # repro-lint: disable=REP003\n"
+        live, suppressed = _lint(source)
+        rules = [f.rule for f in live]
+        assert PRAGMA_ERROR_RULE in rules  # the unjustified pragma
+        assert "REP003" in rules  # and it suppressed nothing
+        assert suppressed == []
+
+    def test_unknown_rule_is_an_error(self):
+        source = BAD_LINE + "  # repro-lint: disable=REP742 -- nonsense\n"
+        live, _ = _lint(source)
+        assert any(
+            f.rule == PRAGMA_ERROR_RULE and "REP742" in f.message for f in live
+        )
+
+    def test_empty_disable_list_is_an_error(self):
+        source = "x = 1  # repro-lint: disable= -- why\n"
+        live, _ = _lint(source)
+        assert [f.rule for f in live] == [PRAGMA_ERROR_RULE]
+
+    def test_unused_pragma_is_an_error(self):
+        source = "x = 1  # repro-lint: disable=REP003 -- stale justification\n"
+        live, _ = _lint(source)
+        assert len(live) == 1
+        assert live[0].rule == PRAGMA_ERROR_RULE
+        assert "unused" in live[0].message
+
+    def test_unused_pragma_not_reported_when_rule_deselected(self):
+        source = "x = 1  # repro-lint: disable=REP003 -- stale justification\n"
+        config = LintConfig().with_selection(select=frozenset({"REP001"}))
+        live, _ = LintEngine(config).check_source(source, path=PATH)
+        assert live == []
+
+
+class TestDocstringImmunity:
+    def test_pragma_example_in_docstring_is_ignored(self):
+        source = (
+            '"""Docs.\n'
+            "\n"
+            "Example::\n"
+            "\n"
+            "    # repro-lint: disable=REP003 -- example only\n"
+            '"""\n'
+            "x = 1\n"
+        )
+        live, suppressed = _lint(source)
+        assert live == [] and suppressed == []
