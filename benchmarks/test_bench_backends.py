@@ -10,19 +10,26 @@ Measures campaign runs/sec under ``backend="scalar"`` and
   the Figure-3 comparison).  A deterministic platform consumes no
   per-run randomness, so the engine's degenerate path measures one
   reference run and broadcasts it.
+* ``contention_rand`` — a co-scheduled contention campaign
+  (table-walk under a memory-hammer opponent on a 4-core RAND
+  platform), the ``repro contend`` shape.  The concurrent batch engine
+  advances every replication's min-``(now, core_id)`` interleave in
+  lockstep.
 
-Both campaigns fix the workload inputs (``vary_inputs=False``): platform
+All campaigns fix the workload inputs (``vary_inputs=False``): platform
 randomization — the axis MBPTA analyses — is exactly the variation
-batching accelerates, because all replications then share one trace.
-With per-run varied inputs every run owns a distinct trace and the
-``auto`` backend falls back to the scalar interpreter (bit-identically),
-so the backend comparison is made where batch applies.
+batching accelerates, because all replications then share one trace
+set (opponent traces derive from the input seed, so varied inputs
+would split contention runs into singleton groups).  With per-run
+varied inputs every run owns a distinct trace and the ``auto`` backend
+falls back to the scalar interpreter (bit-identically), so the backend
+comparison is made where batch applies.
 
 Emits ``BENCH_backends.json`` — the machine-readable trajectory the CI
 bench-gate compares against the committed baseline (see
 ``benchmarks/README.md``) — plus a human-readable table, and asserts
-the ISSUE's floor: >= 5x runs/sec on the Fig. 2 campaign with
-bit-identical samples.
+the ISSUE floors: >= 5x runs/sec on the Fig. 2 campaign and >= 5x on
+the contention campaign, with bit-identical samples.
 """
 
 import json
@@ -32,7 +39,13 @@ import time
 
 import pytest
 
-from repro.api import CampaignRunner, TvcaWorkload, create_platform
+from repro.api import (
+    CampaignRunner,
+    TvcaWorkload,
+    create_platform,
+    create_scenario,
+    create_workload,
+)
 from repro.harness import CampaignConfig
 from repro.platform.batch import numpy_available
 
@@ -45,25 +58,47 @@ BACKEND_RUNS = int(os.environ.get("REPRO_BENCH_BACKEND_RUNS", "300"))
 #: The acceptance floor on the Fig. 2 campaign.
 MIN_FIG2_SPEEDUP = 5.0
 
+#: The acceptance floor on the co-scheduled contention campaign.
+MIN_CONTENTION_SPEEDUP = 5.0
+
+#: The contention row runs 2x the TVCA rows: the concurrent engine's
+#: per-step dispatch amortizes over replications, so its speedup keeps
+#: growing with R and the larger campaign keeps the row comfortably
+#: clear of measurement noise around the floor.
+CONTENTION_RUNS = 2 * BACKEND_RUNS
+
+
+def _tvca(platform_name):
+    platform = create_platform(platform_name, num_cores=1, cache_kb=CACHE_KB)
+    return TvcaWorkload(config=APP_CONFIG), platform, "tvca", BACKEND_RUNS
+
+
+def _contention(platform_name):
+    platform = create_platform(platform_name, num_cores=4, cache_kb=4)
+    scenario = create_scenario(
+        "opponent-memory-hammer", create_workload("table-walk")
+    )
+    label = "table-walk+opponent-memory-hammer"
+    return scenario, platform, label, CONTENTION_RUNS
+
+
 CAMPAIGNS = (
-    ("fig2_pwcet_rand", "rand"),
-    ("fig3_det_baseline", "det"),
+    ("fig2_pwcet_rand", "rand", _tvca),
+    ("fig3_det_baseline", "det", _tvca),
+    ("contention_rand", "rand", _contention),
 )
 
 
-def _measure(platform_name: str, backend: str):
+def _measure(platform_name: str, backend: str, build):
+    workload, platform, _, runs = build(platform_name)
     runner = CampaignRunner(
-        CampaignConfig(
-            runs=BACKEND_RUNS, base_seed=BASE_SEED, vary_inputs=False
-        ),
+        CampaignConfig(runs=runs, base_seed=BASE_SEED, vary_inputs=False),
         backend=backend,
     )
-    platform = create_platform(platform_name, num_cores=1, cache_kb=CACHE_KB)
-    workload = TvcaWorkload(config=APP_CONFIG)
     started = time.perf_counter()
     result = runner.run(workload, platform)
     wall = time.perf_counter() - started
-    return result, wall
+    return result, wall, runs
 
 
 @pytest.mark.skipif(
@@ -73,30 +108,33 @@ def test_bench_backend_throughput():
     entries = []
     lines = [
         "B1: campaign throughput by execution backend "
-        f"(TVCA, {BACKEND_RUNS} runs, fixed inputs)",
+        f"({BACKEND_RUNS} fixed-input runs; contention {CONTENTION_RUNS})",
         "",
         f"  {'campaign':22s} {'scalar r/s':>11s} {'batch r/s':>11s} "
         f"{'speedup':>8s}",
     ]
     speedups = {}
-    for name, platform_name in CAMPAIGNS:
-        scalar_result, scalar_wall = _measure(platform_name, "scalar")
-        batch_result, batch_wall = _measure(platform_name, "batch")
+    for name, platform_name, build in CAMPAIGNS:
+        workload_label = build(platform_name)[2]
+        scalar_result, scalar_wall, runs = _measure(
+            platform_name, "scalar", build
+        )
+        batch_result, batch_wall, _ = _measure(platform_name, "batch", build)
         # The optimization is only admissible because it changes nothing:
         assert scalar_result.run_details == batch_result.run_details, (
             f"{name}: batch backend diverged from the scalar interpreter"
         )
         assert batch_result.backend == "batch"
-        scalar_rate = BACKEND_RUNS / scalar_wall
-        batch_rate = BACKEND_RUNS / batch_wall
+        scalar_rate = runs / scalar_wall
+        batch_rate = runs / batch_wall
         speedup = batch_rate / scalar_rate
         speedups[name] = speedup
         entries.append(
             {
                 "name": name,
-                "workload": "tvca",
+                "workload": workload_label,
                 "platform": platform_name,
-                "runs": BACKEND_RUNS,
+                "runs": runs,
                 "scalar_wall_s": round(scalar_wall, 4),
                 "scalar_runs_per_s": round(scalar_rate, 3),
                 "batch_wall_s": round(batch_wall, 4),
@@ -128,4 +166,9 @@ def test_bench_backend_throughput():
     assert speedups["fig2_pwcet_rand"] >= MIN_FIG2_SPEEDUP, (
         f"Fig. 2 campaign speedup {speedups['fig2_pwcet_rand']:.1f}x is "
         f"below the {MIN_FIG2_SPEEDUP:.0f}x floor"
+    )
+    assert speedups["contention_rand"] >= MIN_CONTENTION_SPEEDUP, (
+        "contention campaign speedup "
+        f"{speedups['contention_rand']:.1f}x is below the "
+        f"{MIN_CONTENTION_SPEEDUP:.0f}x floor"
     )

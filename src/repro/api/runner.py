@@ -37,17 +37,21 @@ degrades to serial execution — results are identical either way.
 
 **Execution backends** (``backend="scalar"|"batch"|"auto"``): runs whose
 workload describes them as trace segments (``Workload.plan_batch``) can
-execute on the vectorized batch engine (:mod:`repro.platform.batch`),
-which advances every replication of one trace simultaneously.  The
-batch path is bit-identical to the scalar interpreter and composes with
-fork-sharding — each shard batches its own index stride — and with
-adaptive campaigns, which batch in blocks and discard overshoot beyond
-the convergence point exactly as the sharded scalar path already does.
+execute on the vectorized batch engine — :mod:`repro.platform.batch` for
+single-core plans, :mod:`repro.platform.batch_concurrent` for
+co-scheduled contention scenarios — which advances every replication of
+one trace (or one trace set) simultaneously.  The batch path is
+bit-identical to the scalar interpreter and composes with fork-sharding
+— each shard batches its own index stride — and with adaptive
+campaigns, which batch in blocks and discard overshoot beyond the
+convergence point exactly as the sharded scalar path already does.
 ``"auto"`` (the default) batches only groups large enough to amortize
 the vector dispatch overhead and falls back to scalar everywhere else
-(co-scheduled scenarios, deterministic-unsupported configurations,
-missing numpy); since both paths agree bit for bit, backend selection
-never changes an observation.
+(deterministic-unsupported configurations, missing numpy); since both
+paths agree bit for bit, backend selection never changes an
+observation.  ``backend="batch"`` is strict: a campaign or run group
+the engines cannot describe raises with the engine's reason instead of
+silently degrading.
 """
 
 from __future__ import annotations
@@ -134,6 +138,7 @@ def _shard_worker(
     report: bool,
     backend: str,
     min_group: int,
+    strict: bool,
 ) -> None:
     """Child-process body: execute one shard and ship its records back."""
     pin_worker_threads()
@@ -145,6 +150,7 @@ def _shard_worker(
             records = execute_batch_indices(
                 workload, platform, config, indices, min_group,
                 (lambda _record: on_run()) if report else None,
+                strict,
             )
         else:
             records = _execute_range(
@@ -187,6 +193,7 @@ def _adaptive_worker(
     backend: str,
     min_group: int,
     block: int,
+    strict: bool,
 ) -> None:
     """Child-process body for adaptive campaigns: stream records back one
     by one and bail out as soon as the parent signals convergence.
@@ -207,6 +214,7 @@ def _adaptive_worker(
                 chunk_records = execute_batch_indices(
                     workload, platform, config,
                     stride[start:start + block], min_group,
+                    strict=strict,
                 )
                 chunk_records.sort(key=lambda record: record.index)
                 for record in chunk_records:
@@ -235,11 +243,12 @@ class CampaignRunner:
     backend:
         ``"scalar"``, ``"batch"`` or ``"auto"`` (default).  The batch
         backend executes trace-sharing runs together on the vectorized
-        engine — bit-identical to scalar, so the choice never changes
-        an observation; ``auto`` batches only where it pays.
+        engine (single-core segments or co-scheduled contention
+        scenarios) — bit-identical to scalar, so the choice never
+        changes an observation; ``auto`` batches only where it pays.
         ``"batch"`` forces the engine even for tiny groups (useful for
-        parity testing); workloads or platforms the engine cannot
-        describe still fall back to scalar.
+        parity testing) and fails fast with the engine's reason when
+        the workload or platform cannot batch.
     """
 
     def __init__(
@@ -279,6 +288,7 @@ class CampaignRunner:
         workload.prepare(platform)
         backend = resolve_backend(self.backend, workload, platform)
         min_group = 1 if self.backend == "batch" else AUTO_MIN_GROUP
+        strict = self.backend == "batch"
         shards = min(self.shards, cfg.runs)
         use_fork = shards > 1 and "fork" in mp.get_all_start_methods()
         summary: Optional[CampaignConvergenceSummary] = None
@@ -288,17 +298,18 @@ class CampaignRunner:
             if use_fork:
                 records = self._run_adaptive_sharded(
                     workload, platform, shards, tracker, progress,
-                    backend, min_group, block,
+                    backend, min_group, block, strict,
                 )
             else:
                 records = self._run_adaptive_serial(
                     workload, platform, tracker, progress,
-                    backend, min_group, block,
+                    backend, min_group, block, strict,
                 )
             summary = tracker.summary(requested=cfg.runs)
         elif use_fork:
             records = self._run_sharded(
-                workload, platform, shards, progress, backend, min_group
+                workload, platform, shards, progress, backend, min_group,
+                strict,
             )
         elif backend == "batch":
             done = [0]
@@ -311,6 +322,7 @@ class CampaignRunner:
             records = execute_batch_indices(
                 workload, platform, cfg, range(cfg.runs), min_group,
                 on_record if progress is not None else None,
+                strict,
             )
         else:
             done = [0]
@@ -348,6 +360,7 @@ class CampaignRunner:
         backend: str,
         min_group: int,
         block: int,
+        strict: bool,
     ) -> List[RunRecord]:
         """Execute runs in index order, stopping at convergence.
 
@@ -363,6 +376,7 @@ class CampaignRunner:
                 chunk_records = execute_batch_indices(
                     workload, platform, cfg,
                     range(start, min(start + block, cfg.runs)), min_group,
+                    strict=strict,
                 )
                 chunk_records.sort(key=lambda record: record.index)
                 for record in chunk_records:
@@ -394,6 +408,7 @@ class CampaignRunner:
         backend: str,
         min_group: int,
         block: int,
+        strict: bool,
     ) -> List[RunRecord]:
         """Adaptive campaign across forked shards (see module docstring).
 
@@ -414,7 +429,7 @@ class CampaignRunner:
                 args=(
                     result_queue, stop_event, workload, platform, cfg,
                     shard_id, range(shard_id, cfg.runs, shards),
-                    backend, min_group, block,
+                    backend, min_group, block, strict,
                 ),
             )
             for shard_id in range(shards)
@@ -479,6 +494,7 @@ class CampaignRunner:
         progress: Optional[Progress],
         backend: str,
         min_group: int,
+        strict: bool,
     ) -> List[RunRecord]:
         cfg = self.config
         ctx = mp.get_context("fork")
@@ -489,7 +505,7 @@ class CampaignRunner:
                 target=_shard_worker,
                 args=(
                     result_queue, workload, platform, cfg, shard_id, chunk,
-                    progress is not None, backend, min_group,
+                    progress is not None, backend, min_group, strict,
                 ),
             )
             for shard_id, chunk in enumerate(chunks)

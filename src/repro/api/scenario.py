@@ -23,12 +23,15 @@ baseline every contention scenario is compared against.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
+from ..platform.batch_concurrent import concurrent_batch_unsupported_reason
 from ..platform.prng import derive_seed
-from ..platform.soc import Platform
+from ..platform.soc import ConcurrentRunResult, Platform
+from ..platform.trace import Trace
 from ..workloads.opponents import CoRunner, co_runner
-from .workload import PreparedTrace, RunObservation, Workload
+from .backend import BatchPlan
+from .workload import PreparedTrace, RunObservation, Workload, _TraceCache
 
 __all__ = ["Scenario", "SCENARIO_SEED_TAG"]
 
@@ -84,6 +87,7 @@ class Scenario:
         )
         self.analysis_core = analysis_core
         self.name = f"{workload.name}+{self.label}"
+        self._opponent_cache = _TraceCache()
 
     # ------------------------------------------------------------------
     def prepare(self, platform: Platform) -> None:
@@ -109,29 +113,67 @@ class Scenario:
         self.workload.prepare(platform)
 
     # ------------------------------------------------------------------
-    def execute(
-        self, platform: Platform, run_seed: int, input_seed: int
-    ) -> RunObservation:
-        prepared: PreparedTrace = self.workload.build_trace(
-            platform, run_seed, input_seed
-        )
-        traces = {self.analysis_core: prepared.trace}
+    def scheduled_cores(self, platform: Platform) -> Tuple[int, ...]:
+        """Core ids this scenario occupies (analysis core first)."""
+        cores = [self.analysis_core]
         if self.co_runner_kind is not None:
-            instructions = max(
-                1, min(len(prepared.trace), _MAX_OPPONENT_INSTRUCTIONS)
+            cores.extend(
+                core_id
+                for core_id in range(platform.config.num_cores)
+                if core_id != self.analysis_core
             )
-            for core_id in range(platform.config.num_cores):
+        return tuple(cores)
+
+    def _opponents(
+        self, input_seed: int, num_cores: int, trace_len: int
+    ) -> Tuple[Tuple[int, Trace], ...]:
+        """Opponent traces for one run, memoized (pure in the key).
+
+        Each opponent trace is a pure function of ``(input_seed,
+        core_id, instructions)``, so caching them is observation-neutral
+        — fixed-input campaigns generate each opponent set once instead
+        of once per run.
+        """
+        if self.co_runner_kind is None:
+            return ()
+        instructions = max(1, min(trace_len, _MAX_OPPONENT_INSTRUCTIONS))
+        key = (input_seed, num_cores, instructions)
+        cached: Optional[Tuple[Tuple[int, Trace], ...]] = (
+            self._opponent_cache.get(key)
+        )
+        if cached is None:
+            pairs = []
+            for core_id in range(num_cores):
                 if core_id == self.analysis_core:
                     continue
                 opponent_seed = derive_seed(
                     input_seed, SCENARIO_SEED_TAG, core_id
                 )
-                traces[core_id] = self.co_runner_kind.build(
-                    instructions, opponent_seed, core_id
+                pairs.append(
+                    (
+                        core_id,
+                        self.co_runner_kind.build(
+                            instructions, opponent_seed, core_id
+                        ),
+                    )
                 )
-        result = platform.run_concurrent(
-            traces, run_seed, analysis_core=self.analysis_core
-        )
+            cached = tuple(pairs)
+            self._opponent_cache.put(key, cached)
+        return cached
+
+    def _traces(
+        self, platform: Platform, prepared: PreparedTrace, input_seed: int
+    ) -> Dict[int, Trace]:
+        traces = {self.analysis_core: prepared.trace}
+        for core_id, trace in self._opponents(
+            input_seed, platform.config.num_cores, len(prepared.trace)
+        ):
+            traces[core_id] = trace
+        return traces
+
+    def _observation(
+        self, prepared: PreparedTrace, result: ConcurrentRunResult
+    ) -> RunObservation:
         metadata: Dict[str, Any] = dict(prepared.metadata)
         metadata["scenario"] = self.label
         metadata["co_runner"] = (
@@ -143,4 +185,71 @@ class Scenario:
             cycles=float(result.cycles),
             path=prepared.path,
             metadata=metadata,
+        )
+
+    def execute(
+        self, platform: Platform, run_seed: int, input_seed: int
+    ) -> RunObservation:
+        prepared: PreparedTrace = self.workload.build_trace(
+            platform, run_seed, input_seed
+        )
+        result = platform.run_concurrent(
+            self._traces(platform, prepared, input_seed),
+            run_seed,
+            analysis_core=self.analysis_core,
+        )
+        return self._observation(prepared, result)
+
+    # ------------------------------------------------------------------
+    def batch_unsupported_reason(self, platform: Platform) -> Optional[str]:
+        """Why this scenario cannot batch on ``platform`` (None if it can).
+
+        Consulted by :func:`repro.api.backend.resolve_backend`: the
+        co-scheduled engine has its own support matrix (every scheduled
+        core's component stack must vectorize), so scenarios override
+        the default single-core probe.
+        """
+        if getattr(self.workload, "build_trace", None) is None:
+            return (
+                f"workload {self.workload.name!r} does not support "
+                "co-scheduling (no build_trace hook)"
+            )
+        return concurrent_batch_unsupported_reason(
+            platform, self.scheduled_cores(platform)
+        )
+
+    def plan_batch(
+        self, platform: Platform, run_index: int, run_seed: int, input_seed: int
+    ) -> Optional[BatchPlan]:
+        """The run as a co-scheduled :class:`BatchPlan`.
+
+        The plan carries the analysis trace plus the opponent traces and
+        finalizes through :meth:`_observation`, so batch and scalar
+        campaigns emit bit-identical records (including the per-core /
+        bus / memory breakdown in the metadata).  Plans group by
+        ``input_seed`` — opponent traces derive from it — so
+        fixed-input campaigns (``vary_inputs=False``) form one group.
+        """
+        build = getattr(self.workload, "build_trace", None)
+        if build is None:
+            return None
+        prepared: PreparedTrace = build(platform, run_seed, input_seed)
+
+        def finalize_concurrent(result: ConcurrentRunResult) -> RunObservation:
+            return self._observation(prepared, result)
+
+        return BatchPlan(
+            segments=(prepared.trace,),
+            group_key=(
+                "scenario",
+                self.name,
+                self.analysis_core,
+                platform.config.num_cores,
+                input_seed,
+            ),
+            core_id=self.analysis_core,
+            co_runners=self._opponents(
+                input_seed, platform.config.num_cores, len(prepared.trace)
+            ),
+            finalize_concurrent=finalize_concurrent,
         )

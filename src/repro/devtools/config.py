@@ -50,6 +50,14 @@ DEFAULT_REGISTRY_MODULES: Tuple[str, ...] = (
     "*/repro/workloads/opponents.py",
 )
 
+#: REP007 scope: the execution layers where per-core mappings
+#: (``traces_by_core``, ``per_core``, ...) flow between the scalar and
+#: vectorized engines and iteration order must not leak.
+DEFAULT_CORE_MAP_PATHS: Tuple[str, ...] = (
+    "*/repro/platform/*",
+    "*/repro/api/*",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -65,6 +73,7 @@ class LintConfig:
     wallclock_exempt: Tuple[str, ...] = DEFAULT_WALLCLOCK_EXEMPT
     float_sum_paths: Tuple[str, ...] = DEFAULT_FLOAT_SUM_PATHS
     registry_modules: Tuple[str, ...] = DEFAULT_REGISTRY_MODULES
+    core_map_paths: Tuple[str, ...] = DEFAULT_CORE_MAP_PATHS
 
     def rule_enabled(self, rule_id: str) -> bool:
         """Whether ``rule_id`` survives select/ignore filtering."""
@@ -78,7 +87,8 @@ class LintConfig:
         Combines :meth:`rule_enabled` with the per-rule path scoping:
         REP002 skips exempted entry-point/benchmark files, REP004 only
         fires inside the numeric hot paths, REP005 skips the registry
-        modules.  Every other rule applies everywhere.
+        modules, REP007 only fires in the execution layers that pass
+        per-core mappings around.  Every other rule applies everywhere.
         """
         if not self.rule_enabled(rule_id):
             return False
@@ -89,6 +99,8 @@ class LintConfig:
             return _matches(posix, self.float_sum_paths)
         if rule_id == "REP005":
             return not _matches(posix, self.registry_modules)
+        if rule_id == "REP007":
+            return _matches(posix, self.core_map_paths)
         return True
 
     def with_selection(
@@ -103,4 +115,5 @@ class LintConfig:
             wallclock_exempt=self.wallclock_exempt,
             float_sum_paths=self.float_sum_paths,
             registry_modules=self.registry_modules,
+            core_map_paths=self.core_map_paths,
         )

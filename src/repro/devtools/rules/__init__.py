@@ -17,6 +17,7 @@ from .rep003_unordered_iteration import UnorderedIterationRule
 from .rep004_float_accumulation import FloatAccumulationRule
 from .rep005_import_state import ImportTimeStateRule
 from .rep006_defaults_excepts import DefaultsExceptsRule
+from .rep007_core_map_iteration import CoreMapIterationRule
 
 __all__ = [
     "ALL_RULES",
@@ -33,6 +34,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     FloatAccumulationRule,
     ImportTimeStateRule,
     DefaultsExceptsRule,
+    CoreMapIterationRule,
 )
 
 _BY_ID: Dict[str, Type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,107 @@
+"""REP007 — unordered iteration over per-core mappings.
+
+The multicore engines carry per-core state in mappings keyed by core id
+(``traces_by_core``, ``per_core``, ``contention_by_core``...).  Those
+mappings are built by different producers — scenario assembly, the
+scalar interleave, the vectorized batch reconstruction — and nothing
+guarantees they share an insertion order.  Iterating one without
+sorting lets the producer's insertion order leak into schedules,
+metadata dicts and merges, breaking the bit-identity contract between
+the scalar and batch execution paths.
+
+Flagged (within the platform/api layers — see
+:data:`repro.devtools.config.DEFAULT_CORE_MAP_PATHS`):
+
+* ``for core_id in per_core`` / ``for c, r in traces_by_core.items()``
+  (also ``.keys()`` / ``.values()``, comprehension sources and ``*``
+  unpacking) where the mapping's name is ``per_core`` or ends in
+  ``_by_core``.
+
+``sorted(traces_by_core.items())`` and order-insensitive reductions
+(``len`` / ``min`` / ``max`` / ``sum`` / ``any`` / ``all``) are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from ..findings import Finding
+from .base import Rule, call_name_tail
+
+#: Reductions whose result does not depend on iteration order.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all"}
+)
+_VIEW_METHODS = frozenset({"items", "keys", "values"})
+
+
+def _core_map_name(node: ast.AST) -> Optional[str]:
+    """The core-map name ``node`` reads from, if it is one.
+
+    Resolves ``per_core`` / ``*_by_core`` names and attributes, plus
+    ``.items()`` / ``.keys()`` / ``.values()`` views over them.
+    """
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _VIEW_METHODS
+            and not node.args
+            and not node.keywords
+        ):
+            return _core_map_name(func.value)
+        return None
+    if isinstance(node, ast.Name):
+        name: Optional[str] = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        name = None
+    if name is not None and (name == "per_core" or name.endswith("_by_core")):
+        return name
+    return None
+
+
+class CoreMapIterationRule(Rule):
+    rule_id = "REP007"
+    summary = "unsorted iteration over a per-core mapping"
+
+    def check(self, tree: ast.Module) -> List[Finding]:
+        # Pre-pass: core maps appearing directly as an argument of an
+        # order-insensitive reduction (typically sorted()) are fine.
+        self._blessed: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                tail = call_name_tail(node)
+                if tail in _ORDER_INSENSITIVE:
+                    for arg in node.args:
+                        self._blessed.add(id(arg))
+                        if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                            for gen in arg.generators:
+                                self._blessed.add(id(gen.iter))
+        return super().check(tree)
+
+    def _check_iterable(self, node: ast.AST) -> None:
+        if id(node) in self._blessed:
+            return
+        name = _core_map_name(node)
+        if name is not None:
+            self.report(
+                node,
+                f"iteration over per-core mapping `{name}` without "
+                "sorted(...): insertion order differs between the scalar "
+                "and batch producers and would leak into the result",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_Starred(self, node: ast.Starred) -> None:
+        self._check_iterable(node.value)
+        self.generic_visit(node)

@@ -300,6 +300,7 @@ def compare_scenarios(
     progress: Optional[Callable[[str, int, int], None]] = None,
     convergence: Optional["ConvergencePolicy"] = None,
     backend: str = "auto",
+    vary_inputs: bool = True,
 ) -> ScenarioComparison:
     """Measure one workload under several contention scenarios.
 
@@ -309,6 +310,12 @@ def compare_scenarios(
     workload instance are built per scenario (scenario execution mutates
     platform state and the workload's trace cache; isolation between
     campaigns keeps them shard-safe and order-independent).
+
+    ``vary_inputs=False`` fixes the workload inputs (and hence the
+    opponent traces, which derive from the input seed) so every
+    replication shares one trace set — the shape the vectorized
+    concurrent backend accelerates; backend choice never changes an
+    observation either way.
     """
     from ..api.registry import create_platform, create_scenario, create_workload
     from ..api.runner import CampaignRunner
@@ -322,7 +329,9 @@ def compare_scenarios(
         )
         platform = create_platform(platform_name, **platform_kwargs)
         runner = CampaignRunner(
-            CampaignConfig(runs=runs, base_seed=base_seed),
+            CampaignConfig(
+                runs=runs, base_seed=base_seed, vary_inputs=vary_inputs
+            ),
             shards=shards,
             backend=backend,
         )

@@ -301,38 +301,53 @@ class _VecPrng:
             for slot, degree in enumerate(degrees):
                 state = expander.next_u64() & ((1 << degree) - 1)
                 columns[slot].append(state if state else 1)
-        self._states = [np.array(col, dtype=np.uint32) for col in columns]
-        # Tap positions straight from the scalar Lfsr configuration
-        # (per-tap shift/XOR keeps the engine portable across numpy
-        # generations — no popcount intrinsic required).
-        self._tap_shifts = []
-        self._out_shifts = []
-        self._full_masks = []
+        # All LFSR slots advance in one stacked (slots, lanes) array so a
+        # bit draw costs a handful of vector ops instead of a Python loop
+        # over slots.  Tap positions come straight from the scalar Lfsr
+        # configuration; per-tap shift/XOR keeps the engine portable
+        # across numpy generations (no popcount intrinsic required).
+        # Every slot's tap tuple is padded to a common width by
+        # repeating the last tap an *even* number of times — the XOR of
+        # a duplicated tap pair is zero, so the padded feedback equals
+        # the scalar one.
+        self._states = np.array(columns, dtype=np.uint32)
+        width = max(len(_MAXIMAL_TAPS[degree]) for degree in degrees)
+        tap_columns: List[List[int]] = [[] for _ in range(width)]
         for degree in degrees:
-            self._tap_shifts.append(
-                tuple(np.uint32(tap - 1) for tap in _MAXIMAL_TAPS[degree])
-            )
-            self._out_shifts.append(np.uint32(degree - 1))
-            self._full_masks.append(np.uint32((1 << degree) - 1))
+            shifts = [tap - 1 for tap in _MAXIMAL_TAPS[degree]]
+            if (width - len(shifts)) % 2:
+                raise AssertionError("tap padding must preserve XOR parity")
+            shifts += [shifts[-1]] * (width - len(shifts))
+            for position, shift in enumerate(shifts):
+                tap_columns[position].append(shift)
+        self._tap_shifts = [
+            np.array(column, dtype=np.uint32)[:, None] for column in tap_columns
+        ]
+        self._out_shifts = np.array(
+            [degree - 1 for degree in degrees], dtype=np.uint32
+        )[:, None]
+        self._full_masks = np.array(
+            [(1 << degree) - 1 for degree in degrees], dtype=np.uint32
+        )[:, None]
 
     def next_bits(self, nbits: int, mask: Any) -> Any:
         """``n``-bit draws for the masked lanes (others keep their state)."""
         np = _np
         one = np.uint32(1)
-        value = np.zeros(len(self._states[0]), dtype=np.int64)
+        states = self._states
+        taps = self._tap_shifts
+        out_shifts = self._out_shifts
+        full_masks = self._full_masks
+        value = np.zeros(states.shape[1], dtype=np.int64)
         for _ in range(nbits):
-            combined = np.zeros(len(value), dtype=np.uint32)
-            for slot in range(len(self._states)):
-                state = self._states[slot]
-                shifts = self._tap_shifts[slot]
-                feedback = (state >> shifts[0]) & one
-                for shift in shifts[1:]:
-                    feedback = feedback ^ ((state >> shift) & one)
-                out = (state >> self._out_shifts[slot]) & one
-                advanced = ((state << one) & self._full_masks[slot]) | feedback
-                self._states[slot] = np.where(mask, advanced, state)
-                combined ^= out
-            value = (value << 1) | combined.astype(np.int64)
+            feedback = states >> taps[0]
+            for shift in taps[1:]:
+                feedback = feedback ^ (states >> shift)
+            feedback = feedback & one
+            out = (states >> out_shifts) & one
+            advanced = ((states << one) & full_masks) | feedback
+            np.copyto(states, advanced, where=mask)
+            value = (value << 1) | np.bitwise_xor.reduce(out, axis=0)
         return value
 
     def randint(self, n: int, mask: Any) -> Any:
@@ -350,6 +365,41 @@ class _VecPrng:
             out[accept] = draw[accept]
             pending &= ~accept
         return out
+
+    def next_bits_idx(self, nbits: int, lanes: Any) -> Any:
+        """``n``-bit draws for the *indexed* lanes (gather/scatter form
+        of :meth:`next_bits` — ``lanes`` must hold unique indices)."""
+        np = _np
+        one = np.uint32(1)
+        states = self._states[:, lanes]
+        taps = self._tap_shifts
+        out_shifts = self._out_shifts
+        full_masks = self._full_masks
+        value = np.zeros(states.shape[1], dtype=np.int64)
+        for _ in range(nbits):
+            feedback = states >> taps[0]
+            for shift in taps[1:]:
+                feedback = feedback ^ (states >> shift)
+            feedback = feedback & one
+            out = (states >> out_shifts) & one
+            states = ((states << one) & full_masks) | feedback
+            value = (value << 1) | np.bitwise_xor.reduce(out, axis=0)
+        self._states[:, lanes] = states
+        return value
+
+    def randint_idx(self, n: int, lanes: Any) -> Any:
+        """Uniform draw in ``[0, n)`` per indexed lane, with the scalar
+        generator's per-lane rejection loop."""
+        np = _np
+        if n == 1:
+            return np.zeros(lanes.shape[0], dtype=np.int64)
+        bits = (n - 1).bit_length()
+        out = self.next_bits_idx(bits, lanes)
+        while True:
+            bad = np.flatnonzero(out >= n)
+            if not bad.size:
+                return out
+            out[bad] = self.next_bits_idx(bits, lanes[bad])
 
 
 class _VecRandomRepl:

@@ -93,6 +93,17 @@ class MemoryStats:
         self.refresh_stalls = 0
         self.total_cycles = 0
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe counter snapshot for run-record metadata."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "row_hits": self.row_hits,
+            "row_conflicts": self.row_conflicts,
+            "refresh_stalls": self.refresh_stalls,
+            "total_cycles": self.total_cycles,
+        }
+
 
 class MemoryController:
     """Timing oracle for DRAM accesses behind the shared bus."""

@@ -41,6 +41,7 @@ from .core import Core, CoreConfig, CoreStepper, RunResult
 from .fpu import FpuConfig, FpuMode
 from .memory import MemoryConfig, MemoryController, MemoryStats
 from .prng import CombinedLfsrPrng, derive_seed, run_health_tests
+from .schedule import run_min_time_interleave
 from .tlb import TlbConfig
 from .trace import Trace
 
@@ -141,9 +142,10 @@ class ConcurrentRunResult:
             },
             "contention_by_core": {
                 str(cid): wait
-                for cid, wait in self.contention_by_core.items()
+                for cid, wait in sorted(self.contention_by_core.items())
             },
             "bus": self.bus.to_dict(),
+            "memory": self.memory.to_dict(),
         }
 
 
@@ -216,7 +218,7 @@ class Platform:
         """
         if not traces_by_core:
             raise ValueError("traces_by_core must not be empty")
-        for core_id in traces_by_core:
+        for core_id in sorted(traces_by_core):
             if not 0 <= core_id < len(self.cores):
                 raise ValueError(f"core_id {core_id} out of range")
         if analysis_core is None:
@@ -234,19 +236,7 @@ class Platform:
             )
             for core_id, trace in sorted(traces_by_core.items())
         }
-        analysis_stepper = steppers[analysis_core]
-        active = [s for s in steppers.values() if not s.done]
-        while not analysis_stepper.done and active:
-            best = active[0]
-            for stepper in active[1:]:
-                if (stepper.now, stepper.core.core_id) < (
-                    best.now,
-                    best.core.core_id,
-                ):
-                    best = stepper
-            best.advance(1)
-            if best.done:
-                active.remove(best)
+        run_min_time_interleave(steppers, analysis_core)
         return ConcurrentRunResult(
             analysis_core=analysis_core,
             per_core={

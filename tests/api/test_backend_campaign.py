@@ -4,7 +4,9 @@ The runner promises that ``backend=`` never changes an observation —
 only how the inner loop executes.  These tests pin that at the
 campaign/artifact level, including the composition cases the ISSUE
 calls out: batch x fork-sharding, batch x adaptive stopping, and the
-automatic scalar fallback for co-scheduled scenarios.
+co-scheduled contention path (scenario campaigns batch through
+:mod:`repro.platform.batch_concurrent`; an explicit ``backend="batch"``
+on an unbatchable campaign fails fast).
 """
 
 import json
@@ -15,6 +17,7 @@ from repro.api import (
     CampaignArtifact,
     CampaignConfig,
     CampaignRunner,
+    SyntheticWorkload,
     TvcaWorkload,
     create_platform,
     create_scenario,
@@ -25,6 +28,7 @@ from repro.harness import MeasurementCampaign
 from repro.platform.batch import numpy_available
 from repro.programs.layout import link
 from repro.workloads.kernels import table_walk_kernel
+from repro.workloads.synthetic import gumbel_samples
 from repro.workloads.tvca import TvcaConfig
 
 requires_numpy = pytest.mark.skipif(
@@ -141,17 +145,78 @@ def test_artifact_records_backend():
     assert scalar_artifact.backend == "scalar"
 
 
-def test_scenario_campaign_falls_back_to_scalar():
-    """Co-scheduled scenarios have no batch description: auto and even
-    an explicit batch request resolve to the scalar engine."""
+def _scenario_campaign(backend, scenario_name, runs=10, vary_inputs=False,
+                       shards=1, platform_name="rand"):
     runner = CampaignRunner(
-        CampaignConfig(runs=4, base_seed=3), backend="batch"
+        CampaignConfig(runs=runs, base_seed=3, vary_inputs=vary_inputs),
+        shards=shards,
+        backend=backend,
     )
-    platform = create_platform("rand", num_cores=2, cache_kb=1)
-    scenario = create_scenario("opponent-cpu", create_workload("matmul"))
-    result = runner.run(scenario, platform)
-    assert result.backend == "scalar"
-    assert result.num_runs == 4
+    platform = create_platform(platform_name, num_cores=2, cache_kb=1)
+    scenario = create_scenario(scenario_name, create_workload("matmul"))
+    return runner.run(scenario, platform)
+
+
+@requires_numpy
+@pytest.mark.parametrize("vary_inputs", [False, True])
+def test_scenario_campaign_backend_parity(vary_inputs):
+    """Co-scheduled scenarios batch on the concurrent engine, record for
+    record — including the per-core/bus/memory breakdown metadata."""
+    scalar = _scenario_campaign("scalar", "opponent-cpu",
+                                vary_inputs=vary_inputs)
+    batch = _scenario_campaign("batch", "opponent-cpu",
+                               vary_inputs=vary_inputs)
+    auto = _scenario_campaign("auto", "opponent-cpu",
+                              vary_inputs=vary_inputs)
+    assert scalar.backend == "scalar"
+    assert batch.backend == "batch"
+    assert auto.backend == "batch"
+    assert scalar.run_details == batch.run_details == auto.run_details
+
+
+@requires_numpy
+def test_scenario_campaign_batch_composes_with_sharding():
+    serial = _scenario_campaign("batch", "opponent-memory-hammer")
+    sharded = _scenario_campaign("batch", "opponent-memory-hammer", shards=3)
+    assert serial.run_details == sharded.run_details
+
+
+@requires_numpy
+def test_contention_dominates_isolation_under_batch():
+    """Monotonicity oracle: a memory-hammer opponent can only slow the
+    analysis core down, run by run, under the batch backend too."""
+    isolation = _scenario_campaign("batch", "isolation", runs=12)
+    hammer = _scenario_campaign("batch", "opponent-memory-hammer", runs=12)
+    assert isolation.num_runs == hammer.num_runs == 12
+    for alone, contended in zip(isolation.run_details, hammer.run_details):
+        assert contended.cycles >= alone.cycles
+        assert contended.metadata["contention_by_core"]["0"] >= 0
+
+
+def test_explicit_batch_without_plan_fails_fast():
+    """backend="batch" on a workload with no batch description raises
+    with the reason instead of silently running scalar."""
+    runner = CampaignRunner(CampaignConfig(runs=4), backend="batch")
+    platform = create_platform("rand", num_cores=1, cache_kb=1)
+    workload = SyntheticWorkload(gumbel_samples, name="synthetic-gumbel")
+    with pytest.raises(ValueError, match="no plan_batch hook"):
+        runner.run(workload, platform)
+
+
+def test_explicit_batch_unbatchable_scenario_fails_fast(monkeypatch):
+    """backend="batch" on a scenario the concurrent engine rejects
+    (here: numpy absent on a randomized platform) raises with the
+    engine's reason; auto still runs, on the scalar path."""
+    from repro.platform import batch as batch_mod
+    from repro.platform import batch_concurrent as concurrent_mod
+
+    monkeypatch.setattr(batch_mod, "_np", None)
+    monkeypatch.setattr(concurrent_mod, "_np", None)
+    with pytest.raises(ValueError, match="numpy is not available"):
+        _scenario_campaign("batch", "opponent-cpu", runs=2)
+    auto = _scenario_campaign("auto", "opponent-cpu", runs=2)
+    assert auto.backend == "scalar"
+    assert auto.num_runs == 2
 
 
 def test_invalid_backend_rejected():

@@ -1,0 +1,27 @@
+"""REP007 failing fixture: per-core mappings iterated unsorted."""
+
+
+def schedule(traces_by_core):
+    lanes = []
+    for core_id, trace in traces_by_core.items():
+        lanes.append((core_id, trace))
+    return lanes
+
+
+def cores(traces_by_core):
+    started = []
+    for core_id in traces_by_core:
+        started.append(core_id)
+    return started
+
+
+def metadata(result):
+    return {str(cid): r.cycles for cid, r in result.per_core.items()}
+
+
+def waits(self):
+    return [wait for wait in self.contention_by_core.values()]
+
+
+def keys_view(contention_by_core):
+    return [*contention_by_core.keys()]

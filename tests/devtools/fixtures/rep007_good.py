@@ -1,0 +1,32 @@
+"""REP007 passing fixture: sorted or order-insensitive per-core access."""
+
+
+def schedule(traces_by_core):
+    lanes = []
+    for core_id, trace in sorted(traces_by_core.items()):
+        lanes.append((core_id, trace))
+    return lanes
+
+
+def cores(traces_by_core):
+    return sorted(traces_by_core)
+
+
+def metadata(result):
+    return {str(cid): r.cycles for cid, r in sorted(result.per_core.items())}
+
+
+def totals(self):
+    return sum(self.contention_by_core.values())
+
+
+def bounds(per_core):
+    return min(per_core), max(per_core), len(per_core)
+
+
+def lookup(traces_by_core, core_id):
+    return traces_by_core[core_id] if core_id in traces_by_core else None
+
+
+def unrelated(values_by_name):
+    return [value for value in values_by_name.values()]

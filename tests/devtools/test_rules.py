@@ -20,6 +20,7 @@ RULE_CASES = {
     "REP004": ("src/repro/core/evt/gumbel.py", 2),
     "REP005": ("src/repro/platform/batch.py", 6),
     "REP006": ("src/repro/api/runner.py", 4),
+    "REP007": ("src/repro/platform/soc.py", 5),
 }
 
 
@@ -74,6 +75,14 @@ class TestPathScoping:
         source = _fixture("rep005_bad.py")
         live, _ = _lint(source, "src/repro/api/registry.py")
         assert [f for f in live if f.rule == "REP005"] == []
+
+    def test_rep007_only_in_execution_layers(self):
+        source = _fixture("rep007_bad.py")
+        live, _ = _lint(source, "src/repro/core/pwcet.py")
+        assert [f for f in live if f.rule == "REP007"] == []
+        for scoped in ("src/repro/platform/soc.py", "src/repro/api/scenario.py"):
+            live, _ = _lint(source, scoped)
+            assert [f for f in live if f.rule == "REP007"]
 
     def test_select_and_ignore(self):
         source = _fixture("rep006_bad.py")
