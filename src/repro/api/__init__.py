@@ -28,6 +28,7 @@ from ..harness.campaign import CampaignConfig, CampaignResult
 from ..harness.records import RunRecord
 from ..platform.soc import Platform
 from .artifacts import (
+    ArtifactCorrupt,
     ArtifactStore,
     CampaignArtifact,
     load_measurements,
@@ -51,9 +52,16 @@ from .registry import (
     register_platform,
     register_scenario,
     register_workload,
+    registry_schema,
     scenario_description,
     scenario_names,
     workload_names,
+)
+from .requests import (
+    AnalysisRequest,
+    CampaignExecution,
+    CampaignRequest,
+    execute_request,
 )
 from .runner import CampaignRunner, default_shards
 from .scenario import Scenario
@@ -69,11 +77,15 @@ from .workload import (
 
 __all__ = [
     "BACKENDS",
+    "AnalysisRequest",
+    "ArtifactCorrupt",
     "ArtifactStore",
     "BatchMeasurement",
     "BatchPlan",
     "CampaignArtifact",
     "CampaignConfig",
+    "CampaignExecution",
+    "CampaignRequest",
     "CampaignConvergenceSummary",
     "CampaignResult",
     "CampaignRunner",
@@ -93,6 +105,7 @@ __all__ = [
     "default_shards",
     "estimator_description",
     "estimator_names",
+    "execute_request",
     "load_measurements",
     "platform_fingerprint",
     "platform_names",
@@ -100,6 +113,7 @@ __all__ = [
     "register_platform",
     "register_scenario",
     "register_workload",
+    "registry_schema",
     "resolve_backend",
     "run_campaign",
     "scenario_description",
@@ -125,10 +139,14 @@ def run_campaign(
 ) -> CampaignResult:
     """One-call facade: resolve, run, return the campaign result.
 
-    ``workload`` and ``platform`` may be registry names or live objects;
-    ``*_kwargs`` are forwarded to the registry factories when names are
-    given (and rejected otherwise — passing them alongside an object is
-    almost certainly a bug).
+    Deprecated kwarg shim over the request-object surface: when
+    ``workload`` and ``platform`` are registry names the call builds a
+    :class:`CampaignRequest` and executes it via
+    :meth:`CampaignRunner.run_request` — new code should construct the
+    request directly.  Live :class:`Workload`/:class:`Platform` objects
+    (not expressible as plain data) keep the historical in-place path;
+    ``*_kwargs`` are rejected alongside objects, as passing both is
+    almost certainly a bug.
 
     ``until_converged=True`` (or an explicit ``convergence`` policy)
     makes the campaign adaptive: it stops once the MBPTA convergence
@@ -138,6 +156,22 @@ def run_campaign(
     vectorized batching; default ``"auto"``) — bit-identical results
     either way.
     """
+    if until_converged and convergence is None:
+        convergence = ConvergencePolicy()
+    if isinstance(workload, str) and isinstance(platform, str):
+        request = CampaignRequest(
+            workload=workload,
+            platform=platform,
+            runs=runs,
+            base_seed=base_seed,
+            vary_inputs=vary_inputs,
+            shards=shards,
+            backend=backend,
+            workload_kwargs=dict(workload_kwargs or {}),
+            platform_kwargs=dict(platform_kwargs or {}),
+            convergence=convergence,
+        )
+        return CampaignRunner.run_request(request, progress=progress)
     if isinstance(workload, str):
         workload = create_workload(workload, **(workload_kwargs or {}))
     elif workload_kwargs:
@@ -146,8 +180,6 @@ def run_campaign(
         platform = create_platform(platform, **(platform_kwargs or {}))
     elif platform_kwargs:
         raise ValueError("platform_kwargs requires a registry name")
-    if until_converged and convergence is None:
-        convergence = ConvergencePolicy()
     runner = CampaignRunner(
         CampaignConfig(runs=runs, base_seed=base_seed, vary_inputs=vary_inputs),
         shards=shards,

@@ -17,14 +17,21 @@ re-analyse the same measurements with a different estimator without
 re-running a single simulation.
 
 :class:`ArtifactStore` is a thin directory-of-JSON-files convenience on
-top.  :func:`load_measurements` additionally understands the two legacy
+top — safe against concurrent writers (write-to-temp + atomic
+``os.replace``) and verified on load: every artifact embeds a SHA-256
+content digest, and a mismatch (or a torn/truncated file) raises the
+typed :class:`ArtifactCorrupt` instead of a JSON decode traceback.
+:func:`load_measurements` additionally understands the two legacy
 sample formats (:class:`ExecutionTimeSample` and bare
 :class:`PathSamples` JSON), so old files keep working with the CLI.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
@@ -41,12 +48,80 @@ from ..platform.soc import Platform
 
 __all__ = [
     "SCHEMA",
+    "ArtifactCorrupt",
     "CampaignArtifact",
     "ArtifactStore",
     "analysis_summary",
+    "atomic_write_text",
+    "content_digest",
     "platform_fingerprint",
     "load_measurements",
 ]
+
+
+class ArtifactCorrupt(ValueError):
+    """A stored artifact failed integrity verification.
+
+    Raised on load when the file is not valid JSON (torn write,
+    truncation) or when the embedded content digest does not match the
+    payload — a typed error call sites can catch, instead of a raw
+    ``json.JSONDecodeError`` traceback.
+    """
+
+
+def atomic_write_text(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Concurrent writers each write a private temporary file in the
+    target directory and atomically replace the destination, so readers
+    only ever observe a complete old or complete new file — never a
+    torn one.  Returns ``path``.
+    """
+    path = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+#: Config keys excluded from the content digest: both are proven
+#: observation-neutral (deterministic by-index shard merge;
+#: bit-identical batch engine), so artifacts that differ only in them
+#: carry identical measurement content — and identical digests.
+_PROVENANCE_CONFIG_KEYS = ("backend", "shards")
+
+
+def content_digest(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the artifact's *measurement content*.
+
+    Canonical (sorted, compact) JSON of the payload without the
+    ``digest`` field itself and without the provenance-only config keys
+    (:data:`_PROVENANCE_CONFIG_KEYS`).
+    """
+    reduced = dict(payload)
+    reduced.pop("digest", None)
+    config = dict(reduced.get("config", {}))
+    for key in _PROVENANCE_CONFIG_KEYS:
+        config.pop(key, None)
+    reduced["config"] = config
+    canonical = json.dumps(reduced, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def analysis_summary(result: "AnalysisResult") -> Dict[str, Any]:
@@ -235,7 +310,13 @@ class CampaignArtifact:
 
     # -- persistence ---------------------------------------------------
     def to_json(self, indent: Optional[int] = None) -> str:
-        """Serialize the complete artifact."""
+        """Serialize the complete artifact.
+
+        The payload embeds a SHA-256 ``digest`` over its measurement
+        content (see :func:`content_digest`); :meth:`from_json`
+        verifies it, so corruption anywhere between save and load
+        surfaces as a typed :class:`ArtifactCorrupt`.
+        """
         payload: Dict[str, Any] = {
             "schema": SCHEMA,
             "label": self.label,
@@ -249,16 +330,35 @@ class CampaignArtifact:
             payload["convergence"] = self.convergence.to_dict()
         if self.analysis is not None:
             payload["analysis"] = self.analysis
+        payload["digest"] = content_digest(payload)
         return json.dumps(payload, indent=indent)
 
     @classmethod
     def from_json(cls, payload: str) -> "CampaignArtifact":
-        """Inverse of :meth:`to_json`."""
-        data = json.loads(payload)
-        if data.get("schema") != SCHEMA:
-            raise ValueError(
-                f"not a campaign artifact (schema={data.get('schema')!r})"
-            )
+        """Inverse of :meth:`to_json`.
+
+        Raises :class:`ArtifactCorrupt` when the payload is not valid
+        JSON or its embedded content digest does not verify; artifacts
+        written before digests existed load unverified.
+        """
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ArtifactCorrupt(
+                f"artifact is not valid JSON (torn or truncated write?): {exc}"
+            ) from None
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+            schema = data.get("schema") if isinstance(data, dict) else None
+            raise ValueError(f"not a campaign artifact (schema={schema!r})")
+        stored_digest = data.get("digest")
+        if stored_digest is not None:
+            expected = content_digest(data)
+            if stored_digest != expected:
+                raise ArtifactCorrupt(
+                    "artifact content digest mismatch: stored "
+                    f"{stored_digest[:12]}…, computed {expected[:12]}… "
+                    "(file modified or corrupted after save)"
+                )
         convergence = data.get("convergence")
         return cls(
             label=data.get("label", ""),
@@ -276,10 +376,14 @@ class CampaignArtifact:
         )
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the artifact to ``path``; returns the path written."""
-        path = Path(path)
-        path.write_text(self.to_json(indent=2) + "\n")
-        return path
+        """Write the artifact to ``path``; returns the path written.
+
+        The write is atomic (temp file + ``os.replace``), so concurrent
+        writers — forked shards, service workers, parallel CLI runs —
+        can target the same path without readers ever seeing a torn
+        file.
+        """
+        return atomic_write_text(Path(path), self.to_json(indent=2) + "\n")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "CampaignArtifact":
@@ -288,7 +392,13 @@ class CampaignArtifact:
 
 
 class ArtifactStore:
-    """A directory of campaign artifacts, keyed by name."""
+    """A directory of campaign artifacts, keyed by name.
+
+    Writes are atomic (see :meth:`CampaignArtifact.save`) and loads are
+    digest-verified, so concurrent writers cannot leave a reader with a
+    torn file and silent corruption surfaces as
+    :class:`ArtifactCorrupt` naming the offending path.
+    """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -297,13 +407,21 @@ class ArtifactStore:
         return self.root / f"{name}.json"
 
     def save(self, name: str, artifact: CampaignArtifact) -> Path:
-        """Persist ``artifact`` under ``name``."""
+        """Persist ``artifact`` under ``name`` (atomic replace)."""
         self.root.mkdir(parents=True, exist_ok=True)
         return artifact.save(self._path(name))
 
     def load(self, name: str) -> CampaignArtifact:
-        """Load the artifact stored under ``name``."""
-        return CampaignArtifact.load(self._path(name))
+        """Load the artifact stored under ``name``.
+
+        Raises :class:`ArtifactCorrupt` (with the path named) when the
+        file fails JSON parsing or digest verification.
+        """
+        path = self._path(name)
+        try:
+            return CampaignArtifact.load(path)
+        except ArtifactCorrupt as exc:
+            raise ArtifactCorrupt(f"{path}: {exc}") from None
 
     def names(self) -> List[str]:
         """Stored artifact names, sorted."""

@@ -43,6 +43,7 @@ from .workload import (
 )
 
 __all__ = [
+    "REGISTRY_SCHEMA",
     "register_platform",
     "register_workload",
     "register_scenario",
@@ -57,7 +58,12 @@ __all__ = [
     "scenario_description",
     "estimator_names",
     "estimator_description",
+    "registry_schema",
 ]
+
+#: Discovery schema identifier; served by both ``repro list --json``
+#: and the campaign service's ``GET /registry`` endpoint.
+REGISTRY_SCHEMA = "repro.registry/1"
 
 PlatformFactory = Callable[..., Platform]
 WorkloadFactory = Callable[..., Workload]
@@ -139,6 +145,39 @@ def scenario_names() -> List[str]:
 def scenario_description(name: str) -> str:
     """One-line description of a registered scenario ('' if none)."""
     return _SCENARIO_DESCRIPTIONS.get(name, "")
+
+
+def registry_schema() -> Dict[str, Any]:
+    """Everything registered, as one JSON-safe discovery document.
+
+    The single source of truth for "what can this installation
+    measure": ``repro list --json`` prints it and the campaign
+    service's ``GET /registry`` endpoint serves it, so remote clients
+    can validate workload/platform/scenario/estimator names before
+    submitting a :class:`~repro.api.requests.CampaignRequest`.
+    """
+    from .backend import BACKENDS
+
+    return {
+        "schema": REGISTRY_SCHEMA,
+        "backends": list(BACKENDS),
+        "estimators": [
+            {"name": name, "description": estimator_description(name)}
+            for name in estimator_names()
+        ],
+        "platforms": [
+            {
+                "name": name,
+                "default_cores": create_platform(name).config.num_cores,
+            }
+            for name in platform_names()
+        ],
+        "scenarios": [
+            {"name": name, "description": scenario_description(name)}
+            for name in scenario_names()
+        ],
+        "workloads": [{"name": name} for name in workload_names()],
+    }
 
 
 # ----------------------------------------------------------------------

@@ -76,6 +76,8 @@ if TYPE_CHECKING:
     from multiprocessing.queues import Queue as MpQueue
     from multiprocessing.synchronize import Event as MpEvent
 
+    from .requests import CampaignRequest
+
 from ..core.convergence import (
     CampaignConvergence,
     CampaignConvergenceSummary,
@@ -262,6 +264,39 @@ class CampaignRunner:
         self.config = config
         self.shards = shards
         self.backend = validate_backend(backend)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_request(cls, request: "CampaignRequest") -> "CampaignRunner":
+        """The runner a :class:`~repro.api.requests.CampaignRequest`
+        describes (run budget, seeds, sharding, backend)."""
+        return cls(
+            request.campaign_config(),
+            shards=request.shards,
+            backend=request.backend,
+        )
+
+    @classmethod
+    def run_request(
+        cls,
+        request: "CampaignRequest",
+        progress: Optional[Progress] = None,
+    ) -> CampaignResult:
+        """Execute a :class:`~repro.api.requests.CampaignRequest`.
+
+        The request-object form of :meth:`run`: resolves the workload,
+        platform and scenario against the registries and honours the
+        request's shards, backend and convergence policy.  Every entry
+        point (CLI, facade, experiment drivers, campaign service)
+        funnels through this, so identical requests yield identical
+        campaigns everywhere.
+        """
+        return cls.from_request(request).run(
+            request.build_workload(),
+            request.build_platform(),
+            progress=progress,
+            convergence=request.convergence,
+        )
 
     # ------------------------------------------------------------------
     def run(

@@ -16,7 +16,21 @@ Five subcommands mirror the paper's workflow plus the multicore axis:
 * ``contend`` — sweep the same workload over contention scenarios
   (isolation vs co-runner opponents) and render the comparison panel,
 * ``list`` — show the registered workloads, platforms (with their
-  default core counts) and contention scenarios.
+  default core counts) and contention scenarios; ``--json`` emits the
+  machine-readable registry document (schema ``repro.registry/1``, the
+  same one the campaign service serves at ``GET /registry``),
+* ``serve`` — run the campaign service daemon: an HTTP job API over a
+  persistent, content-addressed campaign store (see
+  :mod:`repro.service`); ``run``/``analyse`` accept ``--remote URL`` to
+  submit their campaign to such a daemon instead of executing
+  in-process — the artifact is bit-identical either way, and repeated
+  submissions of the same campaign are served from the daemon's cache.
+
+Every subcommand maps its flags onto the same frozen request objects
+(:class:`repro.api.requests.CampaignRequest` /
+:class:`~repro.api.requests.AnalysisRequest`) that the library facade
+and the service API consume, so validation, digests and artifacts are
+identical no matter which door a campaign comes in through.
 
 ``run``, ``analyse`` and ``compare`` accept ``--until-converged``: the
 campaign then stops at the first run where the MBPTA convergence
@@ -47,31 +61,36 @@ Examples::
     python -m repro.cli contend --workload matmul --runs 200 --cutoff 1e-9
     python -m repro.cli contend --runs 200 --cutoff 1e-9 --ci 0.95
     python -m repro.cli list
+    python -m repro.cli list --json
+    python -m repro.cli serve --port 8321 --store ~/.repro-store
+    python -m repro.cli run --runs 300 --remote http://127.0.0.1:8321 --out c.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional
 
 from .api import (
+    AnalysisRequest,
     CampaignArtifact,
-    CampaignConfig,
-    CampaignResult,
-    CampaignRunner,
-    Workload,
+    CampaignRequest,
     create_platform,
-    create_scenario,
-    create_workload,
     estimator_description,
     estimator_names,
+    execute_request,
     load_measurements,
     platform_names,
+    registry_schema,
     scenario_description,
     scenario_names,
     workload_names,
 )
+from .api.artifacts import atomic_write_text
 from .core import (
     AnalysisConfig,
     AnalysisPipeline,
@@ -80,22 +99,67 @@ from .core import (
     mbta_bound,
 )
 from .core.convergence import CampaignConvergenceSummary
-from .harness import band_relation, compare_det_rand, compare_scenarios
-from .platform.soc import Platform
+from .harness import band_relation, compare_requests, compare_scenarios_request
 from .viz import contention_csv, contention_panel, figure3_panel
 
 __all__ = ["main", "build_parser"]
 
 
 def _workload_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
-    if args.workload == "tvca":
+    if getattr(args, "workload", "tvca") == "tvca":
         return {"estimator_dim": args.estimator_dim, "aero_window": 32}
     return {}
 
 
-def _platform(args: argparse.Namespace, kind: str) -> Platform:
-    return create_platform(
-        kind, num_cores=getattr(args, "cores", 1), cache_kb=args.cache_kb
+def _platform_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    return {
+        "num_cores": getattr(args, "cores", 1),
+        "cache_kb": args.cache_kb,
+    }
+
+
+def _analysis_request(
+    args: argparse.Namespace, min_path_samples: Optional[int] = None
+) -> AnalysisRequest:
+    """The analysis knobs requested on the command line, as a request.
+
+    Constructing it validates every knob, so commands call this before
+    running a campaign: a bad ``--ci`` exits 2 with no run burned.
+    """
+    return AnalysisRequest(
+        method=args.method,
+        ci=args.ci,
+        bootstrap=args.bootstrap,
+        bootstrap_kind=args.bootstrap_kind,
+        min_path_samples=min_path_samples,
+    )
+
+
+def _campaign_request(
+    args: argparse.Namespace,
+    platform: str,
+    workload: Optional[str] = None,
+    with_analysis: bool = False,
+) -> CampaignRequest:
+    """Map the shared CLI flag groups onto a :class:`CampaignRequest`.
+
+    One flag, one field — every subcommand (and the campaign service,
+    which receives this exact object as JSON) resolves the same way.
+    """
+    if workload is None:
+        workload = str(getattr(args, "workload", "tvca"))
+    return CampaignRequest(
+        workload=workload,
+        platform=platform,
+        runs=args.runs,
+        base_seed=args.seed,
+        scenario=getattr(args, "co_runner", None),
+        shards=getattr(args, "shards", 1),
+        backend=getattr(args, "backend", "auto"),
+        workload_kwargs=_workload_kwargs(args),
+        platform_kwargs=_platform_kwargs(args),
+        convergence=_policy(args),
+        analysis=_analysis_request(args) if with_analysis else None,
     )
 
 
@@ -157,28 +221,44 @@ def _print_convergence(summary: CampaignConvergenceSummary) -> None:
             print(f"    path {path}: {len(report.history)} checkpoints, not stable")
 
 
-def _run_campaign(
-    args: argparse.Namespace, kind: str
-) -> Tuple[CampaignResult, CampaignRunner, Platform, Workload, Optional[str]]:
-    workload = create_workload(args.workload, **_workload_kwargs(args))
-    scenario = getattr(args, "co_runner", None)
-    if scenario is not None:
-        workload = create_scenario(scenario, workload)
-    platform = _platform(args, kind)
-    runner = CampaignRunner(
-        CampaignConfig(runs=args.runs, base_seed=args.seed),
-        shards=getattr(args, "shards", 1),
-        backend=getattr(args, "backend", "auto"),
+def _print_artifact_headline(artifact: CampaignArtifact) -> None:
+    """The ``run`` summary lines, from a (possibly remote) artifact."""
+    sample = artifact.merged
+    print(
+        f"{artifact.label}: n={len(sample)} min={sample.minimum:.0f} "
+        f"mean={sample.mean:.0f} hwm={sample.hwm:.0f} "
+        f"backend={artifact.backend}"
     )
-    result = runner.run(workload, platform, convergence=_policy(args))
-    return result, runner, platform, workload, scenario
+    for path, count in sorted(artifact.samples.counts().items()):
+        print(f"  path {path}: {count} runs")
+    if artifact.convergence is not None:
+        _print_convergence(artifact.convergence)
+
+
+def _remote_artifact_text(args: argparse.Namespace, request: CampaignRequest) -> str:
+    """Submit ``request`` to the daemon at ``--remote`` and fetch the
+    artifact as raw text (raw = the bit-identity contract holds end to
+    end; a re-serialization here could mask a wire corruption)."""
+    from .service import ServiceClient
+
+    return ServiceClient(args.remote).run(request)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    _analysis_config(args)  # validate analysis knobs before any run
-    result, runner, platform, _workload, scenario = _run_campaign(
-        args, args.platform
+    request = _campaign_request(
+        args, args.platform, with_analysis=args.ci is not None
     )
+    _analysis_request(args)  # validate analysis knobs before any run
+    if getattr(args, "remote", None):
+        text = _remote_artifact_text(args, request)
+        artifact = CampaignArtifact.from_json(text)
+        _print_artifact_headline(artifact)
+        if args.out:
+            atomic_write_text(Path(args.out), text)
+            print(f"campaign artifact written to {args.out}")
+        return 0
+    execution = execute_request(request)
+    result = execution.result
     sample = result.merged
     print(
         f"{result.label}: n={len(sample)} min={sample.minimum:.0f} "
@@ -189,29 +269,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"  path {path}: {count} runs")
     if result.convergence is not None:
         _print_convergence(result.convergence)
-    analysis = None
-    if args.ci is not None:
-        config = _analysis_config(args, max(120, result.num_runs // 3))
-        analysis = AnalysisPipeline(config).run(result.samples)
-        _print_band_summary(analysis)
+    if execution.analysis is not None:
+        _print_band_summary(execution.analysis)
     if args.out:
-        artifact = CampaignArtifact.from_result(
-            result,
-            config=runner.config,
-            platform=platform,
-            workload=args.workload,
-            shards=runner.shards,
-            scenario=scenario,
-        )
-        if analysis is not None:
-            artifact.attach_analysis(analysis)
-        artifact.save(args.out)
+        execution.artifact().save(args.out)
         print(f"campaign artifact written to {args.out}")
     return 0
 
 
 def cmd_analyse(args: argparse.Namespace) -> int:
-    _analysis_config(args)  # validate analysis knobs before any run
+    _analysis_request(args)  # validate analysis knobs before any run
     artifact = None
     if args.sample:
         loaded = load_measurements(args.sample)
@@ -230,24 +297,29 @@ def cmd_analyse(args: argparse.Namespace) -> int:
         if artifact is not None and artifact.convergence is not None:
             print(f"{artifact.label}:")
             _print_convergence(artifact.convergence)
-    else:
-        result, runner, platform, _workload, scenario = _run_campaign(
-            args, "rand"
+    elif getattr(args, "remote", None):
+        # Measure on the daemon, analyse locally (the analysis is a
+        # deterministic function of the fetched samples).
+        request = _campaign_request(args, "rand")
+        artifact = CampaignArtifact.from_json(
+            _remote_artifact_text(args, request)
         )
+        data = artifact.samples
+        min_path = max(120, artifact.num_runs // 3)
+        if artifact.convergence is not None:
+            print(f"{artifact.label}:")
+            _print_convergence(artifact.convergence)
+    else:
+        request = _campaign_request(args, "rand")
+        execution = execute_request(request)
+        result = execution.result
         data = result.samples
         min_path = max(120, result.num_runs // 3)
         if result.convergence is not None:
             print(f"{result.label}:")
             _print_convergence(result.convergence)
         if args.out:
-            artifact = CampaignArtifact.from_result(
-                result,
-                config=runner.config,
-                platform=platform,
-                workload=args.workload,
-                shards=runner.shards,
-                scenario=scenario,
-            )
+            artifact = execution.artifact()
     analysis = AnalysisPipeline(_analysis_config(args, min_path)).run(data)
     print(analysis.report())
     if args.cutoff:
@@ -275,19 +347,10 @@ def cmd_analyse(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    from .workloads.tvca import TvcaConfig
-
-    _analysis_config(args)  # validate analysis knobs before any run
-    comparison = compare_det_rand(
-        runs=args.runs,
-        base_seed=args.seed,
-        app_config=TvcaConfig(estimator_dim=args.estimator_dim, aero_window=32),
-        det_platform=_platform(args, "det"),
-        rand_platform=_platform(args, "rand"),
-        shards=getattr(args, "shards", 1),
-        convergence=_policy(args),
-        scenario=getattr(args, "co_runner", None),
-        backend=getattr(args, "backend", "auto"),
+    _analysis_request(args)  # validate analysis knobs before any run
+    det_request = _campaign_request(args, "det", workload="tvca")
+    comparison = compare_requests(
+        det_request, replace(det_request, platform="rand")
     )
     for name, result in (("DET", comparison.det), ("RAND", comparison.rand)):
         if result.convergence is not None:
@@ -328,7 +391,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_contend(args: argparse.Namespace) -> int:
-    _analysis_config(args)  # validate analysis knobs before any run
+    _analysis_request(args)  # validate analysis knobs before any run
     scenarios = args.scenarios
     if args.co_runner is not None:
         # Shorthand: --co-runner X sweeps isolation against X.
@@ -339,18 +402,10 @@ def cmd_contend(args: argparse.Namespace) -> int:
         scenarios = ["isolation", args.co_runner]
     if scenarios is None:
         scenarios = ["isolation", "opponent-memory-hammer"]
-    comparison = compare_scenarios(
-        args.workload,
-        scenarios=scenarios,
-        platform_name=args.platform,
-        runs=args.runs,
-        base_seed=args.seed,
-        shards=getattr(args, "shards", 1),
-        workload_kwargs=_workload_kwargs(args),
-        platform_kwargs={"num_cores": args.cores, "cache_kb": args.cache_kb},
-        convergence=_policy(args),
-        backend=getattr(args, "backend", "auto"),
+    base_request = replace(
+        _campaign_request(args, args.platform), scenario=None
     )
+    comparison = compare_scenarios_request(base_request, scenarios=scenarios)
     summary = comparison.summary(
         cutoff=args.cutoff,
         method=args.method,
@@ -389,6 +444,11 @@ def cmd_contend(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        # Same document the service's GET /registry serves
+        # (schema repro.registry/1), so scripts can target either.
+        print(json.dumps(registry_schema(), indent=2, sort_keys=True))
+        return 0
     print("workloads:")
     for name in workload_names():
         print(f"  {name}")
@@ -409,6 +469,22 @@ def cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    server = serve(
+        args.store, host=args.host, port=args.port, workers=args.workers
+    )
+    print(f"campaign service listening on {server.url} (store: {args.store})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -417,7 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
+    # Three shared flag groups, each mapping 1:1 onto a request object:
+    # campaign flags -> CampaignRequest, analysis flags ->
+    # AnalysisRequest, convergence flags -> ConvergencePolicy.  Defined
+    # once; every campaign-running subcommand composes all three.
+
+    def add_campaign_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--runs", type=int, default=300, help="measured executions")
         p.add_argument("--seed", type=int, default=2017, help="campaign base seed")
         p.add_argument(
@@ -448,6 +529,8 @@ def build_parser() -> argparse.ArgumentParser:
             "--estimator-dim", type=int, default=20,
             help="TVCA estimator dimension (44 = full configuration)",
         )
+
+    def add_analysis_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--method", choices=tuple(estimator_names()),
             default="block-maxima-gumbel",
@@ -469,6 +552,8 @@ def build_parser() -> argparse.ArgumentParser:
             help="bootstrap resampling: parametric (from the fitted "
             "tail) or block (resample the fitted maxima/excesses)",
         )
+
+    def add_convergence_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--until-converged", action="store_true",
             help="stop once the MBPTA convergence criterion holds "
@@ -493,6 +578,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="adaptive stopping: block size of the monitored EVT fit",
         )
 
+    def add_remote_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--remote", metavar="URL", default=None,
+            help="submit the campaign to a running `repro serve` daemon "
+            "at this base URL instead of executing in-process "
+            "(identical artifact either way)",
+        )
+
+    def common(p: argparse.ArgumentParser) -> None:
+        add_campaign_flags(p)
+        add_analysis_flags(p)
+        add_convergence_flags(p)
+
     for alias in ("run", "campaign"):
         p_run = sub.add_parser(
             alias,
@@ -510,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
         p_run.add_argument(
             "--out", help="write the full campaign artifact to this JSON file"
         )
+        add_remote_flag(p_run)
         p_run.set_defaults(func=cmd_run)
 
     p_analyse = sub.add_parser("analyse", help="run the MBPTA pipeline")
@@ -527,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the campaign artifact with the analysis summary "
         "(estimator, fit quality, bands) attached to this JSON file",
     )
+    add_remote_flag(p_analyse)
     p_analyse.set_defaults(func=cmd_analyse)
 
     p_compare = sub.add_parser("compare", help="Figure-3 DET/RAND comparison")
@@ -567,7 +667,35 @@ def build_parser() -> argparse.ArgumentParser:
         "list",
         help="list registered workloads, platforms and contention scenarios",
     )
+    p_list.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (schema repro.registry/1 — the "
+        "same document the campaign service serves at GET /registry)",
+    )
     p_list.set_defaults(func=cmd_list)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the campaign service daemon (HTTP job API over a "
+        "persistent cross-process campaign store)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="TCP port (0 picks a free ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--store", default=".repro-store",
+        help="persistent store directory (campaign cache keyed by "
+        "execution digest; shared safely between daemons)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="job worker threads (1 = strict submission-order execution)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -21,10 +21,12 @@ def _matches(path: str, patterns: Tuple[str, ...]) -> bool:
 
 
 #: REP002 exemptions: entry points and measurement code legitimately
-#: read the clock/environment (benchmark timing, CLI configuration).
+#: read the clock/environment (benchmark timing, CLI configuration,
+#: service request-latency metrics and client polling).
 DEFAULT_WALLCLOCK_EXEMPT: Tuple[str, ...] = (
     "*/repro/cli.py",
     "*/repro/__main__.py",
+    "*/repro/service/*",
     "*/benchmarks/*",
     "benchmarks/*",
 )

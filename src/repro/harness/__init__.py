@@ -6,7 +6,9 @@ from .experiment import (
     ScenarioComparison,
     band_relation,
     compare_det_rand,
+    compare_requests,
     compare_scenarios,
+    compare_scenarios_request,
 )
 from .measurements import ExecutionTimeSample, PathSamples
 from .records import RunRecord
@@ -22,5 +24,7 @@ __all__ = [
     "ScenarioComparison",
     "band_relation",
     "compare_det_rand",
+    "compare_requests",
     "compare_scenarios",
+    "compare_scenarios_request",
 ]

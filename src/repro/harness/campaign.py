@@ -36,6 +36,7 @@ from .measurements import ExecutionTimeSample, PathSamples
 from .records import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
+    from ..api.requests import CampaignRequest
     from ..api.workload import BatchPlan, PreparedTrace, RunObservation
     from ..core.convergence import CampaignConvergenceSummary, ConvergencePolicy
 
@@ -220,6 +221,23 @@ class MeasurementCampaign:
     ) -> None:
         self.config = config
         self.backend = backend
+
+    @staticmethod
+    def run_request(
+        request: "CampaignRequest",
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> CampaignResult:
+        """Execute a :class:`~repro.api.requests.CampaignRequest`.
+
+        The unified entry point shared with the CLI and the campaign
+        service: the request carries its own campaign config, workload,
+        platform, shards and backend, so this ignores the facade's
+        constructor state and delegates straight to
+        :meth:`~repro.api.runner.CampaignRunner.run_request`.
+        """
+        from ..api.runner import CampaignRunner
+
+        return CampaignRunner.run_request(request, progress=progress)
 
     def run_tvca(
         self,

@@ -22,7 +22,7 @@ measured contention the pWCET must absorb.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Sequence, TYPE_CHECKING
 
 from ..platform.soc import Platform, leon3_det, leon3_rand
@@ -31,14 +31,17 @@ from .campaign import CampaignConfig, CampaignResult
 from .measurements import ExecutionTimeSample
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> harness)
+    from ..api.requests import CampaignRequest
     from ..core.analysis import AnalysisConfig, AnalysisResult
     from ..core.convergence import ConvergencePolicy
 
 __all__ = [
     "DetRandComparison",
     "compare_det_rand",
+    "compare_requests",
     "ScenarioComparison",
     "compare_scenarios",
+    "compare_scenarios_request",
     "band_relation",
 ]
 
@@ -138,6 +141,38 @@ class DetRandComparison:
         }
 
 
+def compare_requests(
+    det_request: "CampaignRequest",
+    rand_request: "CampaignRequest",
+    progress: Optional[Callable[[str, int, int], None]] = None,
+) -> DetRandComparison:
+    """Run two campaign requests and pair them into a comparison.
+
+    The request-object form of :func:`compare_det_rand`: callers build
+    two :class:`~repro.api.requests.CampaignRequest` objects (typically
+    differing only in ``platform``) and this driver executes both via
+    :meth:`~repro.api.runner.CampaignRunner.run_request`.  Using the
+    same ``base_seed`` in both requests reproduces the paper's
+    controlled comparison (identical workload inputs, platform as the
+    only variable).  ``progress`` receives ``("DET"|"RAND", done,
+    total)`` labelled by the request's platform name upper-cased.
+    """
+    from ..api.runner import CampaignRunner
+
+    def wrap(name: str) -> Optional[Callable[[int, int], None]]:
+        if progress is None:
+            return None
+        return lambda done, total: progress(name, done, total)
+
+    det = CampaignRunner.run_request(
+        det_request, progress=wrap(det_request.platform.upper())
+    )
+    rand = CampaignRunner.run_request(
+        rand_request, progress=wrap(rand_request.platform.upper())
+    )
+    return DetRandComparison(det=det, rand=rand)
+
+
 def compare_det_rand(
     runs: int = 500,
     base_seed: int = 2017,
@@ -165,10 +200,34 @@ def compare_det_rand(
     the TVCA against that scenario's opponents on both platforms — the
     Figure-3 comparison under multicore contention; the supplied
     platforms must then have at least 2 cores.
+
+    Deprecated kwarg shim: when neither live platforms nor an
+    ``app_config`` object are supplied the call builds two
+    :class:`~repro.api.requests.CampaignRequest` objects and delegates
+    to :func:`compare_requests` — new code should construct the
+    requests directly.  Object arguments keep the historical in-place
+    path (they are not expressible as plain request data).
     """
     from ..api.registry import create_scenario
     from ..api.runner import CampaignRunner
     from ..api.workload import TvcaWorkload, Workload
+
+    if app_config is None and det_platform is None and rand_platform is None:
+        from ..api.requests import CampaignRequest
+
+        det_request = CampaignRequest(
+            workload="tvca",
+            platform="det",
+            runs=runs,
+            base_seed=base_seed,
+            scenario=scenario,
+            shards=shards,
+            backend=backend,
+            convergence=convergence,
+        )
+        return compare_requests(
+            det_request, replace(det_request, platform="rand"), progress=progress
+        )
 
     app = TvcaApplication(app_config or TvcaConfig())
     runner = CampaignRunner(
@@ -288,6 +347,40 @@ class ScenarioComparison:
             return None
 
 
+def compare_scenarios_request(
+    base_request: "CampaignRequest",
+    scenarios: Sequence[str] = ("isolation", "opponent-memory-hammer"),
+    progress: Optional[Callable[[str, int, int], None]] = None,
+) -> ScenarioComparison:
+    """Measure one request's workload under several contention scenarios.
+
+    The request-object form of :func:`compare_scenarios`:
+    ``base_request`` fixes the workload, platform, seeding and backend;
+    each sweep entry is ``base_request.with_scenario(name)`` executed
+    via :meth:`~repro.api.runner.CampaignRunner.run_request`.  Every
+    campaign therefore shares one base seed — identical per-run
+    platform seeds and workload inputs, so the sample gap between
+    scenarios *is* the contention.  A fresh platform and workload are
+    built per scenario (scenario execution mutates platform state and
+    the workload's trace cache; isolation between campaigns keeps them
+    shard-safe and order-independent).
+    """
+    from ..api.runner import CampaignRunner
+
+    results: Dict[str, CampaignResult] = {}
+    for name in scenarios:
+        wrapped = None
+        if progress is not None:
+            def wrapped(done: int, total: int, _name: str = name) -> None:
+                progress(_name, done, total)
+        results[name] = CampaignRunner.run_request(
+            base_request.with_scenario(name), progress=wrapped
+        )
+    return ScenarioComparison(
+        workload=base_request.workload, by_scenario=results
+    )
+
+
 def compare_scenarios(
     workload_name: str,
     scenarios: Sequence[str] = ("isolation", "opponent-memory-hammer"),
@@ -304,12 +397,11 @@ def compare_scenarios(
 ) -> ScenarioComparison:
     """Measure one workload under several contention scenarios.
 
-    Every scenario campaign uses the same base seed, hence identical
-    per-run platform seeds and workload inputs — only the co-runners
-    differ, so the sample gap *is* the contention.  A fresh platform and
-    workload instance are built per scenario (scenario execution mutates
-    platform state and the workload's trace cache; isolation between
-    campaigns keeps them shard-safe and order-independent).
+    Deprecated kwarg shim over :func:`compare_scenarios_request`: the
+    sweep was already fully name-based, so the call simply packs its
+    arguments into a :class:`~repro.api.requests.CampaignRequest`
+    (``num_cores`` defaulting to 4 — contention needs spare cores) and
+    delegates.  New code should build the request directly.
 
     ``vary_inputs=False`` fixes the workload inputs (and hence the
     opponent traces, which derive from the input seed) so every
@@ -317,29 +409,22 @@ def compare_scenarios(
     concurrent backend accelerates; backend choice never changes an
     observation either way.
     """
-    from ..api.registry import create_platform, create_scenario, create_workload
-    from ..api.runner import CampaignRunner
+    from ..api.requests import CampaignRequest
 
     platform_kwargs = dict(platform_kwargs or {})
     platform_kwargs.setdefault("num_cores", 4)
-    results: Dict[str, CampaignResult] = {}
-    for name in scenarios:
-        scenario = create_scenario(
-            name, create_workload(workload_name, **(workload_kwargs or {}))
-        )
-        platform = create_platform(platform_name, **platform_kwargs)
-        runner = CampaignRunner(
-            CampaignConfig(
-                runs=runs, base_seed=base_seed, vary_inputs=vary_inputs
-            ),
-            shards=shards,
-            backend=backend,
-        )
-        wrapped = None
-        if progress is not None:
-            def wrapped(done: int, total: int, _name: str = name) -> None:
-                progress(_name, done, total)
-        results[name] = runner.run(
-            scenario, platform, progress=wrapped, convergence=convergence
-        )
-    return ScenarioComparison(workload=workload_name, by_scenario=results)
+    base_request = CampaignRequest(
+        workload=workload_name,
+        platform=platform_name,
+        runs=runs,
+        base_seed=base_seed,
+        vary_inputs=vary_inputs,
+        shards=shards,
+        backend=backend,
+        workload_kwargs=dict(workload_kwargs or {}),
+        platform_kwargs=platform_kwargs,
+        convergence=convergence,
+    )
+    return compare_scenarios_request(
+        base_request, scenarios=scenarios, progress=progress
+    )

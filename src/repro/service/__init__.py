@@ -1,0 +1,37 @@
+"""repro.service — the persistent campaign daemon.
+
+Turns the library's one-shot campaigns into a long-running service:
+an HTTP JSON API (:mod:`.server`) over a deterministic job queue
+(:mod:`.jobs`) backed by a content-addressed cross-process store
+(:mod:`.store`), instrumented end to end (:mod:`.metrics`), with a
+stdlib client (:mod:`.client`).  The wire format is the request-object
+surface of :mod:`repro.api.requests`, so a campaign submitted over
+HTTP yields an artifact bit-identical to running the same request
+in-process.
+
+Start one with ``repro serve --store DIR`` or programmatically::
+
+    from repro.service import serve
+
+    server = serve("~/.repro-store", port=8321)
+    server.serve_forever()
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobQueue
+from .metrics import LatencyHistogram, ServiceMetrics
+from .server import CampaignServer, CampaignService, serve
+from .store import PersistentStore
+
+__all__ = [
+    "CampaignServer",
+    "CampaignService",
+    "Job",
+    "JobQueue",
+    "LatencyHistogram",
+    "PersistentStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "serve",
+]

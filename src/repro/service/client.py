@@ -1,0 +1,150 @@
+"""Python client for the campaign daemon (stdlib ``urllib`` only).
+
+:class:`ServiceClient` speaks the exact JSON API :mod:`.server`
+exposes, with the request objects of :mod:`repro.api.requests` on the
+wire — submit a :class:`~repro.api.requests.CampaignRequest`, poll the
+job, fetch the artifact (still raw text, so bit-identity with an
+in-process run is preserved end to end), or re-analyse a finished
+campaign with an :class:`~repro.api.requests.AnalysisRequest`.
+
+Every transport or HTTP-level failure raises :class:`ServiceError`,
+an ``OSError`` subclass: the CLI's existing error contract (exit code
+2 on ``OSError``) covers remote failures without a special case.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from ..api.artifacts import CampaignArtifact
+from ..api.requests import AnalysisRequest, CampaignRequest
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(OSError):
+    """The daemon rejected a request or could not be reached."""
+
+
+class ServiceClient:
+    """One campaign daemon, addressed by base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> str:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceError(
+                f"{method} {path} -> HTTP {exc.code}: {detail}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach campaign service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from None
+
+    def _json(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = json.loads(self._request(method, path, payload))
+        if not isinstance(data, dict):
+            raise ServiceError(f"{method} {path}: expected a JSON object")
+        return data
+
+    # -- plumbing endpoints ---------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe (status + job-state counts)."""
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The daemon's counters, histograms and store gauges."""
+        return self._json("GET", "/metrics")
+
+    def registry(self) -> Dict[str, Any]:
+        """The daemon's discovery document (``repro.registry/1``)."""
+        return self._json("GET", "/registry")
+
+    # -- campaign lifecycle ---------------------------------------------
+    def submit(self, request: CampaignRequest) -> Dict[str, Any]:
+        """Submit a campaign; returns the job snapshot (202 body)."""
+        return self._json("POST", "/campaigns", request.to_dict())
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """One job's current snapshot."""
+        return self._json("GET", f"/campaigns/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        """Every job the daemon knows about."""
+        return self._json("GET", "/campaigns")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.1,
+    ) -> Dict[str, Any]:
+        """Poll until the job is ``done`` (or raise on failure/timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            state = snapshot.get("state")
+            if state == "done":
+                return snapshot
+            if state == "failed":
+                raise ServiceError(
+                    f"{job_id} failed: {snapshot.get('error')}"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"{job_id} still {state!r} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def artifact_text(self, job_id: str) -> str:
+        """The finished campaign's artifact, as raw JSON text."""
+        return self._request("GET", f"/campaigns/{job_id}/artifact")
+
+    def artifact(self, job_id: str) -> CampaignArtifact:
+        """The finished campaign's artifact, parsed and verified."""
+        return CampaignArtifact.from_json(self.artifact_text(job_id))
+
+    def analyse(
+        self, job_id: str, analysis: Optional[AnalysisRequest] = None
+    ) -> Dict[str, Any]:
+        """Re-analyse a finished campaign on the daemon (no re-run)."""
+        payload = (analysis or AnalysisRequest()).to_dict()
+        return self._json("POST", f"/campaigns/{job_id}/analyses", payload)
+
+    def run(
+        self, request: CampaignRequest, timeout: Optional[float] = None
+    ) -> str:
+        """Submit, wait, and fetch: one round trip to raw artifact text."""
+        job_id = str(self.submit(request)["job"]["id"])
+        self.wait(job_id, timeout=timeout)
+        return self.artifact_text(job_id)

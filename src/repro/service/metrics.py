@@ -1,0 +1,114 @@
+"""Service observability: counters and latency histograms.
+
+The north-star deployment ("millions of users") needs the daemon to
+answer *how is it doing* without log spelunking: every HTTP request is
+counted per endpoint and status, every campaign execution per backend,
+cache hits and misses per submission — plus fixed-bucket latency
+histograms per endpoint, the shape dashboards and SLO alerting consume.
+
+Everything is plain JSON served by ``GET /metrics``: counters are a
+flat ``name -> int`` map (dotted names, e.g.
+``"http_requests_total.POST /campaigns.202"``), histograms a
+``name -> {count, sum_ms, buckets}`` map with cumulative ``le_*``
+buckets, Prometheus-style.  The registry is lock-protected — handler
+threads and job workers update it concurrently — and snapshots are
+sorted so two reads of the same state are byte-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["LATENCY_BUCKETS_MS", "LatencyHistogram", "ServiceMetrics"]
+
+#: Upper bucket edges in milliseconds (cumulative, Prometheus-style);
+#: an implicit ``le_inf`` bucket catches the rest.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+def _bucket_label(edge: float) -> str:
+    if edge == int(edge):
+        return f"le_{int(edge)}"
+    return f"le_{edge}"
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (milliseconds).
+
+    Not thread-safe on its own; :class:`ServiceMetrics` serializes all
+    access under its registry lock.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum_ms = 0.0
+        self._counts: List[int] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+
+    def observe(self, latency_ms: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum_ms += latency_ms
+        for i, edge in enumerate(LATENCY_BUCKETS_MS):
+            if latency_ms <= edge:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe cumulative view (``le_*`` buckets, count, sum)."""
+        buckets: Dict[str, int] = {}
+        running = 0
+        for edge, n in zip(LATENCY_BUCKETS_MS, self._counts):
+            running += n
+            buckets[_bucket_label(edge)] = running
+        buckets["le_inf"] = running + self._counts[-1]
+        return {
+            "count": self.count,
+            "sum_ms": round(self.sum_ms, 3),
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counter/histogram registry for one service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never touched)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe_latency(self, name: str, latency_ms: float) -> None:
+        """Record one latency observation under histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = LatencyHistogram()
+            hist.observe(latency_ms)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-safe view of every counter and histogram (sorted)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: self._counters[name]
+                    for name in sorted(self._counters)
+                },
+                "latency_ms": {
+                    name: self._histograms[name].snapshot()
+                    for name in sorted(self._histograms)
+                },
+            }

@@ -1,0 +1,124 @@
+"""Content-addressed cross-process campaign store.
+
+The campaign service's persistence layer, generalizing two existing
+caches into one on-disk, multi-process-safe structure:
+
+* :class:`~repro.api.artifacts.ArtifactStore` — a directory of named
+  artifacts — becomes the ``campaigns/`` section, keyed by
+  :meth:`~repro.api.requests.CampaignRequest.execution_digest` (the
+  hash of workload + kwargs, scenario, platform fingerprint, seeds and
+  run budget — exactly the fields that determine the observations).
+  Two requests with equal digests must yield bit-identical measurement
+  records, so a stored campaign *is* the result of every future
+  submission of the same work: repeated submissions become cache hits
+  that never touch the simulator.
+* the in-process per-workload LRU trace cache, whose keying discipline
+  (workload, input seed, platform) this store lifts across process
+  boundaries at campaign granularity.
+
+Layout under ``root``::
+
+    campaigns/<execution_digest>.json   bare campaign artifacts
+                                        (measurements only, no analysis)
+    jobs/<job_id>.json                  exact response artifacts served
+                                        by ``GET /campaigns/{id}/artifact``
+
+Bare campaigns are stored *without* analysis sections so one cached
+measurement serves any number of re-analyses; the per-job files keep
+the byte-exact text a job produced (analysis attached), because the
+artifact endpoint's contract is bit-identity with an in-process run.
+
+All writes are atomic (:func:`~repro.api.artifacts.atomic_write_text`)
+and all loads digest-verified, so concurrent service workers — or
+several daemons sharing one store directory — never observe torn files
+and silent corruption surfaces as
+:class:`~repro.api.artifacts.ArtifactCorrupt`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..api.artifacts import (
+    ArtifactCorrupt,
+    ArtifactStore,
+    CampaignArtifact,
+    atomic_write_text,
+)
+
+__all__ = ["PersistentStore"]
+
+
+class PersistentStore:
+    """On-disk campaign cache shared by every process using ``root``."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.campaigns = ArtifactStore(self.root / "campaigns")
+        self._jobs_dir = self.root / "jobs"
+
+    # -- campaign cache (keyed by execution digest) ---------------------
+    def has_campaign(self, execution_digest: str) -> bool:
+        """Whether a campaign with this execution digest is cached."""
+        return execution_digest in self.campaigns
+
+    def load_campaign(self, execution_digest: str) -> CampaignArtifact:
+        """Load the cached campaign (digest-verified).
+
+        Raises :class:`~repro.api.artifacts.ArtifactCorrupt` when the
+        stored file fails verification — callers treat that as a cache
+        miss and re-measure.
+        """
+        return self.campaigns.load(execution_digest)
+
+    def save_campaign(
+        self, execution_digest: str, artifact: CampaignArtifact
+    ) -> Path:
+        """Cache a finished campaign under its execution digest.
+
+        The analysis section, if any, is *not* persisted here: the
+        cache stores measurements, and analyses are recomputed (they
+        are deterministic and cheap relative to measurement).
+        """
+        if artifact.analysis is not None:
+            artifact = CampaignArtifact.from_json(artifact.to_json())
+            artifact.analysis = None
+        return self.campaigns.save(execution_digest, artifact)
+
+    def campaign_digests(self) -> List[str]:
+        """Execution digests of every cached campaign, sorted."""
+        return self.campaigns.names()
+
+    # -- per-job response artifacts -------------------------------------
+    def _job_path(self, job_id: str) -> Path:
+        return self._jobs_dir / f"{job_id}.json"
+
+    def save_job_artifact(self, job_id: str, text: str) -> Path:
+        """Persist the byte-exact artifact a job produced."""
+        self._jobs_dir.mkdir(parents=True, exist_ok=True)
+        return atomic_write_text(self._job_path(job_id), text)
+
+    def load_job_artifact_text(self, job_id: str) -> Optional[str]:
+        """The job's artifact text, or None when absent.
+
+        Served raw by the artifact endpoint — re-serializing would risk
+        breaking the bit-identity contract.
+        """
+        path = self._job_path(job_id)
+        if not path.is_file():
+            return None
+        text = path.read_text()
+        # Verify before serving: a corrupt response file must surface
+        # as an error, not as corrupt bytes handed to the client.
+        try:
+            CampaignArtifact.from_json(text)
+        except ArtifactCorrupt as exc:
+            raise ArtifactCorrupt(f"{path}: {exc}") from None
+        return text
+
+    def job_ids(self) -> List[str]:
+        """Job ids with a stored response artifact, sorted."""
+        if not self._jobs_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self._jobs_dir.glob("*.json"))

@@ -1,0 +1,135 @@
+"""Artifact integrity: atomic writes, content digests, corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import (
+    ArtifactCorrupt,
+    ArtifactStore,
+    CampaignArtifact,
+    CampaignRequest,
+    execute_request,
+)
+from repro.api.artifacts import atomic_write_text, content_digest
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    request = CampaignRequest(
+        workload="matmul",
+        platform="rand",
+        runs=10,
+        base_seed=3,
+        workload_kwargs={"dim": 3},
+        platform_kwargs={"num_cores": 1, "cache_kb": 4},
+    )
+    return execute_request(request).artifact()
+
+
+class TestAtomicWrite:
+    def test_writes_and_returns_path(self, tmp_path):
+        target = tmp_path / "x.json"
+        assert atomic_write_text(target, "hello") == target
+        assert target.read_text() == "hello"
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "x.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_droppings(self, tmp_path):
+        atomic_write_text(tmp_path / "x.json", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.json"]
+
+
+class TestContentDigest:
+    def test_embedded_and_verified(self, artifact, tmp_path):
+        path = tmp_path / "a.json"
+        artifact.save(path)
+        data = json.loads(path.read_text())
+        assert data["digest"] == content_digest(data)
+        loaded = CampaignArtifact.load(path)
+        assert loaded.samples.to_dict() == artifact.samples.to_dict()
+
+    def test_provenance_keys_excluded(self, artifact):
+        payload = json.loads(artifact.to_json())
+        tweaked = dict(payload)
+        tweaked["config"] = {**payload["config"], "shards": 16,
+                             "backend": "scalar"}
+        assert content_digest(tweaked) == content_digest(payload)
+
+    def test_measurement_fields_covered(self, artifact):
+        payload = json.loads(artifact.to_json())
+        tampered = dict(payload)
+        tampered["records"] = list(payload["records"])
+        tampered["records"][0] = {**payload["records"][0], "cycles": 1}
+        assert content_digest(tampered) != content_digest(payload)
+
+
+class TestCorruption:
+    def test_tampered_measurement_raises(self, artifact, tmp_path):
+        path = tmp_path / "a.json"
+        artifact.save(path)
+        data = json.loads(path.read_text())
+        data["records"][0]["cycles"] += 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ArtifactCorrupt, match="digest mismatch"):
+            CampaignArtifact.load(path)
+
+    def test_truncated_file_raises(self, artifact, tmp_path):
+        path = tmp_path / "a.json"
+        artifact.save(path)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        with pytest.raises(ArtifactCorrupt, match="not valid JSON"):
+            CampaignArtifact.load(path)
+
+    def test_legacy_artifact_without_digest_loads(self, artifact, tmp_path):
+        path = tmp_path / "a.json"
+        data = json.loads(artifact.to_json())
+        del data["digest"]
+        path.write_text(json.dumps(data))
+        loaded = CampaignArtifact.load(path)
+        assert loaded.label == artifact.label
+
+    def test_store_names_offending_path(self, artifact, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("camp", artifact)
+        path = tmp_path / "camp.json"
+        data = json.loads(path.read_text())
+        data["records"][0]["cycles"] += 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ArtifactCorrupt, match="camp.json"):
+            store.load("camp")
+
+    def test_round_trip_is_byte_stable(self, artifact):
+        text = artifact.to_json(indent=2)
+        reloaded = CampaignArtifact.from_json(text)
+        assert reloaded.to_json(indent=2) == text
+
+
+class TestConcurrentWriters:
+    def test_parallel_saves_leave_valid_file(self, artifact, tmp_path):
+        import threading
+
+        path = tmp_path / "contended.json"
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(5):
+                    artifact.save(path)
+                    CampaignArtifact.load(path)
+            except Exception as exc:  # propagate to the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert os.path.getsize(path) > 0
+        CampaignArtifact.load(path)

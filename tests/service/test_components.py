@@ -1,0 +1,173 @@
+"""Unit tests for the service building blocks (no sockets)."""
+
+import pytest
+
+from repro.api import CampaignRequest, execute_request
+from repro.service import (
+    CampaignService,
+    JobQueue,
+    LatencyHistogram,
+    PersistentStore,
+    ServiceMetrics,
+)
+
+
+def small_request(**overrides):
+    base = dict(
+        workload="matmul",
+        platform="rand",
+        runs=8,
+        base_seed=5,
+        workload_kwargs={"dim": 3},
+        platform_kwargs={"num_cores": 1, "cache_kb": 4},
+    )
+    base.update(overrides)
+    return CampaignRequest(**base)
+
+
+class TestLatencyHistogram:
+    def test_buckets_cumulative(self):
+        hist = LatencyHistogram()
+        for value in (0.5, 3.0, 70.0, 99999.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"]["le_1"] == 1
+        assert snap["buckets"]["le_5"] == 2
+        assert snap["buckets"]["le_100"] == 3
+        assert snap["buckets"]["le_inf"] == 4
+
+    def test_sum_tracked(self):
+        hist = LatencyHistogram()
+        hist.observe(2.0)
+        hist.observe(3.0)
+        assert hist.snapshot()["sum_ms"] == 5.0
+
+
+class TestServiceMetrics:
+    def test_counters(self):
+        metrics = ServiceMetrics()
+        metrics.incr("a")
+        metrics.incr("a", 2)
+        assert metrics.counter("a") == 3
+        assert metrics.counter("missing") == 0
+
+    def test_snapshot_sorted_and_stable(self):
+        metrics = ServiceMetrics()
+        metrics.incr("b")
+        metrics.incr("a")
+        metrics.observe_latency("x", 1.0)
+        snap = metrics.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap == metrics.snapshot()
+
+
+class TestPersistentStore:
+    def test_campaign_round_trip(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        request = small_request()
+        artifact = execute_request(request).artifact()
+        digest = request.execution_digest()
+        assert not store.has_campaign(digest)
+        store.save_campaign(digest, artifact)
+        assert store.has_campaign(digest)
+        assert store.campaign_digests() == [digest]
+        loaded = store.load_campaign(digest)
+        assert loaded.to_json() == artifact.to_json()
+
+    def test_analysis_stripped_from_campaign_cache(self, tmp_path):
+        from repro.api import AnalysisRequest
+
+        store = PersistentStore(tmp_path)
+        request = small_request(
+            runs=90, analysis=AnalysisRequest(min_path_samples=80)
+        )
+        artifact = execute_request(request).artifact()
+        assert artifact.analysis is not None
+        store.save_campaign(request.execution_digest(), artifact)
+        loaded = store.load_campaign(request.execution_digest())
+        assert loaded.analysis is None
+        # The in-memory artifact the caller holds is untouched.
+        assert artifact.analysis is not None
+
+    def test_job_artifacts_round_trip(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        text = execute_request(small_request()).artifact().to_json(indent=2)
+        store.save_job_artifact("job-000001", text)
+        assert store.load_job_artifact_text("job-000001") == text
+        assert store.load_job_artifact_text("job-000002") is None
+        assert store.job_ids() == ["job-000001"]
+
+
+class TestJobQueue:
+    def test_sequential_ids_and_states(self, tmp_path):
+        queue = JobQueue(PersistentStore(tmp_path), ServiceMetrics())
+        try:
+            job1, created1 = queue.submit(small_request(base_seed=1))
+            job2, created2 = queue.submit(small_request(base_seed=2))
+            assert (job1.job_id, job2.job_id) == ("job-000001", "job-000002")
+            assert created1 and created2
+            queue.wait(job1.job_id, timeout=60)
+            queue.wait(job2.job_id, timeout=60)
+            assert queue.state_counts()["done"] == 2
+        finally:
+            queue.close()
+
+    def test_wait_unknown_job(self, tmp_path):
+        queue = JobQueue(PersistentStore(tmp_path), ServiceMetrics())
+        try:
+            with pytest.raises(KeyError):
+                queue.wait("job-999999")
+        finally:
+            queue.close()
+
+    def test_workers_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            JobQueue(PersistentStore(tmp_path), ServiceMetrics(), workers=0)
+
+
+class TestDispatchWithoutSockets:
+    def test_full_cycle(self, tmp_path):
+        service = CampaignService(tmp_path, workers=1)
+        try:
+            status, body, _ = service.dispatch(
+                "POST", "/campaigns", small_request().to_json()
+            )
+            assert status == 202
+            import json
+
+            job_id = json.loads(body)["job"]["id"]
+            service.jobs.wait(job_id, timeout=60)
+            status, body, ctype = service.dispatch(
+                "GET", f"/campaigns/{job_id}/artifact", ""
+            )
+            assert status == 200
+            assert ctype == "application/json"
+            local = (
+                execute_request(small_request()).artifact().to_json(indent=2)
+                + "\n"
+            )
+            assert body == local
+        finally:
+            service.close()
+
+    def test_artifact_of_queued_job_409(self, tmp_path):
+        service = CampaignService(tmp_path, workers=1)
+        try:
+            # Park the worker on a slow job, then query the queued one.
+            service.dispatch(
+                "POST", "/campaigns", small_request(runs=300).to_json()
+            )
+            status, body, _ = service.dispatch(
+                "POST", "/campaigns", small_request(runs=301).to_json()
+            )
+            import json
+
+            queued_id = json.loads(body)["job"]["id"]
+            status, body, _ = service.dispatch(
+                "GET", f"/campaigns/{queued_id}/artifact", ""
+            )
+            assert status == 409
+            assert queued_id in json.loads(body)["error"]
+        finally:
+            service.close()

@@ -1,0 +1,87 @@
+"""CLI <-> daemon integration: --remote, serve wiring, list --json."""
+
+import json
+import threading
+
+import pytest
+
+from repro.api import registry_schema
+from repro.cli import build_parser, main
+from repro.service import serve
+
+ARGS = [
+    "run", "--workload", "matmul", "--runs", "40", "--seed", "21",
+    "--cores", "1", "--cache-kb", "4",
+]
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = serve(tmp_path / "store", port=0, workers=1)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    yield srv
+    srv.shutdown()
+    thread.join(timeout=10)
+
+
+class TestRemoteRun:
+    def test_remote_artifact_bit_identical_to_local(
+        self, server, tmp_path, capsys
+    ):
+        local = tmp_path / "local.json"
+        remote = tmp_path / "remote.json"
+        assert main(ARGS + ["--out", str(local)]) == 0
+        assert main(ARGS + ["--remote", server.url, "--out", str(remote)]) == 0
+        assert remote.read_text() == local.read_text()
+        out = capsys.readouterr().out
+        assert out.count("matmul_8@RAND:") == 2
+
+    def test_remote_unreachable_exits_2(self, capsys):
+        rc = main(ARGS + ["--remote", "http://127.0.0.1:9"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_remote_invalid_request_exits_2(self, server, capsys):
+        rc = main(
+            ["run", "--workload", "tvca", "--runs", "0",
+             "--remote", server.url]
+        )
+        assert rc == 2
+
+    def test_analyse_remote_matches_local_report(self, server, capsys):
+        args = ["analyse", "--workload", "matmul", "--runs", "120",
+                "--seed", "21", "--cores", "1", "--cache-kb", "4"]
+        assert main(args) in (0, 1)
+        local_out = capsys.readouterr().out
+        assert main(args + ["--remote", server.url]) in (0, 1)
+        remote_out = capsys.readouterr().out
+        assert remote_out == local_out
+
+
+class TestListJson:
+    def test_matches_registry_schema(self, capsys):
+        assert main(["list", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == registry_schema()
+
+    def test_plain_list_unchanged(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "workloads:" in out and "platforms:" in out
+
+
+class TestParser:
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--store", "/tmp/s", "--workers", "2"]
+        )
+        assert args.port == 0
+        assert args.store == "/tmp/s"
+        assert args.workers == 2
+
+    def test_remote_flag_only_on_run_and_analyse(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "--remote", "http://x"]).remote
+        assert parser.parse_args(["analyse", "--remote", "http://x"]).remote
+        with pytest.raises(SystemExit):
+            parser.parse_args(["compare", "--remote", "http://x"])
