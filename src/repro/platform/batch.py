@@ -61,7 +61,7 @@ from .core import _FP_OPS, CoreConfig, RunResult
 from .fpu import Fpu, FpuStats
 from .memory import MemoryConfig
 from .pipeline import PipelineModel, PipelineStats
-from .prng import _MAXIMAL_TAPS, CombinedLfsrPrng, SplitMix64, derive_seed
+from .prng import CombinedLfsrPrng, Lfsr, SplitMix64, derive_seed
 from .soc import Platform
 from .tlb import TlbConfig, TlbStats
 from .trace import InstrKind, Trace
@@ -283,13 +283,112 @@ def _compile_segment(trace: Trace, core_cfg: CoreConfig) -> _CompiledSegment:
 # ----------------------------------------------------------------------
 
 
+class _StepTables:
+    """Precomputed ``nbits``-step advance of the stacked LFSR slots.
+
+    An ``nbits`` draw of :class:`CombinedLfsrPrng` is a GF(2)-linear map
+    of the four slot states: both the post-draw state and the emitted
+    output word are XORs of per-state-bit basis contributions.  Each
+    slot's state is split into a high and a low half and the map is
+    tabulated per half (``table[hi] ^ table[lo]``), so one draw costs a
+    constant handful of stacked ops — two gathers per table family —
+    instead of ``nbits`` feedback/shift rounds.  The four slots' tables
+    are concatenated flat with per-slot offsets, which keeps the gather
+    a plain 1-D take under a broadcast index.
+    """
+
+    __slots__ = (
+        "lo_bits",
+        "lo_mask",
+        "hi_offsets",
+        "lo_offsets",
+        "state_hi",
+        "state_lo",
+        "out_hi",
+        "out_lo",
+    )
+
+    def __init__(self, nbits: int, degrees: Tuple[int, ...]) -> None:
+        np = _np
+        lo_bits: List[int] = []
+        hi_offsets: List[int] = []
+        lo_offsets: List[int] = []
+        state_hi_parts: List[Any] = []
+        state_lo_parts: List[Any] = []
+        out_hi_parts: List[Any] = []
+        out_lo_parts: List[Any] = []
+        hi_total = 0
+        lo_total = 0
+        for degree in degrees:
+            lo = (degree + 1) // 2
+            hi = degree - lo
+            lo_bits.append(lo)
+            hi_offsets.append(hi_total)
+            lo_offsets.append(lo_total)
+            sh, oh = _expand_basis(degree, nbits, lo, hi)
+            sl, ol = _expand_basis(degree, nbits, 0, lo)
+            state_hi_parts.append(sh)
+            out_hi_parts.append(oh)
+            state_lo_parts.append(sl)
+            out_lo_parts.append(ol)
+            hi_total += 1 << hi
+            lo_total += 1 << lo
+        self.lo_bits = np.array(lo_bits, dtype=np.uint32)[:, None]
+        self.lo_mask = np.array(
+            [(1 << lo) - 1 for lo in lo_bits], dtype=np.uint32
+        )[:, None]
+        self.hi_offsets = np.array(hi_offsets, dtype=np.uint32)[:, None]
+        self.lo_offsets = np.array(lo_offsets, dtype=np.uint32)[:, None]
+        self.state_hi = np.concatenate(state_hi_parts)
+        self.state_lo = np.concatenate(state_lo_parts)
+        self.out_hi = np.concatenate(out_hi_parts)
+        self.out_lo = np.concatenate(out_lo_parts)
+
+
+def _expand_basis(
+    degree: int, nbits: int, shift_base: int, count: int
+) -> Tuple[Any, Any]:
+    """Tabulate the ``nbits``-step map over one state half.
+
+    Scalar-steps each single-bit basis state ``1 << (shift_base + j)``
+    with the real :class:`Lfsr` (so tap configuration and output
+    convention cannot drift from the interpreter), then expands to all
+    ``2**count`` subset XORs with the doubling trick.
+    """
+    np = _np
+    states = np.zeros(1 << count, dtype=np.uint32)
+    outs = np.zeros(1 << count, dtype=np.int64)
+    for j in range(count):
+        lfsr = Lfsr(degree, 1 << (shift_base + j))
+        out = lfsr.bits(nbits)
+        size = 1 << j
+        states[size : 2 * size] = states[:size] ^ np.uint32(lfsr.state)
+        outs[size : 2 * size] = outs[:size] ^ out
+    return states, outs
+
+
+#: Step tables memoized per draw width (degrees are fixed per process).
+_STEP_TABLES: Dict[int, _StepTables] = {}
+
+
+def _step_tables(nbits: int) -> _StepTables:
+    tables = _STEP_TABLES.get(nbits)
+    if tables is None:
+        tables = _StepTables(nbits, CombinedLfsrPrng.DEGREES)
+        _STEP_TABLES[nbits] = tables
+    return tables
+
+
 class _VecPrng:
     """Per-run :class:`CombinedLfsrPrng` lanes advanced under a mask.
 
     Seeding reproduces ``CombinedLfsrPrng.reseed`` per lane; a masked
     draw advances only the masked lanes, so every lane's bit stream is
     exactly the scalar one regardless of how misses interleave across
-    runs.
+    runs.  Draws go through the per-``nbits`` :class:`_StepTables`: all
+    four LFSR slots advance in one stacked table lookup, and rejection
+    (non-power-of-two ``randint``) retries only the rejecting lanes in
+    gather/scatter form.
     """
 
     def __init__(self, seeds: Sequence[int]) -> None:
@@ -301,53 +400,26 @@ class _VecPrng:
             for slot, degree in enumerate(degrees):
                 state = expander.next_u64() & ((1 << degree) - 1)
                 columns[slot].append(state if state else 1)
-        # All LFSR slots advance in one stacked (slots, lanes) array so a
-        # bit draw costs a handful of vector ops instead of a Python loop
-        # over slots.  Tap positions come straight from the scalar Lfsr
-        # configuration; per-tap shift/XOR keeps the engine portable
-        # across numpy generations (no popcount intrinsic required).
-        # Every slot's tap tuple is padded to a common width by
-        # repeating the last tap an *even* number of times — the XOR of
-        # a duplicated tap pair is zero, so the padded feedback equals
-        # the scalar one.
         self._states = np.array(columns, dtype=np.uint32)
-        width = max(len(_MAXIMAL_TAPS[degree]) for degree in degrees)
-        tap_columns: List[List[int]] = [[] for _ in range(width)]
-        for degree in degrees:
-            shifts = [tap - 1 for tap in _MAXIMAL_TAPS[degree]]
-            if (width - len(shifts)) % 2:
-                raise AssertionError("tap padding must preserve XOR parity")
-            shifts += [shifts[-1]] * (width - len(shifts))
-            for position, shift in enumerate(shifts):
-                tap_columns[position].append(shift)
-        self._tap_shifts = [
-            np.array(column, dtype=np.uint32)[:, None] for column in tap_columns
-        ]
-        self._out_shifts = np.array(
-            [degree - 1 for degree in degrees], dtype=np.uint32
-        )[:, None]
-        self._full_masks = np.array(
-            [(1 << degree) - 1 for degree in degrees], dtype=np.uint32
-        )[:, None]
+
+    def _draw(self, states: Any, nbits: int) -> Tuple[Any, Any]:
+        """(value, new_states) of one ``nbits`` draw over stacked lanes."""
+        np = _np
+        tables = _step_tables(nbits)
+        hi = (states >> tables.lo_bits) + tables.hi_offsets
+        lo = (states & tables.lo_mask) + tables.lo_offsets
+        value = np.bitwise_xor.reduce(
+            tables.out_hi[hi] ^ tables.out_lo[lo], axis=0
+        )
+        return value, tables.state_hi[hi] ^ tables.state_lo[lo]
 
     def next_bits(self, nbits: int, mask: Any) -> Any:
-        """``n``-bit draws for the masked lanes (others keep their state)."""
+        """``n``-bit draws for the masked lanes (others keep their
+        state; their returned value is meaningless and must be ignored,
+        as the callers' own masks guarantee)."""
         np = _np
-        one = np.uint32(1)
-        states = self._states
-        taps = self._tap_shifts
-        out_shifts = self._out_shifts
-        full_masks = self._full_masks
-        value = np.zeros(states.shape[1], dtype=np.int64)
-        for _ in range(nbits):
-            feedback = states >> taps[0]
-            for shift in taps[1:]:
-                feedback = feedback ^ (states >> shift)
-            feedback = feedback & one
-            out = (states >> out_shifts) & one
-            advanced = ((states << one) & full_masks) | feedback
-            np.copyto(states, advanced, where=mask)
-            value = (value << 1) | np.bitwise_xor.reduce(out, axis=0)
+        value, advanced = self._draw(self._states, nbits)
+        np.copyto(self._states, advanced, where=mask)
         return value
 
     def randint(self, n: int, mask: Any) -> Any:
@@ -355,36 +427,23 @@ class _VecPrng:
         as the scalar ``CombinedLfsrPrng.randint``."""
         np = _np
         if n == 1:
-            return np.zeros(len(self._states[0]), dtype=np.int64)
+            return np.zeros(self._states.shape[1], dtype=np.int64)
         bits = (n - 1).bit_length()
-        out = np.zeros(len(self._states[0]), dtype=np.int64)
-        pending = mask.copy()
-        while pending.any():
-            draw = self.next_bits(bits, pending)
-            accept = pending & (draw < n)
-            out[accept] = draw[accept]
-            pending &= ~accept
+        out = self.next_bits(bits, mask)
+        if n & (n - 1) == 0:
+            return out
+        bad = np.flatnonzero(mask & (out >= n))
+        while bad.size:
+            redraw = self.next_bits_idx(bits, bad)
+            out[bad] = redraw
+            bad = bad[redraw >= n]
         return out
 
     def next_bits_idx(self, nbits: int, lanes: Any) -> Any:
         """``n``-bit draws for the *indexed* lanes (gather/scatter form
         of :meth:`next_bits` — ``lanes`` must hold unique indices)."""
-        np = _np
-        one = np.uint32(1)
-        states = self._states[:, lanes]
-        taps = self._tap_shifts
-        out_shifts = self._out_shifts
-        full_masks = self._full_masks
-        value = np.zeros(states.shape[1], dtype=np.int64)
-        for _ in range(nbits):
-            feedback = states >> taps[0]
-            for shift in taps[1:]:
-                feedback = feedback ^ (states >> shift)
-            feedback = feedback & one
-            out = (states >> out_shifts) & one
-            states = ((states << one) & full_masks) | feedback
-            value = (value << 1) | np.bitwise_xor.reduce(out, axis=0)
-        self._states[:, lanes] = states
+        value, advanced = self._draw(self._states[:, lanes], nbits)
+        self._states[:, lanes] = advanced
         return value
 
     def randint_idx(self, n: int, lanes: Any) -> Any:
@@ -395,27 +454,143 @@ class _VecPrng:
             return np.zeros(lanes.shape[0], dtype=np.int64)
         bits = (n - 1).bit_length()
         out = self.next_bits_idx(bits, lanes)
-        while True:
-            bad = np.flatnonzero(out >= n)
-            if not bad.size:
-                return out
-            out[bad] = self.next_bits_idx(bits, lanes[bad])
+        if n & (n - 1) == 0:
+            return out
+        bad = np.flatnonzero(out >= n)
+        while bad.size:
+            redraw = self.next_bits_idx(bits, lanes[bad])
+            out[bad] = redraw
+            bad = bad[redraw >= n]
+        return out
+
+
+class _VecFastPrng:
+    """Per-run :class:`~repro.platform.prng.FastParityPrng` lanes.
+
+    The counter construction has no sequential dependency between
+    draws, so each lane's next ``_BUFFER`` values are materialized in
+    one vectorized refill; a masked draw is then one gather plus one
+    masked cursor bump.  Per lane the emitted sequence is bit-identical
+    to the scalar ``FastParityPrng`` seeded the same way (draw ``i``
+    maps counter ``seed + i * GOLDEN`` through the SplitMix64
+    finalizer), so scalar/batch parity holds in fast-parity mode too —
+    only the *exact-mode* hardware generator is swapped out.
+    """
+
+    _BUFFER = 64
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        np = _np
+        runs = len(seeds)
+        self._seeds = np.array([s & _M64 for s in seeds], dtype=np.uint64)
+        self._rows = np.arange(runs)
+        self._count = np.zeros(runs, dtype=np.uint64)
+        self._pos = np.zeros(runs, dtype=np.int64)
+        self._vals = np.zeros((runs, self._BUFFER), dtype=np.int64)
+        self._kind: Optional[Tuple[str, int]] = None
+        self._left = 0
+
+    def _refill(self, rows: Any) -> None:
+        np = _np
+        kind, param = self._kind  # type: ignore[misc]
+        self._count[rows] += self._pos[rows].astype(np.uint64)
+        steps = np.arange(1, self._BUFFER + 1, dtype=np.uint64)
+        z = self._seeds[rows, None] + (
+            (self._count[rows, None] + steps) * np.uint64(_GOLDEN)
+        )
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX1)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX2)
+        z = z ^ (z >> np.uint64(31))
+        if kind == "randint":
+            self._vals[rows] = (z % np.uint64(param)).astype(np.int64)
+        else:
+            self._vals[rows] = (z >> np.uint64(64 - param)).astype(np.int64)
+        self._pos[rows] = 0
+
+    def _replenish(self, kind: Tuple[str, int]) -> None:
+        np = _np
+        if kind != self._kind:
+            # Kind switches recompute the outstanding buffer from the
+            # per-lane counters — no draw is consumed or skipped.
+            self._kind = kind
+            self._refill(slice(None))
+        elif self._left <= 0:
+            exhausted = np.flatnonzero(self._pos == self._BUFFER)
+            if exhausted.size:
+                self._refill(exhausted)
+        else:
+            return
+        self._left = self._BUFFER - int(self._pos.max(initial=0))
+
+    def next_bits(self, nbits: int, mask: Any) -> Any:
+        self._replenish(("bits", nbits))
+        value = self._vals[self._rows, self._pos]
+        self._pos += mask
+        self._left -= 1
+        return value
+
+    def randint(self, n: int, mask: Any) -> Any:
+        np = _np
+        if n == 1:
+            return np.zeros(self._pos.shape[0], dtype=np.int64)
+        self._replenish(("randint", n))
+        value = self._vals[self._rows, self._pos]
+        self._pos += mask
+        self._left -= 1
+        return value
+
+    def next_bits_idx(self, nbits: int, lanes: Any) -> Any:
+        self._replenish(("bits", nbits))
+        value = self._vals[lanes, self._pos[lanes]]
+        self._pos[lanes] += 1
+        self._left -= 1
+        return value
+
+    def randint_idx(self, n: int, lanes: Any) -> Any:
+        np = _np
+        if n == 1:
+            return np.zeros(lanes.shape[0], dtype=np.int64)
+        self._replenish(("randint", n))
+        value = self._vals[lanes, self._pos[lanes]]
+        self._pos[lanes] += 1
+        self._left -= 1
+        return value
+
+
+def _make_vec_prng(prng_mode: str, seeds: Sequence[int]) -> Any:
+    """Vectorized platform generator lanes for ``prng_mode``."""
+    if prng_mode == "fast-parity":
+        return _VecFastPrng(seeds)
+    return _VecPrng(seeds)
 
 
 class _VecRandomRepl:
-    """Random replacement: victims drawn from the per-run PRNG lanes."""
+    """Random replacement: victims drawn from the per-run PRNG lanes.
 
-    def __init__(self, prng: _VecPrng, num_ways: int) -> None:
+    ``needs_touch`` is False: the policy keeps no recency state, so the
+    cache skips the hit-way ``argmax``/touch entirely (the scalar
+    ``RandomReplacement.touch`` is a no-op too).
+    """
+
+    needs_touch = False
+
+    def __init__(self, prng: Any, num_ways: int) -> None:
         self._prng = prng
         self._ways = num_ways
 
     def touch(self, set_index: Any, way: Any, mask: Any) -> None:
         return None
 
-    fill = touch
-
     def victim(self, set_index: Any, mask: Any) -> Any:
         return self._prng.randint(self._ways, mask)
+
+    def victim_idx(self, sets: Any, lanes: Any) -> Any:
+        """Victim ways for the indexed miss lanes only — consumes one
+        draw per listed lane, exactly the scalar consumption."""
+        return self._prng.randint_idx(self._ways, lanes)
+
+    def fill_idx(self, sets: Any, way: Any, lanes: Any) -> None:
+        return None
 
 
 class _VecLruRepl:
@@ -424,7 +599,10 @@ class _VecLruRepl:
     Initial timestamps equal the way index (the scalar policy's initial
     recency order) and every touch installs a strictly increasing
     counter, so ``argmin`` over a set reproduces ``order[0]`` exactly.
+    Timestamp scatters land on the touched/filled lanes only.
     """
+
+    needs_touch = True
 
     def __init__(self, runs: int, num_sets: int, num_ways: int) -> None:
         np = _np
@@ -442,8 +620,6 @@ class _VecLruRepl:
             self._ts[lanes, sets, way[lanes]] = self._counter
         self._counter += 1
 
-    fill = touch
-
     def victim(self, set_index: Any, mask: Any) -> Any:
         if isinstance(set_index, int):
             per_set = self._ts[:, set_index]
@@ -451,9 +627,20 @@ class _VecLruRepl:
             per_set = self._ts[self._rows, set_index]
         return per_set.argmin(axis=1)
 
+    def victim_idx(self, sets: Any, lanes: Any) -> Any:
+        per_set = self._ts[lanes, sets]
+        return per_set.argmin(axis=1)
+
+    def fill_idx(self, sets: Any, way: Any, lanes: Any) -> None:
+        if lanes.size:
+            self._ts[lanes, sets, way] = self._counter
+        self._counter += 1
+
 
 class _VecRoundRobinRepl:
     """FIFO-like rotation: per-run per-set victim pointer."""
+
+    needs_touch = False
 
     def __init__(self, runs: int, num_sets: int, num_ways: int) -> None:
         np = _np
@@ -463,8 +650,6 @@ class _VecRoundRobinRepl:
 
     def touch(self, set_index: Any, way: Any, mask: Any) -> None:
         return None
-
-    fill = touch
 
     def victim(self, set_index: Any, mask: Any) -> Any:
         np = _np
@@ -478,13 +663,21 @@ class _VecRoundRobinRepl:
             self._ptr[lanes, set_index[lanes]] = (way[lanes] + 1) % self._ways
         return way
 
+    def victim_idx(self, sets: Any, lanes: Any) -> Any:
+        way = self._ptr[lanes, sets]
+        self._ptr[lanes, sets] = (way + 1) % self._ways
+        return way
+
+    def fill_idx(self, sets: Any, way: Any, lanes: Any) -> None:
+        return None
+
 
 def _make_vec_replacement(
     name: str,
     runs: int,
     num_sets: int,
     num_ways: int,
-    prng: Optional[_VecPrng],
+    prng: Optional[Any],
 ) -> Any:
     if name == "random":
         return _VecRandomRepl(prng, num_ways)
@@ -514,7 +707,13 @@ class _VecCache:
     invariant the scalar ``Cache._allocate`` scan relies on.
     """
 
-    def __init__(self, cfg: CacheConfig, seeds: Sequence[int], runs: int) -> None:
+    def __init__(
+        self,
+        cfg: CacheConfig,
+        seeds: Sequence[int],
+        runs: int,
+        prng_mode: str = "exact",
+    ) -> None:
         np = _np
         self.cfg = cfg
         self.num_sets = cfg.num_sets
@@ -526,24 +725,42 @@ class _VecCache:
         self._placement = cfg.placement
         self._seeds = np.array([s & _M64 for s in seeds], dtype=np.uint64)
         self._rotations: Dict[int, Any] = {}
-        prng = _VecPrng(seeds) if cfg.replacement == "random" else None
+        self._set_memo: Dict[int, Any] = {}
+        prng = (
+            _make_vec_prng(prng_mode, seeds)
+            if cfg.replacement == "random"
+            else None
+        )
         self.repl = _make_vec_replacement(
             cfg.replacement, runs, self.num_sets, self.ways, prng
         )
+        self._needs_touch = self.repl.needs_touch
+        self._allocate_on_write = not cfg.write_through_no_allocate
+        # Misses are derived at stats time (accesses - hits): the hot
+        # loop keeps one vector accumulate per access, not two.
         self.read_hits = np.zeros(runs, dtype=np.int64)
-        self.read_misses = np.zeros(runs, dtype=np.int64)
         self.write_hits = np.zeros(runs, dtype=np.int64)
-        self.write_misses = np.zeros(runs, dtype=np.int64)
         self.evictions = np.zeros(runs, dtype=np.int64)
+        self._reads = 0
+        self._writes = 0
 
     # -- placement -----------------------------------------------------
     def _set_index(self, line: int) -> Any:
-        """Set index of ``line`` — an int (modulo) or an (R,) array."""
+        """Set index of ``line`` — an int (modulo) or an (R,) array.
+
+        Memoized per line: placement is a pure function of (line, run
+        seed) for the whole engine lifetime, and traces revisit a small
+        working set of lines many times.
+        """
         np = _np
+        cached = self._set_memo.get(line)
+        if cached is not None:
+            return cached
         sets = self.num_sets
+        result: Any
         if self._placement == "modulo":
-            return line % sets
-        if self._placement == "random_modulo":
+            result = line % sets
+        elif self._placement == "random_modulo":
             tag, index = divmod(line, sets)
             rotation = self._rotations.get(tag)
             if rotation is None:
@@ -551,14 +768,13 @@ class _VecCache:
                     np.int64
                 )
                 self._rotations[tag] = rotation
-            return (index + rotation) % sets
-        cached = self._rotations.get(line)
-        if cached is None:
-            cached = (_mix_lanes(line, self._seeds) % np.uint64(sets)).astype(
+            result = (index + rotation) % sets
+        else:
+            result = (_mix_lanes(line, self._seeds) % np.uint64(sets)).astype(
                 np.int64
             )
-            self._rotations[line] = cached
-        return cached
+        self._set_memo[line] = result
+        return result
 
     def _gather_ways(self, set_index: Any) -> Any:
         if isinstance(set_index, int):
@@ -566,70 +782,70 @@ class _VecCache:
         return self.tags[self._rows, set_index]
 
     # -- accesses ------------------------------------------------------
-    def _allocate(self, set_index: Any, line: int, miss: Any) -> None:
+    def _allocate_idx(self, set_index: Any, line: int, lanes: Any) -> None:
+        """Fill ``line`` on the miss lanes only (gather/scatter, no
+        run-width temporaries). Victim draws happen on the full lanes
+        in ascending lane order — the scalar loop's draw order."""
         np = _np
-        if isinstance(set_index, int):
-            counts = self.valid[:, set_index]
-        else:
-            counts = self.valid[self._rows, set_index]
-        free = miss & (counts < self.ways)
-        full = miss & ~free
-        way = counts.copy()
-        if full.any():
-            way = np.where(full, self.repl.victim(set_index, full), way)
-            self.evictions += full
-        lanes = np.flatnonzero(miss)
         sets = set_index if isinstance(set_index, int) else set_index[lanes]
-        self.tags[lanes, sets, way[lanes]] = line
-        free_lanes = np.flatnonzero(free)
-        if free_lanes.size:
-            free_sets = (
-                set_index
-                if isinstance(set_index, int)
-                else set_index[free_lanes]
-            )
-            self.valid[free_lanes, free_sets] += 1
-        self.repl.fill(set_index, way, miss)
+        way = self.valid[lanes, sets]
+        full_sel = way >= self.ways
+        full_lanes = lanes[full_sel]
+        if full_lanes.size:
+            full_sets = sets if isinstance(sets, int) else sets[full_sel]
+            way[full_sel] = self.repl.victim_idx(full_sets, full_lanes)
+            self.evictions[full_lanes] += 1
+            free_sel = ~full_sel
+            free_lanes = lanes[free_sel]
+            if free_lanes.size:
+                free_sets = sets if isinstance(sets, int) else sets[free_sel]
+                self.valid[free_lanes, free_sets] += 1
+        else:
+            self.valid[lanes, sets] += 1
+        self.tags[lanes, sets, way] = line
+        self.repl.fill_idx(sets, way, lanes)
 
     def read(self, byte_address: int) -> Any:
-        """Vectorized ``Cache.read``; returns the per-run hit mask."""
+        """Vectorized ``Cache.read``; returns the miss-lane indices."""
+        np = _np
         line = byte_address >> self.line_shift
         set_index = self._set_index(line)
-        ways = self._gather_ways(set_index)
-        matches = ways == line
+        matches = self._gather_ways(set_index) == line
         hit = matches.any(axis=1)
-        way = matches.argmax(axis=1)
-        self.repl.touch(set_index, way, hit)
+        if self._needs_touch:
+            self.repl.touch(set_index, matches.argmax(axis=1), hit)
         self.read_hits += hit
-        miss = ~hit
-        self.read_misses += miss
-        if miss.any():
-            self._allocate(set_index, line, miss)
-        return hit
+        self._reads += 1
+        lanes = np.flatnonzero(~hit)
+        if lanes.size:
+            self._allocate_idx(set_index, line, lanes)
+        return lanes
 
     def write(self, byte_address: int) -> Any:
-        """Vectorized ``Cache.write``; returns the per-run hit mask."""
+        """Vectorized ``Cache.write``; returns the miss-lane indices."""
+        np = _np
         line = byte_address >> self.line_shift
         set_index = self._set_index(line)
-        ways = self._gather_ways(set_index)
-        matches = ways == line
+        matches = self._gather_ways(set_index) == line
         hit = matches.any(axis=1)
-        way = matches.argmax(axis=1)
-        self.repl.touch(set_index, way, hit)
+        if self._needs_touch:
+            self.repl.touch(set_index, matches.argmax(axis=1), hit)
         self.write_hits += hit
-        miss = ~hit
-        self.write_misses += miss
-        if not self.cfg.write_through_no_allocate and miss.any():
-            self._allocate(set_index, line, miss)
-        return hit
+        self._writes += 1
+        lanes = np.flatnonzero(~hit)
+        if lanes.size and self._allocate_on_write:
+            self._allocate_idx(set_index, line, lanes)
+        return lanes
 
     def stats_for(self, run: int) -> CacheStats:
         """Per-run counters as a scalar-shaped :class:`CacheStats`."""
+        read_hits = int(self.read_hits[run])
+        write_hits = int(self.write_hits[run])
         return CacheStats(
-            read_hits=int(self.read_hits[run]),
-            read_misses=int(self.read_misses[run]),
-            write_hits=int(self.write_hits[run]),
-            write_misses=int(self.write_misses[run]),
+            read_hits=read_hits,
+            read_misses=self._reads - read_hits,
+            write_hits=write_hits,
+            write_misses=self._writes - write_hits,
             evictions=int(self.evictions[run]),
             flushes=0,
         )
@@ -638,86 +854,139 @@ class _VecCache:
 class _VecTlb:
     """Fully-associative TLB with per-run entry stores."""
 
-    def __init__(self, cfg: TlbConfig, seeds: Sequence[int], runs: int) -> None:
+    def __init__(
+        self,
+        cfg: TlbConfig,
+        seeds: Sequence[int],
+        runs: int,
+        prng_mode: str = "exact",
+    ) -> None:
         np = _np
         self.cfg = cfg
         self.entries_per_run = cfg.entries
         self._rows = np.arange(runs)
         self.entries = np.full((runs, cfg.entries), -1, dtype=np.int64)
         self.valid = np.zeros(runs, dtype=np.int64)
-        prng = _VecPrng(seeds) if cfg.replacement == "random" else None
+        prng = (
+            _make_vec_prng(prng_mode, seeds)
+            if cfg.replacement == "random"
+            else None
+        )
         self.repl = _make_vec_replacement(
             cfg.replacement, runs, 1, cfg.entries, prng
         )
+        self._needs_touch = self.repl.needs_touch
         self.hits = np.zeros(runs, dtype=np.int64)
-        self.misses = np.zeros(runs, dtype=np.int64)
+        self._lookups = 0
 
-    def lookup(self, page: int) -> Any:
-        """Vectorized ``Tlb.lookup``; returns per-run added latency."""
+    def lookup(self, page: int, now: Any) -> None:
+        """Vectorized ``Tlb.lookup``: adds the walk penalty to ``now``
+        in place on the miss lanes."""
         np = _np
         matches = self.entries == page
         hit = matches.any(axis=1)
-        way = matches.argmax(axis=1)
-        self.repl.touch(0, way, hit)
+        if self._needs_touch:
+            self.repl.touch(0, matches.argmax(axis=1), hit)
         self.hits += hit
-        miss = ~hit
-        self.misses += miss
-        if miss.any():
-            free = miss & (self.valid < self.entries_per_run)
-            full = miss & ~free
-            way_new = self.valid.copy()
-            if full.any():
-                way_new = np.where(full, self.repl.victim(0, full), way_new)
-            lanes = np.flatnonzero(miss)
-            self.entries[lanes, way_new[lanes]] = page
-            self.valid += free
-            self.repl.fill(0, way_new, miss)
-        return np.where(miss, self.cfg.walk_penalty_cycles, 0)
+        self._lookups += 1
+        lanes = np.flatnonzero(~hit)
+        if lanes.size:
+            way_new = self.valid[lanes]
+            full_sel = way_new >= self.entries_per_run
+            full_lanes = lanes[full_sel]
+            if full_lanes.size:
+                way_new[full_sel] = self.repl.victim_idx(0, full_lanes)
+                free_lanes = lanes[~full_sel]
+                if free_lanes.size:
+                    self.valid[free_lanes] += 1
+            else:
+                self.valid[lanes] += 1
+            self.entries[lanes, way_new] = page
+            self.repl.fill_idx(0, way_new, lanes)
+            now[lanes] += self.cfg.walk_penalty_cycles
 
     def stats_for(self, run: int) -> TlbStats:
         """Per-run counters as a scalar-shaped :class:`TlbStats`."""
-        return TlbStats(hits=int(self.hits[run]), misses=int(self.misses[run]))
+        hits = int(self.hits[run])
+        return TlbStats(hits=hits, misses=self._lookups - hits)
 
 
 class _VecBus:
-    """Single-master-per-engine view of the shared bus, per-run horizon."""
+    """Single-master-per-engine view of the shared bus, per-run horizon.
+
+    Only this engine's core ever requests, so the round-robin pointer
+    takes exactly two values per lane: 0 (never requested) or
+    ``core_id + 1`` (requested before). Arbitration delay therefore
+    collapses to a two-case constant selected by a ``requested`` flag —
+    no pointer array, no modulo per request.
+    """
 
     def __init__(self, cfg: BusConfig, runs: int, core_id: int) -> None:
         np = _np
         self.cfg = cfg
         self.core_id = core_id
         self.busy_until = np.zeros(runs, dtype=np.int64)
-        self.pointer = np.zeros(runs, dtype=np.int64)
         self.contention = np.zeros(runs, dtype=np.int64)
-        self.transactions = np.zeros(runs, dtype=np.int64)
-        self.transfer_cycles = np.zeros(runs, dtype=np.int64)
+        self._requested = np.zeros(runs, dtype=bool)
         self._line_cost = cfg.line_transfer_cycles + cfg.arbitration_cycles
         self._word_cost = cfg.word_transfer_cycles + cfg.arbitration_cycles
-
-    def request(self, now: Any, is_line: bool, mask: Any) -> Any:
-        """Vectorized ``Bus.request`` for the masked lanes."""
-        np = _np
-        cfg = self.cfg
-        wait = np.maximum(self.busy_until - now, 0)
         masters = cfg.num_masters
-        if masters > 1:
-            distance = (self.core_id - self.pointer) % masters
+        self._multi = masters > 1
+        if self._multi:
+            first = core_id % masters  # pointer 0 -> distance = core_id
+            again = masters - 1  # pointer core_id+1 -> full rotation
             if cfg.strict_rr_arbitration:
-                delay = distance * cfg.arbitration_cycles
+                self._delay_first = first * cfg.arbitration_cycles
+                self._delay_again = again * cfg.arbitration_cycles
             else:
-                delay = np.where(distance == 0, 0, cfg.arbitration_cycles)
-            wait = wait + delay
+                self._delay_first = 0 if first == 0 else cfg.arbitration_cycles
+                self._delay_again = 0 if again == 0 else cfg.arbitration_cycles
+        else:
+            self._delay_first = 0
+            self._delay_again = 0
+
+    def request_idx(self, now: Any, is_line: bool, lanes: Any) -> None:
+        """``Bus.request`` on the given lanes; advances ``now`` in place
+        by wait + transfer, as the scalar caller does."""
+        np = _np
+        now_l = now[lanes]
+        wait = self.busy_until[lanes] - now_l
+        np.maximum(wait, 0, out=wait)
+        if self._multi:
+            wait += np.where(
+                self._requested[lanes], self._delay_again, self._delay_first
+            )
+            self._requested[lanes] = True
         transfer = self._line_cost if is_line else self._word_cost
-        self.busy_until = np.where(mask, now + wait + transfer, self.busy_until)
-        self.pointer = np.where(mask, (self.core_id + 1) % masters, self.pointer)
-        self.transactions += mask
-        self.contention += np.where(mask, wait, 0)
-        self.transfer_cycles += np.where(mask, transfer, 0)
-        return wait + transfer
+        done = now_l + wait + transfer
+        self.busy_until[lanes] = done
+        self.contention[lanes] += wait
+        now[lanes] = done
+
+    def request_all(self, now: Any, is_line: bool) -> Any:
+        """``Bus.request`` on every lane; returns the per-lane cost."""
+        np = _np
+        wait = self.busy_until - now
+        np.maximum(wait, 0, out=wait)
+        if self._multi:
+            wait += np.where(
+                self._requested, self._delay_again, self._delay_first
+            )
+            self._requested[:] = True
+        transfer = self._line_cost if is_line else self._word_cost
+        cost = wait + transfer
+        np.add(now, cost, out=self.busy_until)
+        self.contention += wait
+        return cost
 
 
 class _VecMemory:
-    """DRAM controller with per-run open-row and refresh state."""
+    """DRAM controller with per-run open-row and refresh state.
+
+    The default configuration (closed-page, no refresh) makes every
+    access a compile-time-constant cost — returned as a plain int so
+    the caller's ``now`` update is one scalar broadcast.
+    """
 
     def __init__(self, cfg: MemoryConfig, runs: int) -> None:
         np = _np
@@ -725,39 +994,67 @@ class _VecMemory:
         self._closed = cfg.page_policy == "closed"
         if not self._closed:
             self.open_rows = np.full((runs, cfg.num_banks), -1, dtype=np.int64)
-        self.total_cycles = np.zeros(runs, dtype=np.int64)
+        self._refresh = cfg.refresh_interval_cycles > 0
+        self._read_cost = cfg.cas_cycles + cfg.activate_cycles
+        self._write_cost = self._read_cost + cfg.write_cycles
 
-    def access(self, byte_address: int, is_write: bool, now: Any, mask: Any) -> Any:
-        """Vectorized ``MemoryController.access`` for the masked lanes."""
+    def _row_cost(self, byte_address: int, is_write: bool, lanes: Any) -> Any:
+        """Open-page cost on the given lanes (or all lanes for
+        ``slice(None)``), updating the per-bank open rows."""
         np = _np
         cfg = self.cfg
         cycles = cfg.cas_cycles + (cfg.write_cycles if is_write else 0)
+        row_index = byte_address // cfg.row_bytes
+        bank = row_index % cfg.num_banks
+        row = row_index // cfg.num_banks
+        open_row = self.open_rows[lanes, bank]
+        empty = open_row < 0
+        conflict = (open_row != row) & ~empty
+        cost = (
+            cycles
+            + np.where(empty, cfg.activate_cycles, 0)
+            + np.where(conflict, cfg.precharge_cycles + cfg.activate_cycles, 0)
+        )
+        self.open_rows[lanes, bank] = row
+        return cost
+
+    def _refresh_stall(self, now: Any) -> Any:
+        # Refresh phase is 0 after every platform reset (the run
+        # protocol never calls set_refresh_phase), so ``now`` alone
+        # determines the collision per lane.
+        np = _np
+        cfg = self.cfg
+        position = now % cfg.refresh_interval_cycles
+        stalled = position < cfg.refresh_stall_cycles
+        return np.where(stalled, cfg.refresh_stall_cycles - position, 0)
+
+    def access_idx(
+        self, byte_address: int, is_write: bool, now: Any, lanes: Any
+    ) -> None:
+        """``MemoryController.access`` on the given lanes; advances
+        ``now`` in place."""
+        if self._closed and not self._refresh:
+            now[lanes] += self._write_cost if is_write else self._read_cost
+            return
         if self._closed:
-            cost = cycles + cfg.activate_cycles
+            cost = self._write_cost if is_write else self._read_cost
         else:
-            row_index = byte_address // cfg.row_bytes
-            bank = row_index % cfg.num_banks
-            row = row_index // cfg.num_banks
-            open_row = self.open_rows[:, bank]
-            empty = open_row < 0
-            conflict = (open_row != row) & ~empty
-            cost = (
-                cycles
-                + np.where(empty, cfg.activate_cycles, 0)
-                + np.where(
-                    conflict, cfg.precharge_cycles + cfg.activate_cycles, 0
-                )
-            )
-            self.open_rows[:, bank] = np.where(mask, row, open_row)
-        interval = cfg.refresh_interval_cycles
-        if interval > 0:
-            # Refresh phase is 0 after every platform reset (the run
-            # protocol never calls set_refresh_phase), so ``now`` alone
-            # determines the collision per lane.
-            position = now % interval
-            stalled = position < cfg.refresh_stall_cycles
-            cost = cost + np.where(stalled, cfg.refresh_stall_cycles - position, 0)
-        self.total_cycles += np.where(mask, cost, 0)
+            cost = self._row_cost(byte_address, is_write, lanes)
+        if self._refresh:
+            cost = cost + self._refresh_stall(now[lanes])
+        now[lanes] += cost
+
+    def access_all(self, byte_address: int, is_write: bool, now: Any) -> Any:
+        """``MemoryController.access`` on every lane; returns the cost
+        (an int when it is lane-invariant)."""
+        if self._closed and not self._refresh:
+            return self._write_cost if is_write else self._read_cost
+        if self._closed:
+            cost: Any = self._write_cost if is_write else self._read_cost
+        else:
+            cost = self._row_cost(byte_address, is_write, slice(None))
+        if self._refresh:
+            cost = cost + self._refresh_stall(now)
         return cost
 
 
@@ -837,6 +1134,7 @@ class _BatchEngine:
         self.core_cfg = core_cfg
         self.core_id = core_id
         self.runs = len(seeds)
+        prng_mode = cfg.prng_mode
         # The scalar reset path: per-core seed, then per-component
         # sub-seeds — identical derivation chain, identical streams.
         icache_seeds: List[int] = []
@@ -849,16 +1147,15 @@ class _BatchEngine:
             dcache_seeds.append(derive_seed(core_seed, core_id, 1))
             itlb_seeds.append(derive_seed(core_seed, core_id, 2))
             dtlb_seeds.append(derive_seed(core_seed, core_id, 3))
-        self.icache = _VecCache(core_cfg.icache, icache_seeds, self.runs)
-        self.dcache = _VecCache(core_cfg.dcache, dcache_seeds, self.runs)
-        self.itlb = _VecTlb(core_cfg.itlb, itlb_seeds, self.runs)
-        self.dtlb = _VecTlb(core_cfg.dtlb, dtlb_seeds, self.runs)
+        self.icache = _VecCache(core_cfg.icache, icache_seeds, self.runs, prng_mode)
+        self.dcache = _VecCache(core_cfg.dcache, dcache_seeds, self.runs, prng_mode)
+        self.itlb = _VecTlb(core_cfg.itlb, itlb_seeds, self.runs, prng_mode)
+        self.dtlb = _VecTlb(core_cfg.dtlb, dtlb_seeds, self.runs, prng_mode)
         self.bus = _VecBus(cfg.bus, self.runs, core_id)
         self.memory = _VecMemory(cfg.memory, self.runs)
         self.store_buffer = _VecStoreBuffer(
             self.runs, core_cfg.store_buffer_depth
         )
-        self._all = _np.ones(self.runs, dtype=bool)
 
     def run_segments(self, segments: Sequence[Trace]) -> BatchRunOutcome:
         np = _np
@@ -869,7 +1166,6 @@ class _BatchEngine:
         bus = self.bus
         memory = self.memory
         store_buffer = self.store_buffer
-        all_lanes = self._all
         dline_shift = dcache.line_shift
 
         per_segment: List["object"] = []
@@ -889,40 +1185,34 @@ class _BatchEngine:
                 pre_cost,
             ) in compiled.events:
                 if gap:
-                    now = now + gap
+                    now += gap
                 if fetch_pc >= 0:
                     if itlb_page >= 0:
-                        now = now + itlb.lookup(itlb_page)
-                    hit = icache.read(fetch_pc)
-                    miss = ~hit
-                    if miss.any():
-                        cost = bus.request(now, True, miss)
-                        now = now + np.where(miss, cost, 0)
-                        cost = memory.access(fetch_pc, False, now, miss)
-                        now = now + np.where(miss, cost, 0)
+                        itlb.lookup(itlb_page, now)
+                    lanes = icache.read(fetch_pc)
+                    if lanes.size:
+                        bus.request_idx(now, True, lanes)
+                        memory.access_idx(fetch_pc, False, now, lanes)
                 if mem_kind == _EV_NONE:
                     continue
                 if pre_cost:
-                    now = now + pre_cost
+                    now += pre_cost
                 if dtlb_page >= 0:
-                    now = now + dtlb.lookup(dtlb_page)
+                    dtlb.lookup(dtlb_page, now)
                 if mem_kind == _EV_LOAD:
-                    hit = dcache.read(addr)
-                    miss = ~hit
-                    if miss.any():
-                        cost = bus.request(now, True, miss)
-                        now = now + np.where(miss, cost, 0)
-                        cost = memory.access(addr, False, now, miss)
-                        now = now + np.where(miss, cost, 0)
+                    lanes = dcache.read(addr)
+                    if lanes.size:
+                        bus.request_idx(now, True, lanes)
+                        memory.access_idx(addr, False, now, lanes)
                 else:
                     dcache.write(addr)
                     store_buffer.drain(now)
                     now = store_buffer.stall_if_full(now)
-                    cost = bus.request(now, False, all_lanes)
-                    cost = cost + memory.access(addr, True, now, all_lanes)
+                    cost = bus.request_all(now, False)
+                    cost = cost + memory.access_all(addr, True, now)
                     store_buffer.push(now + cost)
             if compiled.tail:
-                now = now + compiled.tail
+                now += compiled.tail
             per_segment.append(now)
             instructions += compiled.length
             _accumulate_pipeline(pipeline_total, compiled.pipeline)

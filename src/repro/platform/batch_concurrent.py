@@ -79,7 +79,7 @@ from .batch import (
     _VEC_PLACEMENTS,
     _VEC_REPLACEMENTS,
     BatchUnsupported,
-    _VecPrng,
+    _make_vec_prng,
 )
 from .bus import BusConfig, BusStats
 from .cache import CacheConfig, CacheStats
@@ -333,7 +333,7 @@ def _mix_values(values: Any, seeds_u64: Any) -> Any:
 class _IdxRandomRepl:
     """Random replacement: victims drawn from the per-lane PRNG."""
 
-    def __init__(self, prng: _VecPrng, num_ways: int) -> None:
+    def __init__(self, prng: Any, num_ways: int) -> None:
         self._prng = prng
         self._ways = num_ways
 
@@ -397,7 +397,7 @@ def _make_idx_replacement(
     lanes: int,
     num_sets: int,
     num_ways: int,
-    prng: Optional[_VecPrng],
+    prng: Optional[Any],
 ) -> Any:
     if name == "random":
         return _IdxRandomRepl(prng, num_ways)
@@ -411,7 +411,13 @@ def _make_idx_replacement(
 class _LaneCache:
     """Set-associative cache with per-lane tag stores, index form."""
 
-    def __init__(self, cfg: CacheConfig, seeds: Sequence[int], lanes: int) -> None:
+    def __init__(
+        self,
+        cfg: CacheConfig,
+        seeds: Sequence[int],
+        lanes: int,
+        prng_mode: str = "exact",
+    ) -> None:
         np = _np
         self.cfg = cfg
         self.num_sets = cfg.num_sets
@@ -421,7 +427,11 @@ class _LaneCache:
         self.valid = np.zeros((lanes, self.num_sets), dtype=np.int64)
         self._placement = cfg.placement
         self._seeds = np.array([s & _M64 for s in seeds], dtype=np.uint64)
-        prng = _VecPrng(seeds) if cfg.replacement == "random" else None
+        prng = (
+            _make_vec_prng(prng_mode, seeds)
+            if cfg.replacement == "random"
+            else None
+        )
         self.repl = _make_idx_replacement(
             cfg.replacement, lanes, self.num_sets, self.ways, prng
         )
@@ -506,13 +516,23 @@ class _LaneCache:
 class _LaneTlb:
     """Fully-associative TLB with per-lane entry stores, index form."""
 
-    def __init__(self, cfg: TlbConfig, seeds: Sequence[int], lanes: int) -> None:
+    def __init__(
+        self,
+        cfg: TlbConfig,
+        seeds: Sequence[int],
+        lanes: int,
+        prng_mode: str = "exact",
+    ) -> None:
         np = _np
         self.cfg = cfg
         self.entries_per_lane = cfg.entries
         self.entries = np.full((lanes, cfg.entries), -1, dtype=np.int64)
         self.valid = np.zeros(lanes, dtype=np.int64)
-        prng = _VecPrng(seeds) if cfg.replacement == "random" else None
+        prng = (
+            _make_vec_prng(prng_mode, seeds)
+            if cfg.replacement == "random"
+            else None
+        )
         self.repl = _make_idx_replacement(
             cfg.replacement, lanes, 1, cfg.entries, prng
         )
@@ -827,10 +847,11 @@ class _ConcurrentEngine:
                 dcache_seeds.append(derive_seed(core_seed, core_id, 1))
                 itlb_seeds.append(derive_seed(core_seed, core_id, 2))
                 dtlb_seeds.append(derive_seed(core_seed, core_id, 3))
-        self.icache = _LaneCache(core_cfg.icache, icache_seeds, lanes)
-        self.dcache = _LaneCache(core_cfg.dcache, dcache_seeds, lanes)
-        self.itlb = _LaneTlb(core_cfg.itlb, itlb_seeds, lanes)
-        self.dtlb = _LaneTlb(core_cfg.dtlb, dtlb_seeds, lanes)
+        prng_mode = cfg.prng_mode
+        self.icache = _LaneCache(core_cfg.icache, icache_seeds, lanes, prng_mode)
+        self.dcache = _LaneCache(core_cfg.dcache, dcache_seeds, lanes, prng_mode)
+        self.itlb = _LaneTlb(core_cfg.itlb, itlb_seeds, lanes, prng_mode)
+        self.dtlb = _LaneTlb(core_cfg.dtlb, dtlb_seeds, lanes, prng_mode)
         self.store_buffer = _LaneStoreBuffer(lanes, core_cfg.store_buffer_depth)
         self.bus = _LaneBus(cfg.bus, runs, core_ids)
         self.memory = _LaneMemory(cfg.memory, runs)

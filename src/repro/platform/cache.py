@@ -26,7 +26,7 @@ from typing import List, Optional
 
 from .placement import PlacementPolicy, make_placement
 from .replacement import RandomReplacement, ReplacementPolicy, make_replacement
-from .prng import CombinedLfsrPrng
+from .prng import PlatformPrng
 
 __all__ = ["CacheConfig", "CacheStats", "Cache"]
 
@@ -125,7 +125,7 @@ class Cache:
     def __init__(
         self,
         config: CacheConfig,
-        prng: Optional[CombinedLfsrPrng] = None,
+        prng: Optional[PlatformPrng] = None,
         name: str = "cache",
     ) -> None:
         self.config = config

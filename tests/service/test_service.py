@@ -108,6 +108,35 @@ class TestEndToEnd:
         assert counters["cache_hits_total"] == 1
         assert counters["cache_misses_total"] == 1
 
+    def test_run_counter_carries_backend_and_prng_mode(self, client):
+        client.run(small_request(), timeout=120)
+        client.run(small_request(prng_mode="fast-parity"), timeout=120)
+        counters = client.metrics()["counters"]
+        modes = {
+            name.rsplit(".", 1)[-1]: count
+            for name, count in counters.items()
+            if name.startswith("runs_executed_total.")
+        }
+        assert modes.get("exact") == 1
+        assert modes.get("fast-parity") == 1
+
+    def test_prng_mode_variant_is_not_a_cache_hit(self, client):
+        # Unlike shards/backend, the draw mode changes the execution
+        # digest — the store must NOT serve a fast-parity request from
+        # an exact-mode artifact.
+        client.run(small_request(), timeout=120)
+        snapshot = client.submit(small_request(prng_mode="fast-parity"))
+        job_id = snapshot["job"]["id"]
+        client.wait(job_id, timeout=60)
+        assert client.job(job_id)["cached"] is False
+        counters = client.metrics()["counters"]
+        executed = sum(
+            count
+            for name, count in counters.items()
+            if name.startswith("runs_executed_total.")
+        )
+        assert executed == 2
+
     def test_provenance_variant_is_cache_hit(self, client):
         # Different shards/backend, same execution digest: no re-run.
         client.run(small_request(), timeout=120)
